@@ -1,0 +1,27 @@
+"""Benchmark E8 — the Sec. III-B adversarial construction (Fig. 4).
+
+Regenerates the two-picker drip-feed workload and asserts the mechanism
+behind the Ω(k) competitive-ratio argument: greedy dispatch shuttles the
+far rack once per item while the adaptive planner batches, so the greedy
+trip count scales with k and its items flow slower.
+"""
+
+from _bench_common import run_once
+
+from repro.experiments.badcase import run_bad_case
+
+
+def test_badcase_greedy_shuttle(benchmark):
+    result = run_once(benchmark, run_bad_case, k=10)
+    print()
+    for name, outcome in result.outcomes.items():
+        print(f"  {name}: makespan={outcome.makespan} "
+              f"rack0_trips={outcome.rack0_trips} "
+              f"mean_flow={outcome.mean_flow_time:.1f}")
+
+    assert result.outcomes["NTP"].rack0_trips >= 8, (
+        "greedy must shuttle the drip-fed rack roughly once per item")
+    assert result.outcomes["ATP"].rack0_trips <= 6, (
+        "the adaptive planner must batch the drip-fed rack")
+    assert result.shuttle_ratio >= 1.5
+    assert result.flow_penalty >= 1.0

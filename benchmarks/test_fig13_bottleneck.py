@@ -1,0 +1,23 @@
+"""Benchmark E7 — regenerate Fig. 13 (bottleneck variation case study).
+
+Runs the adaptive planner on the surge workload with the bottleneck trace
+enabled and asserts the paper's observation: the fulfilment bottleneck
+starts in transport and migrates toward queuing as item volume builds,
+while processing cost grows and then flattens.
+"""
+
+from _bench_common import run_once
+
+from repro.experiments.fig13 import render_fig13, run_fig13
+
+
+def test_fig13_bottleneck(benchmark):
+    report = run_once(benchmark, run_fig13, scale=0.6, window=150)
+    print()
+    print(render_fig13(report))
+
+    assert report.migrated, (
+        "the transport→queuing bottleneck migration must be observed")
+    assert report.timeline[0] == "transport", (
+        "with few items the bottleneck starts in transport")
+    assert report.cum_queuing > 0 and report.cum_processing > 0

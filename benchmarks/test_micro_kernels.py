@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the hot kernels (repeated-timing, pytest-benchmark).
+
+These isolate the per-call costs the end-to-end figures aggregate:
+spatial A*, spatiotemporal A* against both reservation structures, the
+cache-aided finisher, conflict probes, and the two selection strategies.
+"""
+
+import pytest
+
+from repro.config import PlannerConfig
+from repro.pathfinding.astar import shortest_path
+from repro.pathfinding.cache import ShortestPathCache, make_wait_finisher
+from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.paths import Path
+from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from repro.pathfinding.st_astar import find_path
+from repro.planners import EfficientAdaptiveTaskPlanner, NaiveTaskPlanner
+from repro.warehouse.entities import Item
+from repro.warehouse.grid import Grid
+from repro.warehouse.knn import StaticRackKNN
+from repro.warehouse.layout import build_layout
+from repro.warehouse.state import WarehouseState
+
+GRID = Grid(64, 40)
+
+
+def crossing_traffic(table, n=12):
+    for i in range(n):
+        cells = [(x, 3 + 2 * i % 30) for x in range(0, 50)]
+        table.reserve_path(Path.from_cells(cells, start_time=i * 3))
+
+
+def test_spatial_astar(benchmark):
+    benchmark(shortest_path, GRID, (0, 0), (63, 39))
+
+
+def test_st_astar_on_cdt(benchmark):
+    table = ConflictDetectionTable()
+    crossing_traffic(table)
+    benchmark(find_path, GRID, table, (0, 0), (60, 35), 0)
+
+
+def test_st_astar_on_stgraph(benchmark):
+    table = SpatiotemporalGraph(GRID)
+    crossing_traffic(table)
+    benchmark(find_path, GRID, table, (0, 0), (60, 35), 0)
+
+
+def test_st_astar_with_cache_finisher(benchmark):
+    table = ConflictDetectionTable()
+    crossing_traffic(table)
+    cache = ShortestPathCache(GRID, threshold=12)
+    goal = (60, 35)
+
+    def search():
+        finisher = make_wait_finisher(cache, goal, table)
+        return find_path(GRID, table, (0, 0), goal, 0,
+                         finisher=finisher, finisher_trigger=12)
+
+    benchmark(search)
+
+
+def test_cdt_probe(benchmark):
+    table = ConflictDetectionTable()
+    crossing_traffic(table)
+    benchmark(table.move_allowed, 10, (25, 5), (26, 5))
+
+
+def test_stgraph_probe(benchmark):
+    table = SpatiotemporalGraph(GRID)
+    crossing_traffic(table)
+    benchmark(table.move_allowed, 10, (25, 5), (26, 5))
+
+
+def test_knn_probe(benchmark):
+    layout = build_layout(64, 40, n_racks=200, n_pickers=16)
+    index = StaticRackKNN(layout.rack_homes, 64, 40, k=8)
+    benchmark(index.nearest, (30, 20))
+
+
+def _loaded_state(n_loaded=40):
+    layout = build_layout(64, 40, n_racks=200, n_pickers=16)
+    state = WarehouseState.from_layout(layout, n_robots=20)
+    for i in range(n_loaded):
+        state.deliver_item(Item(i, i * 5 % 200, 0, 25))
+    return state
+
+
+def test_selection_ntp(benchmark):
+    state = _loaded_state()
+    planner = NaiveTaskPlanner(state)
+    racks = state.selectable_racks()
+    robots = state.idle_robots()
+    benchmark(planner._select, 0, racks, robots)
+
+
+def test_selection_eatp_flip(benchmark):
+    state = _loaded_state()
+    planner = EfficientAdaptiveTaskPlanner(state, PlannerConfig())
+    racks = state.selectable_racks()
+    robots = state.idle_robots()
+    benchmark(planner._select_flipped, racks, robots)

@@ -1,0 +1,78 @@
+"""Custom warehouse: build a floor plan and workload from the raw API.
+
+Everything the dataset generators do can be done by hand: lay out a
+floor, pin racks to pickers, write an item schedule, pick a planner
+configuration, and inspect individual fulfilment cycles afterwards.
+This example builds a small cross-dock-style warehouse where one picker
+handles export orders (bursty) and one handles returns (steady drip).
+
+Run::
+
+    python examples/custom_warehouse.py
+"""
+
+from repro import (EfficientAdaptiveTaskPlanner, Item, PlannerConfig,
+                   QLearningConfig, Simulation, WarehouseState, build_layout)
+from repro.sim.missions import MissionStage
+
+
+def main() -> None:
+    # 1. Floor plan: 28x18 cells, 24 racks in blocks, 2 picker stations.
+    layout = build_layout(28, 18, n_racks=24, n_pickers=2,
+                          block_width=3, block_height=2, aisle=1)
+
+    # 2. Pin racks to pickers: left half exports (picker 0), right half
+    #    returns (picker 1) — the fixed rack→picker association of the
+    #    rack-to-picker mode.
+    rack_to_picker = [0 if home[0] < 14 else 1
+                      for home in layout.rack_homes]
+    state = WarehouseState.from_layout(layout, n_robots=4,
+                                       rack_to_picker=rack_to_picker)
+
+    # 3. Workload: a burst of export items at t=100 plus a steady drip of
+    #    returns every 40 ticks.
+    exports = [rack.rack_id for rack in state.racks if rack.picker_id == 0]
+    returns = [rack.rack_id for rack in state.racks if rack.picker_id == 1]
+    items = []
+    item_id = 0
+    for i in range(30):  # the burst
+        items.append(Item(item_id, exports[i % len(exports)],
+                          arrival=100 + i, processing_time=15))
+        item_id += 1
+    for i in range(20):  # the drip
+        items.append(Item(item_id, returns[i % len(returns)],
+                          arrival=40 * i, processing_time=25))
+        item_id += 1
+
+    # 4. A patient planner configuration: less exploration noise, deeper
+    #    batching than the defaults.
+    config = PlannerConfig(
+        knn_k=6, cache_threshold=10,
+        qlearning=QLearningConfig(delta=0.1, epsilon=0.05,
+                                  deferral_weight=8.0))
+    planner = EfficientAdaptiveTaskPlanner(state, config)
+    result = Simulation(state, planner, items).run()
+
+    print(f"Makespan: {result.metrics.makespan} ticks, "
+          f"{result.metrics.missions_completed} fulfilment cycles for "
+          f"{result.metrics.items_processed} items\n")
+
+    # 5. Inspect the cycles: per picker, how the batches formed.
+    for picker_id, label in ((0, "exports (burst)"), (1, "returns (drip)")):
+        cycles = [m for m in result.missions
+                  if state.racks[m.rack_id].picker_id == picker_id]
+        total = sum(m.n_items for m in cycles)
+        mean_batch = total / len(cycles) if cycles else 0.0
+        print(f"Picker {picker_id} {label}: {len(cycles)} cycles, "
+              f"{total} items, {mean_batch:.2f} items/cycle")
+
+    slowest = max(result.missions,
+                  key=lambda m: m.stage_entered_at - m.dispatched_at)
+    assert slowest.stage is MissionStage.DONE
+    print(f"\nLongest cycle: rack {slowest.rack_id} "
+          f"({slowest.n_items} items), dispatched t={slowest.dispatched_at}, "
+          f"returned t={slowest.stage_entered_at}")
+
+
+if __name__ == "__main__":
+    main()

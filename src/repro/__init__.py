@@ -1,0 +1,88 @@
+"""repro — a reproduction of "Adaptive Task Planning for Large-Scale
+Robotized Warehouses" (Shi et al., ICDE 2022).
+
+The package implements the TPRW problem end to end: the rack-to-picker
+warehouse substrate, conflict-free multi-agent path finding, the
+reinforcement-learning rack selector, the paper's five planners
+(NTP, LEF, ILP, ATP, EATP), the discrete-time validation system, the
+Table II workloads, and the experiment harness regenerating every table
+and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import EfficientAdaptiveTaskPlanner, Simulation, make_syn_a
+
+    scenario = make_syn_a(scale=0.25)
+    state, items = scenario.build()
+    planner = EfficientAdaptiveTaskPlanner(state)
+    result = Simulation(state, planner, items).run()
+    print(result.metrics.makespan)
+"""
+
+from .config import PlannerConfig, QLearningConfig, SimulationConfig
+from .errors import (ConfigurationError, ConflictError, InvalidLocationError,
+                     LayoutError, PathNotFoundError, PlanningError,
+                     ReproError, SimulationError)
+from .planners import (PLANNERS, AdaptiveTaskPlanner, Assignment,
+                       EfficientAdaptiveTaskPlanner, IlpPlanner,
+                       LeastExpirationFirstPlanner, NaiveTaskPlanner,
+                       Planner, PlanningScheme)
+from .sim import (BottleneckTrace, Mission, MissionStage, RunMetrics,
+                  Simulation, SimulationResult)
+from .warehouse import (Grid, Item, Picker, Rack, RackPhase, Robot,
+                        RobotState, WarehouseLayout, WarehouseState,
+                        build_layout)
+from .workloads import (Scenario, all_datasets, make_mini, make_real_large,
+                        make_real_norm, make_syn_a, make_syn_b,
+                        poisson_arrivals, surge_arrivals)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTaskPlanner",
+    "Assignment",
+    "BottleneckTrace",
+    "ConfigurationError",
+    "ConflictError",
+    "EfficientAdaptiveTaskPlanner",
+    "Grid",
+    "IlpPlanner",
+    "InvalidLocationError",
+    "Item",
+    "LayoutError",
+    "LeastExpirationFirstPlanner",
+    "Mission",
+    "MissionStage",
+    "NaiveTaskPlanner",
+    "PLANNERS",
+    "PathNotFoundError",
+    "Picker",
+    "Planner",
+    "PlannerConfig",
+    "PlanningError",
+    "PlanningScheme",
+    "QLearningConfig",
+    "Rack",
+    "RackPhase",
+    "ReproError",
+    "Robot",
+    "RobotState",
+    "RunMetrics",
+    "Scenario",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "WarehouseLayout",
+    "WarehouseState",
+    "all_datasets",
+    "build_layout",
+    "make_mini",
+    "make_real_large",
+    "make_real_norm",
+    "make_syn_a",
+    "make_syn_b",
+    "poisson_arrivals",
+    "surge_arrivals",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+A thin dispatcher over the experiment regenerators, so the whole
+evaluation can be driven without writing Python:
+
+    python -m repro table3 --scale 0.5
+    python -m repro fig10 --dataset Syn-A
+    python -m repro fig13
+    python -m repro badcase --k 10
+    python -m repro ablations --which a4
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ablations, badcase, fig10, fig11, fig12, fig13, table3
+
+_COMMANDS = {
+    "table3": table3.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "fig13": fig13.main,
+    "badcase": badcase.main,
+    "ablations": ablations.main,
+}
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help") or args[0] not in _COMMANDS:
+        names = ", ".join(sorted(_COMMANDS))
+        print(f"usage: python -m repro <experiment> [options]\n"
+              f"experiments: {names}")
+        return 0 if args and args[0] in ("-h", "--help") else 2
+    command, rest = args[0], args[1:]
+    _COMMANDS[command](rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Configuration objects for planners and simulations.
+
+All the knobs the paper exposes (Sec. VII-A defaults) live here as frozen
+dataclasses so experiments can be described declaratively and compared
+field-by-field.  Validation happens eagerly in ``__post_init__`` — a bad
+value fails at construction time, not three minutes into a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigurationError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class QLearningConfig:
+    """Hyper-parameters of the rack-selection learner (Sec. V, Table I).
+
+    Attributes
+    ----------
+    delta:
+        Bootstrap degree δ — per-timestamp probability of using the greedy
+        "most slack picker first" approximation instead of the learned
+        policy.  The paper finds δ < 0.4 effective and defaults to 0.2.
+    epsilon:
+        ε of the ε-greedy action policy (paper default 0.1).
+    learning_rate:
+        β in the Q-learning update, Eq. 5 (paper default 0.1).
+    discount:
+        γ in Eq. 5.  The paper does not state its value; 0.9 is the
+        conventional choice and is exposed here as a knob.
+    state_bin_width:
+        Width of the buckets used to discretise the unbounded accumulated
+        processing times ``⟨ap_r, ar_r⟩`` into a tabular state.  The paper
+        uses the raw counters; a tabular learner needs finitely many states
+        to generalise at all, so we bucket (documented deviation).
+    deferral_weight:
+        Exchange rate between per-item deferral cost and per-selection
+        overhead cost (see :func:`repro.rl.mdp.wait_cost`).  Defaults to
+        the decision horizon 1/(1 − γ).
+    """
+
+    delta: float = 0.2
+    epsilon: float = 0.1
+    learning_rate: float = 0.1
+    discount: float = 0.9
+    state_bin_width: int = 60
+    deferral_weight: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.delta <= 1.0, f"delta must be in [0,1], got {self.delta}")
+        _require(0.0 <= self.epsilon <= 1.0, f"epsilon must be in [0,1], got {self.epsilon}")
+        _require(0.0 < self.learning_rate <= 1.0,
+                 f"learning_rate must be in (0,1], got {self.learning_rate}")
+        _require(0.0 <= self.discount < 1.0, f"discount must be in [0,1), got {self.discount}")
+        _require(self.state_bin_width >= 1,
+                 f"state_bin_width must be >= 1, got {self.state_bin_width}")
+        _require(self.deferral_weight > 0,
+                 f"deferral_weight must be positive, got {self.deferral_weight}")
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs shared by the planners (Secs. V–VI, Table I).
+
+    Attributes
+    ----------
+    knn_k:
+        K — how many closest racks each robot probes under flip requesting
+        (EATP, Sec. VI-A).  The paper leaves K unstated on its 5 000+ rack
+        floors; on the scaled-down layouts K = 8 keeps the probe
+        neighbourhood dense enough that EATP stays within ~1% of ATP's
+        makespan (the paper's reported trade-off).
+    cache_threshold:
+        L — Manhattan-distance threshold below which the cache-aided
+        finisher takes over from spatiotemporal A* (EATP, Sec. VI-B).
+        ``0`` disables the cache.  The paper's default of 50 is tuned to
+        its 233×104-and-larger floors; our default of 12 is the same
+        fraction of the scaled-down layouts (DESIGN.md §4).
+    max_search_expansions:
+        Safety valve for a single spatiotemporal A* run; prevents an
+        accidentally unreachable goal from hanging an experiment.
+    reservation_horizon:
+        How many ticks into the past the reservation structure keeps before
+        its periodic purge (the CDT "update" operation, Sec. VI-B).
+    qlearning:
+        Nested learner configuration, used by ATP and EATP only.
+    seed:
+        Seed for the planner's private RNG (Bernoulli(δ) draws and
+        ε-greedy exploration), so runs are reproducible.
+    """
+
+    knn_k: int = 8
+    cache_threshold: int = 12
+    max_search_expansions: int = 200_000
+    reservation_horizon: int = 64
+    qlearning: QLearningConfig = field(default_factory=QLearningConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        _require(self.knn_k >= 1, f"knn_k must be >= 1, got {self.knn_k}")
+        _require(self.cache_threshold >= 0,
+                 f"cache_threshold must be >= 0, got {self.cache_threshold}")
+        _require(self.max_search_expansions > 0,
+                 f"max_search_expansions must be > 0, got {self.max_search_expansions}")
+        _require(self.reservation_horizon > 0,
+                 f"reservation_horizon must be > 0, got {self.reservation_horizon}")
+
+    def with_(self, **changes) -> "PlannerConfig":
+        """Return a copy with ``changes`` applied (ablation convenience)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Controls for the validation system (Sec. VII-A).
+
+    Attributes
+    ----------
+    max_ticks:
+        Hard stop for a run; a simulation that has not drained by then
+        raises, which in practice flags a livelocked planner.
+    metrics_checkpoints:
+        How many evenly spaced item-count checkpoints to record for the
+        Fig. 10–12 series (the paper uses 10).
+    purge_interval:
+        How often (in ticks) reservation structures drop past timestamps —
+        the CDT update operation of Sec. VI-B.
+    record_bottleneck_trace:
+        Whether to record the per-tick transport/queuing/processing cost
+        decomposition used by the Fig. 13 case study (small overhead).
+    collect_paths:
+        Whether to keep every planned leg path in the result, so tests
+        can audit global conflict-freedom (memory-heavy on big runs).
+    """
+
+    max_ticks: int = 500_000
+    metrics_checkpoints: int = 10
+    purge_interval: int = 64
+    record_bottleneck_trace: bool = False
+    collect_paths: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.max_ticks > 0, f"max_ticks must be > 0, got {self.max_ticks}")
+        _require(self.metrics_checkpoints >= 1,
+                 f"metrics_checkpoints must be >= 1, got {self.metrics_checkpoints}")
+        _require(self.purge_interval >= 1,
+                 f"purge_interval must be >= 1, got {self.purge_interval}")

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still distinguishing configuration mistakes from runtime planning
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class LayoutError(ReproError):
+    """A warehouse layout is malformed or impossible to build.
+
+    Raised, for example, when a storage block would overlap the picking
+    area, when dimensions are non-positive, or when the requested number
+    of racks does not fit into the storage area.
+    """
+
+
+class InvalidLocationError(ReproError):
+    """A coordinate is outside the grid or on an impassable cell."""
+
+
+class PathNotFoundError(ReproError):
+    """No conflict-free path exists (or the search budget was exhausted).
+
+    Attributes
+    ----------
+    source, goal:
+        The endpoints of the failed search, kept for diagnostics.
+    """
+
+    def __init__(self, source, goal, reason: str = "") -> None:
+        self.source = source
+        self.goal = goal
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"no path from {source} to {goal}{detail}")
+
+
+class ConflictError(ReproError):
+    """A planning scheme violates the conflict-freedom constraint."""
+
+
+class PlanningError(ReproError):
+    """A planner produced an inconsistent scheme (duplicate robot, etc.)."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state.
+
+    This always indicates a bug (a broken invariant), never a legitimate
+    workload condition, so it is *not* caught anywhere inside the library.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its documented domain."""

@@ -1,0 +1,45 @@
+"""Experiment regenerators for every table and figure of the paper."""
+
+from .ablations import (sweep_cache_threshold, sweep_delta, sweep_knn,
+                        sweep_reservation)
+from .badcase import BadCaseResult, build_bad_case, run_bad_case
+from .fig10 import RateSeries, render_fig10, run_fig10
+from .fig11 import TimeSeries, render_fig11, run_fig11
+from .fig12 import MemorySeries, render_fig12, run_fig12
+from .fig13 import BottleneckReport, render_fig13, run_fig13
+from .harness import (DEFAULT_PLANNERS, SLOW_PLANNERS, ComparisonResult,
+                      run_comparison, run_planner)
+from .reporting import format_series, format_table, percent_improvement
+from .table3 import render_table3, run_table3
+
+__all__ = [
+    "BadCaseResult",
+    "BottleneckReport",
+    "ComparisonResult",
+    "DEFAULT_PLANNERS",
+    "MemorySeries",
+    "RateSeries",
+    "SLOW_PLANNERS",
+    "TimeSeries",
+    "build_bad_case",
+    "format_series",
+    "format_table",
+    "percent_improvement",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_table3",
+    "run_bad_case",
+    "run_comparison",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_planner",
+    "run_table3",
+    "sweep_cache_threshold",
+    "sweep_delta",
+    "sweep_knn",
+    "sweep_reservation",
+]

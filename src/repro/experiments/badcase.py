@@ -1,0 +1,164 @@
+"""Experiment E8 — the Sec. III-B adversarial construction (Fig. 4).
+
+Two pickers, one robot.  Picker p1 owns a single *far-away* rack whose k
+items arrive one-by-one, spaced exactly one fulfilment cycle apart —
+greedy dispatch (NTP) therefore shuttles that rack k times, paying the
+long round trip D every time.  Picker p2 owns k racks *right next to it*
+whose items arrive in a quick burst.  The optimal play is to serve p2's
+cheap racks while p1's items accumulate, then deliver p1's rack in one
+batched trip; the greedy play costs ≈ k·(D + ξ), an Ω(k) competitive
+ratio (Sec. III-B).
+
+This regenerator builds that exact workload and reports the NTP-vs-ATP
+makespan ratio as k grows, demonstrating the gap the paper uses to
+motivate adaptive selection.
+
+Run as a module::
+
+    python -m repro.experiments.badcase [--k K]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import PlannerConfig, QLearningConfig, SimulationConfig
+from ..planners import PLANNERS
+from ..sim.engine import Simulation
+from ..types import manhattan
+from ..warehouse.entities import Item
+from ..warehouse.layout import WarehouseLayout, build_layout
+from ..warehouse.state import WarehouseState
+
+
+@dataclass(frozen=True)
+class PlannerOutcome:
+    """How one planner handled the construction."""
+
+    makespan: int
+    #: Fulfilment cycles paid for rack 0 — the k-trip shuttle vs batching.
+    rack0_trips: int
+    #: Mean (completion − arrival) over all items.
+    mean_flow_time: float
+
+
+@dataclass(frozen=True)
+class BadCaseResult:
+    """Outcomes of the adversarial workload for one value of k.
+
+    The greedy shuttle shows up as ``rack0_trips ≈ k`` for NTP versus a
+    handful of batched trips for ATP, and correspondingly in the mean
+    flow time of p2's burst items, which greedy strands behind the long
+    round trips.
+    """
+
+    k: int
+    outcomes: Dict[str, PlannerOutcome]
+
+    @property
+    def makespans(self) -> Dict[str, int]:
+        """Planner → makespan (compatibility accessor)."""
+        return {n: o.makespan for n, o in self.outcomes.items()}
+
+    @property
+    def shuttle_ratio(self) -> float:
+        """NTP's rack-0 trips over ATP's — the Ω(k) mechanism."""
+        return self.outcomes["NTP"].rack0_trips / max(
+            self.outcomes["ATP"].rack0_trips, 1)
+
+    @property
+    def flow_penalty(self) -> float:
+        """NTP mean flow time / ATP mean flow time."""
+        return (self.outcomes["NTP"].mean_flow_time
+                / max(self.outcomes["ATP"].mean_flow_time, 1e-9))
+
+
+def build_bad_case(k: int, xi: int = 8
+                   ) -> Tuple[WarehouseLayout, List[int], List[Item]]:
+    """Construct the Sec. III-B world: layout, rack→picker map, items.
+
+    Rack 0 (p1's) is the home *farthest* from picker p1 — maximising the
+    round trip D — and the robot starts parked beneath it, exactly as in
+    the paper's figure.  p2's k racks are the homes *closest* to p2.
+    """
+    if k < 2:
+        raise ValueError("the construction needs k >= 2")
+    width = max(20, k + 10)
+    base = build_layout(width, 16, n_racks=max(k + 1, 8), n_pickers=2)
+    p1, p2 = base.picker_locations
+
+    # Reorder homes: index 0 = farthest from p1, 1..k = nearest to p2.
+    homes = list(base.rack_homes)
+    far = max(homes, key=lambda h: manhattan(h, p1))
+    homes.remove(far)
+    homes.sort(key=lambda h: manhattan(h, p2))
+    ordered = [far] + homes
+    layout = WarehouseLayout(grid=base.grid, rack_homes=tuple(ordered),
+                             picker_locations=base.picker_locations)
+    layout.validate()
+
+    rack_to_picker = [0] + [1] * (len(ordered) - 1)
+
+    # D + ξ: one full greedy cycle.  Arrivals are paced one tick inside
+    # the cycle so the greedy planner always finds a fresh p1 item the
+    # moment its robot frees — the adversarial drip of Fig. 4(a).
+    cycle = max(2 * manhattan(far, p1) + xi - 2, 1)
+    items: List[Item] = []
+    item_id = 0
+    for j in range(k):  # p1's items: one per cycle, all on rack 0
+        items.append(Item(item_id, 0, j * cycle, xi))
+        item_id += 1
+    for j in range(k):  # p2's burst: one rack each, shortly after o1
+        items.append(Item(item_id, 1 + j, 2 + j, xi))
+        item_id += 1
+    return layout, rack_to_picker, items
+
+
+def run_bad_case(k: int = 6, xi: int = 8,
+                 planner_config: Optional[PlannerConfig] = None) -> BadCaseResult:
+    """Run NTP and ATP on the adversarial workload."""
+    layout, rack_to_picker, items = build_bad_case(k, xi)
+    if planner_config is None:
+        # A patient adaptive configuration: rely on the learned policy.
+        planner_config = PlannerConfig(
+            qlearning=QLearningConfig(delta=0.02, epsilon=0.02))
+    outcomes = {}
+    for name in ("NTP", "ATP"):
+        state = WarehouseState.from_layout(layout, n_robots=1,
+                                           rack_to_picker=rack_to_picker)
+        planner = PLANNERS[name](state, planner_config)
+        result = Simulation(state, planner, items).run()
+        arrival_of = {item.item_id: item.arrival for item in items}
+        flows = []
+        rack0_trips = 0
+        for mission in result.missions:
+            if mission.rack_id == 0:
+                rack0_trips += 1
+            done = mission.stage_entered_at
+            for item in mission.batch:
+                flows.append(done - arrival_of[item.item_id])
+        outcomes[name] = PlannerOutcome(
+            makespan=result.metrics.makespan,
+            rack0_trips=rack0_trips,
+            mean_flow_time=sum(flows) / len(flows))
+    return BadCaseResult(k=k, outcomes=outcomes)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=6)
+    args = parser.parse_args(argv)
+    result = run_bad_case(args.k)
+    for name, outcome in result.outcomes.items():
+        print(f"  {name}: makespan={outcome.makespan} "
+              f"rack0_trips={outcome.rack0_trips} "
+              f"mean_flow={outcome.mean_flow_time:.1f}")
+    print(f"Bad case k={result.k}: greedy shuttles rack 0 "
+          f"{result.shuttle_ratio:.1f}x more often; items flow "
+          f"{result.flow_penalty:.2f}x slower under greedy")
+
+
+if __name__ == "__main__":
+    main()

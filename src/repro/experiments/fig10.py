@@ -1,0 +1,82 @@
+"""Experiments E2/E3 — Fig. 10: PPR and RWR over the planning procedure.
+
+For each dataset and planner, the picker processing rate (Eq. 6) and robot
+working rate (Eq. 7) are sampled at ten evenly spaced item-count
+checkpoints — the x-axis of the paper's Fig. 10 — and printed as series.
+
+Run as a module::
+
+    python -m repro.experiments.fig10 [--scale S] [--dataset NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import PlannerConfig
+from ..workloads.datasets import all_datasets
+from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .reporting import format_series
+
+
+@dataclass(frozen=True)
+class RateSeries:
+    """One planner's PPR/RWR checkpoint series on one dataset."""
+
+    planner: str
+    items: List[int]
+    ppr: List[float]
+    rwr: List[float]
+
+
+def run_fig10(scale: float = 1.0, dataset: Optional[str] = None,
+              planner_config: Optional[PlannerConfig] = None
+              ) -> Dict[str, List[RateSeries]]:
+    """Compute the Fig. 10 series; ``{dataset: [series per planner]}``."""
+    datasets = all_datasets(scale)
+    if dataset is not None:
+        datasets = {dataset: datasets[dataset]}
+    out: Dict[str, List[RateSeries]] = {}
+    for name, scenario in datasets.items():
+        skip = SLOW_PLANNERS if name == "Real-Large" else ()
+        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
+                                    planner_config, skip=skip)
+        series = []
+        for planner, result in comparison.results.items():
+            checkpoints = result.metrics.checkpoints
+            series.append(RateSeries(
+                planner=planner,
+                items=[c.items_processed for c in checkpoints],
+                ppr=[c.ppr for c in checkpoints],
+                rwr=[c.rwr for c in checkpoints]))
+        out[name] = series
+    return out
+
+
+def render_fig10(data: Dict[str, List[RateSeries]]) -> str:
+    """Format both rate figures as labelled series."""
+    lines: List[str] = []
+    for dataset, series in data.items():
+        lines.append(f"Fig. 10 — PPR on {dataset}")
+        for s in series:
+            lines.append("  " + format_series(s.planner, s.items, s.ppr))
+        lines.append(f"Fig. 10 — RWR on {dataset}")
+        for s in series:
+            lines.append("  " + format_series(s.planner, s.items, s.rwr))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dataset", default=None,
+                        choices=[None, "Syn-A", "Syn-B", "Real-Norm",
+                                 "Real-Large"])
+    args = parser.parse_args(argv)
+    print(render_fig10(run_fig10(scale=args.scale, dataset=args.dataset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Experiments E4/E5 — Fig. 11: selection (STC) and planning (PTC) time.
+
+Cumulative selection-step and path-finding wall-clock seconds at ten
+item-count checkpoints, per planner per dataset — the paper's efficiency
+figure.  Absolute values differ from the paper's Java system; the shape
+claims (EATP's STC near the cheap greedy methods, EATP's PTC below
+everyone) are what the regenerator demonstrates.
+
+Run as a module::
+
+    python -m repro.experiments.fig11 [--scale S] [--dataset NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import PlannerConfig
+from ..workloads.datasets import all_datasets
+from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .reporting import format_series
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """One planner's cumulative STC/PTC checkpoint series."""
+
+    planner: str
+    items: List[int]
+    stc_seconds: List[float]
+    ptc_seconds: List[float]
+
+
+def run_fig11(scale: float = 1.0, dataset: Optional[str] = None,
+              planner_config: Optional[PlannerConfig] = None
+              ) -> Dict[str, List[TimeSeries]]:
+    """Compute the Fig. 11 series; ``{dataset: [series per planner]}``."""
+    datasets = all_datasets(scale)
+    if dataset is not None:
+        datasets = {dataset: datasets[dataset]}
+    out: Dict[str, List[TimeSeries]] = {}
+    for name, scenario in datasets.items():
+        skip = SLOW_PLANNERS if name == "Real-Large" else ()
+        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
+                                    planner_config, skip=skip)
+        series = []
+        for planner, result in comparison.results.items():
+            checkpoints = result.metrics.checkpoints
+            series.append(TimeSeries(
+                planner=planner,
+                items=[c.items_processed for c in checkpoints],
+                stc_seconds=[c.selection_seconds for c in checkpoints],
+                ptc_seconds=[c.planning_seconds for c in checkpoints]))
+        out[name] = series
+    return out
+
+
+def render_fig11(data: Dict[str, List[TimeSeries]]) -> str:
+    """Format both time figures as labelled series."""
+    lines: List[str] = []
+    for dataset, series in data.items():
+        lines.append(f"Fig. 11 — STC on {dataset} (seconds)")
+        for s in series:
+            lines.append("  " + format_series(s.planner, s.items,
+                                              s.stc_seconds, "{:.4f}"))
+        lines.append(f"Fig. 11 — PTC on {dataset} (seconds)")
+        for s in series:
+            lines.append("  " + format_series(s.planner, s.items,
+                                              s.ptc_seconds, "{:.3f}"))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dataset", default=None,
+                        choices=[None, "Syn-A", "Syn-B", "Real-Norm",
+                                 "Real-Large"])
+    args = parser.parse_args(argv)
+    print(render_fig11(run_fig11(scale=args.scale, dataset=args.dataset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Experiment E6 — Fig. 12: memory consumption over the planning procedure.
+
+Samples each planner's live planning-structure footprint (reservation
+structure, plus EATP's cache/KNN/Q-table) at the item-count checkpoints.
+The paper's claim — every A*-based planner pays for the spatiotemporal
+graph while EATP's conflict detection table stays far below — is the shape
+this regenerator checks.
+
+Run as a module::
+
+    python -m repro.experiments.fig12 [--scale S] [--dataset NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import PlannerConfig
+from ..workloads.datasets import all_datasets
+from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .reporting import format_series
+
+
+@dataclass(frozen=True)
+class MemorySeries:
+    """One planner's memory checkpoint series on one dataset."""
+
+    planner: str
+    items: List[int]
+    memory_kib: List[float]
+    peak_kib: float
+
+
+def run_fig12(scale: float = 1.0, dataset: Optional[str] = None,
+              planner_config: Optional[PlannerConfig] = None
+              ) -> Dict[str, List[MemorySeries]]:
+    """Compute the Fig. 12 series; ``{dataset: [series per planner]}``."""
+    datasets = all_datasets(scale)
+    if dataset is not None:
+        datasets = {dataset: datasets[dataset]}
+    out: Dict[str, List[MemorySeries]] = {}
+    for name, scenario in datasets.items():
+        skip = SLOW_PLANNERS if name == "Real-Large" else ()
+        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
+                                    planner_config, skip=skip)
+        series = []
+        for planner, result in comparison.results.items():
+            checkpoints = result.metrics.checkpoints
+            series.append(MemorySeries(
+                planner=planner,
+                items=[c.items_processed for c in checkpoints],
+                memory_kib=[c.memory_bytes / 1024 for c in checkpoints],
+                peak_kib=result.metrics.peak_memory_bytes / 1024))
+        out[name] = series
+    return out
+
+
+def render_fig12(data: Dict[str, List[MemorySeries]]) -> str:
+    """Format the memory figure as labelled series plus peak summary."""
+    lines: List[str] = []
+    for dataset, series in data.items():
+        lines.append(f"Fig. 12 — MC on {dataset} (KiB)")
+        for s in series:
+            lines.append("  " + format_series(s.planner, s.items,
+                                              s.memory_kib, "{:.0f}"))
+        peaks = ", ".join(f"{s.planner}={s.peak_kib:.0f}" for s in series)
+        lines.append(f"  peaks: {peaks}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dataset", default=None,
+                        choices=[None, "Syn-A", "Syn-B", "Real-Norm",
+                                 "Real-Large"])
+    args = parser.parse_args(argv)
+    print(render_fig12(run_fig12(scale=args.scale, dataset=args.dataset)))
+
+
+if __name__ == "__main__":
+    main()

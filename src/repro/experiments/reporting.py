@@ -1,0 +1,46 @@
+"""Plain-text table/series formatting for experiment reports.
+
+The harness prints the same rows and series the paper reports; these
+helpers keep the formatting consistent across all regenerators without
+pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  y_format: str = "{:.3f}") -> str:
+    """Render one figure series as ``name: (x, y) (x, y) ...``."""
+    points = " ".join(f"({x}, {y_format.format(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def percent_improvement(baseline: float, ours: float) -> float:
+    """Relative improvement of ``ours`` over ``baseline`` (positive=better).
+
+    Matches the paper's convention for makespan/time reductions:
+    ``(baseline − ours) / baseline``.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - ours) / baseline * 100.0

@@ -1,0 +1,73 @@
+"""Experiment E1 — Table III: makespan comparison on all datasets.
+
+Reproduces the paper's headline table: makespan of NTP, LEF, ILP, ATP and
+EATP on Syn-A, Syn-B, Real-Norm and Real-Large.  As in the paper, LEF and
+ILP are skipped on Real-Large (the paper reports them "too slow to
+execute" there; the dashes in Table III).
+
+Run as a module for the report::
+
+    python -m repro.experiments.table3 [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional
+
+from ..config import PlannerConfig
+from ..workloads.datasets import all_datasets
+from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .reporting import format_table, percent_improvement
+
+
+def run_table3(scale: float = 1.0,
+               planner_config: Optional[PlannerConfig] = None,
+               include_slow_on_large: bool = False) -> Dict[str, Dict[str, int]]:
+    """Compute the Table III makespans.
+
+    Returns ``{dataset: {planner: makespan}}`` with the paper's missing
+    cells absent unless ``include_slow_on_large`` is set.
+    """
+    table: Dict[str, Dict[str, int]] = {}
+    for name, scenario in all_datasets(scale).items():
+        skip = () if (name != "Real-Large" or include_slow_on_large) else SLOW_PLANNERS
+        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
+                                    planner_config, skip=skip)
+        table[name] = comparison.makespans()
+    return table
+
+
+def render_table3(table: Dict[str, Dict[str, int]]) -> str:
+    """Format the makespans in the paper's row/column layout."""
+    datasets = list(table)
+    rows = []
+    for planner in DEFAULT_PLANNERS:
+        row = [planner]
+        for dataset in datasets:
+            value = table[dataset].get(planner)
+            row.append(f"{value:,}" if value is not None else "-")
+        rows.append(row)
+    best_base = []
+    for dataset in datasets:
+        baselines = [v for p, v in table[dataset].items()
+                     if p in ("NTP", "LEF", "ILP") and v is not None]
+        ours = [v for p, v in table[dataset].items()
+                if p in ("ATP", "EATP") and v is not None]
+        gain = percent_improvement(max(baselines), min(ours))
+        best_base.append(f"{gain:.1f}%")
+    rows.append(["vs worst baseline"] + best_base)
+    return format_table(["Method"] + datasets, rows,
+                        title="Table III — Makespan comparison")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale multiplier (1.0 = default)")
+    args = parser.parse_args(argv)
+    print(render_table3(run_table3(scale=args.scale)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Conflict-free path finding: A*, spatiotemporal A*, reservations, cache."""
+
+from .astar import shortest_distance, shortest_path
+from .cache import ShortestPathCache, follow_with_waits, make_wait_finisher
+from .cdt import ConflictDetectionTable
+from .conflicts import (Conflict, ConflictKind, find_conflicts,
+                        is_conflict_free, paths_conflict)
+from .heuristics import (HeuristicCache, manhattan_heuristic,
+                         true_distance_heuristic)
+from .paths import Path
+from .reservation import ReservationTable
+from .spatiotemporal_graph import SpatiotemporalGraph
+from .st_astar import SearchStats, find_path
+
+__all__ = [
+    "Conflict",
+    "ConflictDetectionTable",
+    "ConflictKind",
+    "HeuristicCache",
+    "Path",
+    "ReservationTable",
+    "SearchStats",
+    "ShortestPathCache",
+    "SpatiotemporalGraph",
+    "find_conflicts",
+    "find_path",
+    "follow_with_waits",
+    "is_conflict_free",
+    "make_wait_finisher",
+    "manhattan_heuristic",
+    "paths_conflict",
+    "shortest_distance",
+    "shortest_path",
+    "true_distance_heuristic",
+]

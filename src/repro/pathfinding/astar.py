@@ -1,0 +1,82 @@
+"""Spatial A* — conflict-oblivious shortest paths on the grid.
+
+Used to build the EATP shortest-path cache (Sec. VI-B) and as a distance
+oracle.  Classic textbook A* (Hart–Nilsson–Raphael [11]) with the
+Manhattan heuristic by default; ties broken FIFO so paths are
+deterministic for a given grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List, Optional
+
+from ..errors import PathNotFoundError
+from ..types import Cell
+from ..warehouse.grid import Grid
+from .heuristics import Heuristic, manhattan_heuristic
+
+
+def shortest_path(grid: Grid, source: Cell, goal: Cell,
+                  heuristic: Optional[Heuristic] = None) -> List[Cell]:
+    """Return a shortest cell sequence from ``source`` to ``goal``.
+
+    Parameters
+    ----------
+    grid:
+        The passability grid.
+    source, goal:
+        Endpoints; both must be passable.
+    heuristic:
+        Admissible lower bound on remaining distance; defaults to
+        Manhattan, which is exact on obstacle-free layouts.
+
+    Raises
+    ------
+    PathNotFoundError
+        If ``goal`` is unreachable from ``source``.
+    """
+    grid.require_passable(source)
+    grid.require_passable(goal)
+    if source == goal:
+        return [source]
+    h = heuristic if heuristic is not None else manhattan_heuristic(goal)
+
+    tie = count()
+    open_heap: List = [(h(source), next(tie), source)]
+    g_score: Dict[Cell, int] = {source: 0}
+    parent: Dict[Cell, Cell] = {}
+    closed = set()
+
+    while open_heap:
+        __, __, cell = heapq.heappop(open_heap)
+        if cell == goal:
+            return _reconstruct(parent, cell)
+        if cell in closed:
+            continue
+        closed.add(cell)
+        g_next = g_score[cell] + 1
+        for nxt in grid.neighbours(cell):
+            if nxt in closed:
+                continue
+            best = g_score.get(nxt)
+            if best is None or g_next < best:
+                g_score[nxt] = g_next
+                parent[nxt] = cell
+                heapq.heappush(open_heap, (g_next + h(nxt), next(tie), nxt))
+    raise PathNotFoundError(source, goal, "disconnected grid")
+
+
+def shortest_distance(grid: Grid, source: Cell, goal: Cell) -> int:
+    """Length (in moves) of a shortest path; raises if unreachable."""
+    return len(shortest_path(grid, source, goal)) - 1
+
+
+def _reconstruct(parent: Dict[Cell, Cell], cell: Cell) -> List[Cell]:
+    out = [cell]
+    while cell in parent:
+        cell = parent[cell]
+        out.append(cell)
+    out.reverse()
+    return out

@@ -1,0 +1,92 @@
+"""Conflict definitions and validators (paper Sec. II, Fig. 3).
+
+Two kinds of conflict make a set of paths infeasible:
+
+* **single-grid conflict** — two paths occupy the same cell at the same
+  time;
+* **inter-grid (swap) conflict** — two paths traverse the same edge in
+  opposite directions in the same tick.
+
+These validators are the ground truth the whole pathfinding stack is tested
+against: every reservation structure must reject exactly the moves these
+functions flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..types import Cell, Tick
+from .paths import Path
+
+
+class ConflictKind(Enum):
+    """The two conflict flavours of Def. 5."""
+
+    SINGLE_GRID = "single-grid"
+    INTER_GRID = "inter-grid"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A detected conflict between two paths.
+
+    ``first``/``second`` are the indices of the clashing paths in the input
+    sequence; ``time`` is the tick of the clash (for an inter-grid conflict,
+    the tick at which the swap completes); ``cell`` is the contested cell
+    (for inter-grid, the cell the *first* path moves into).
+    """
+
+    kind: ConflictKind
+    first: int
+    second: int
+    time: Tick
+    cell: Cell
+
+
+def find_conflicts(paths: Sequence[Path]) -> List[Conflict]:
+    """Return every pairwise conflict among ``paths``.
+
+    O(total path length) via hashing: we index cell occupancy and directed
+    edge traversals per tick, then report collisions.  Paths may start at
+    different times; only overlapping ticks can conflict.
+    """
+    conflicts: List[Conflict] = []
+    occupancy: Dict[Tuple[Tick, Cell], int] = {}
+    # Directed edge (t, from, to) -> path index; a swap is the reverse edge
+    # in the same tick.
+    edges: Dict[Tuple[Tick, Cell, Cell], int] = {}
+
+    for index, path in enumerate(paths):
+        previous: Optional[Tuple[Tick, Cell]] = None
+        for (t, x, y) in path:
+            cell = (x, y)
+            key = (t, cell)
+            other = occupancy.get(key)
+            if other is not None and other != index:
+                conflicts.append(Conflict(ConflictKind.SINGLE_GRID,
+                                          other, index, t, cell))
+            else:
+                occupancy[key] = index
+            if previous is not None:
+                pt, pcell = previous
+                if pcell != cell:
+                    swap = edges.get((pt, cell, pcell))
+                    if swap is not None and swap != index:
+                        conflicts.append(Conflict(ConflictKind.INTER_GRID,
+                                                  swap, index, t, cell))
+                    edges[(pt, pcell, cell)] = index
+            previous = (t, cell)
+    return conflicts
+
+
+def is_conflict_free(paths: Sequence[Path]) -> bool:
+    """Whether a set of paths satisfies Def. 5's conflict-freedom."""
+    return not find_conflicts(paths)
+
+
+def paths_conflict(a: Path, b: Path) -> bool:
+    """Whether two individual paths conflict (convenience for tests)."""
+    return not is_conflict_free([a, b])

@@ -1,0 +1,88 @@
+"""Search heuristics for the A* family.
+
+The paper uses the Manhattan distance h-value (Sec. V-C).  On layouts with
+blocked cells Manhattan can underestimate badly, so we also provide an
+exact "true distance" heuristic backed by one BFS from the goal — a
+standard MAPF trick that stays admissible and is reusable across the many
+searches that share a goal (every delivery to the same picker, for
+instance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..types import Cell, manhattan
+from ..warehouse.grid import Grid
+
+#: A heuristic maps a cell to a lower bound on its distance to the goal.
+Heuristic = Callable[[Cell], int]
+
+
+def manhattan_heuristic(goal: Cell) -> Heuristic:
+    """The paper's h-value: Manhattan distance to ``goal``."""
+
+    def h(cell: Cell) -> int:
+        return manhattan(cell, goal)
+
+    return h
+
+
+def true_distance_heuristic(grid: Grid, goal: Cell) -> Heuristic:
+    """Exact shortest-path distance to ``goal`` via one reverse BFS.
+
+    Unreachable cells get an effectively infinite value so A* abandons
+    them immediately instead of expanding toward a dead end.
+    """
+    dist = grid.bfs_distances(goal)
+    infinity = grid.n_cells + 1
+
+    def h(cell: Cell) -> int:
+        d = int(dist[cell])
+        return d if d >= 0 else infinity
+
+    return h
+
+
+class HeuristicCache:
+    """Memoised true-distance heuristics keyed by goal cell.
+
+    Pickers and rack homes recur as goals thousands of times per run; one
+    BFS per distinct goal amortises to almost nothing.  The cache's
+    footprint is reported to the MC metric by the planners that own it.
+    """
+
+    def __init__(self, grid: Grid) -> None:
+        self._grid = grid
+        self._by_goal: Dict[Cell, np.ndarray] = {}
+
+    def heuristic(self, goal: Cell) -> Heuristic:
+        """Return (building if needed) the exact heuristic toward ``goal``."""
+        table = self._by_goal.get(goal)
+        if table is None:
+            table = self._grid.bfs_distances(goal)
+            self._by_goal[goal] = table
+        infinity = self._grid.n_cells + 1
+
+        def h(cell: Cell) -> int:
+            d = int(table[cell])
+            return d if d >= 0 else infinity
+
+        return h
+
+    def distance(self, source: Cell, goal: Cell) -> int:
+        """True shortest-path distance (−1 if unreachable)."""
+        table = self._by_goal.get(goal)
+        if table is None:
+            table = self._grid.bfs_distances(goal)
+            self._by_goal[goal] = table
+        return int(table[source])
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of all cached tables."""
+        return sum(t.nbytes for t in self._by_goal.values())
+
+    def __len__(self) -> int:
+        return len(self._by_goal)

@@ -1,0 +1,86 @@
+"""The reservation interface shared by both conflict structures.
+
+The spatiotemporal A* search (Sec. V-C) and the cache-aided finisher
+(Sec. VI-B) are written against this small abstract interface; the
+*spatiotemporal graph* (memory-heavy, Sec. V-C) and the *conflict detection
+table* (compact, Sec. VI-B) are its two implementations.  Swapping one for
+the other is the A4 ablation in DESIGN.md.
+
+Semantics: ``is_free(t, cell)`` guards single-grid conflicts;
+``edge_free(t, a, b)`` guards inter-grid (swap) conflicts for a move that
+departs ``a`` at ``t`` and arrives at ``b`` at ``t + 1``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Set, Tuple
+
+from ..types import Cell, Tick
+from .paths import Path
+
+
+class ReservationTable(abc.ABC):
+    """Abstract conflict bookkeeping for already-planned paths."""
+
+    @abc.abstractmethod
+    def is_free(self, t: Tick, cell: Cell) -> bool:
+        """Whether ``cell`` is unreserved at time ``t``."""
+
+    @abc.abstractmethod
+    def edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
+        """Whether moving ``source``→``target`` during tick ``t`` avoids a swap."""
+
+    @abc.abstractmethod
+    def reserve_path(self, path: Path) -> None:
+        """Insert every vertex and edge of ``path`` into the table."""
+
+    @abc.abstractmethod
+    def purge_before(self, t: Tick) -> None:
+        """Drop all reservations strictly before ``t`` (the periodic update)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Approximate structure footprint, for the MC metric."""
+
+    # -- shared convenience ----------------------------------------------
+
+    def move_allowed(self, t: Tick, source: Cell, target: Cell) -> bool:
+        """Whether a robot at ``source`` may be at ``target`` at ``t + 1``.
+
+        Combines the single-grid check on the arrival vertex with the
+        inter-grid check on the traversed edge; a wait (``source ==
+        target``) only needs the vertex check.
+        """
+        if not self.is_free(t + 1, target):
+            return False
+        if source == target:
+            return True
+        return self.edge_free(t, source, target)
+
+
+class _EdgeMixin:
+    """Shared directed-edge bookkeeping for both implementations.
+
+    Stores the set of traversed timed edges ``(t, source, target)``; a swap
+    is the presence of the reversed edge at the same tick.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Set[Tuple[Tick, Cell, Cell]] = set()
+
+    def _edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
+        return (t, target, source) not in self._edges
+
+    def _reserve_edges(self, path: Path) -> None:
+        steps = path.steps
+        for (t0, x0, y0), (__, x1, y1) in zip(steps, steps[1:]):
+            if (x0, y0) != (x1, y1):
+                self._edges.add((t0, (x0, y0), (x1, y1)))
+
+    def _purge_edges(self, t: Tick) -> None:
+        self._edges = {edge for edge in self._edges if edge[0] >= t}
+
+    def _edges_memory(self) -> int:
+        # Rough per-entry cost of a set of small tuples (~100 B measured).
+        return 64 + 100 * len(self._edges)

@@ -1,0 +1,168 @@
+"""Spatiotemporal A* — conflict-free single-robot search (paper Sec. V-C).
+
+Searches over ``(cell, t)`` states with five actions (four moves + wait)
+against a :class:`~repro.pathfinding.reservation.ReservationTable`, so the
+returned path conflicts with none of the previously planned ones.  This is
+the prioritised-planning search that every planner in the paper (NTP, LEF,
+ILP, ATP, EATP) uses for its path-finding step; only the reservation
+structure and the cache-aided finisher differ between them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PathNotFoundError
+from ..types import Cell, Tick
+from ..warehouse.grid import Grid
+from .heuristics import Heuristic, manhattan_heuristic
+from .paths import Path
+from .reservation import ReservationTable
+
+
+@dataclass
+class SearchStats:
+    """Per-search counters surfaced for efficiency experiments.
+
+    Attributes
+    ----------
+    expansions:
+        Nodes popped from the open set.
+    generated:
+        Nodes pushed onto the open set.
+    cache_finished:
+        True when the cache-aided finisher produced the tail of the path
+        (EATP only); lets the L-ablation report the cache hit rate.
+    peak_open:
+        Largest size reached by the open set, the quantity the paper says
+        the cache "notably reduces".
+    """
+
+    expansions: int = 0
+    generated: int = 0
+    cache_finished: bool = False
+    peak_open: int = 0
+
+
+def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
+              goal: Cell, start_time: Tick,
+              heuristic: Optional[Heuristic] = None,
+              max_expansions: int = 200_000,
+              finisher=None,
+              finisher_trigger: int = 0,
+              stats: Optional[SearchStats] = None) -> Path:
+    """Find a conflict-free timed path from ``source`` (at ``start_time``).
+
+    Parameters
+    ----------
+    grid:
+        Spatial passability.
+    reservation:
+        Already-planned paths to avoid (single-grid + swap conflicts).
+    source, goal:
+        Spatial endpoints.
+    start_time:
+        Tick at which the robot sits on ``source``.
+    heuristic:
+        Admissible remaining-distance bound (default: Manhattan).
+    max_expansions:
+        Abort threshold; exceeded means livelock, reported as
+        :class:`~repro.errors.PathNotFoundError`.
+    finisher:
+        Optional cache-aided finisher (Sec. VI-B): called as
+        ``finisher(cell, t)`` once the popped node's h-value is
+        ``<= finisher_trigger``; if it returns timed steps, the search
+        short-circuits and appends them.
+    finisher_trigger:
+        The L threshold of Sec. VI-B (``0`` disables the finisher).
+    stats:
+        Optional mutable counters filled during the search.
+
+    Returns
+    -------
+    Path
+        Timed path starting at ``(start_time, *source)`` and ending on
+        ``goal``; conflict-free w.r.t. ``reservation``.
+
+    Raises
+    ------
+    PathNotFoundError
+        If the search budget is exhausted.
+    """
+    grid.require_passable(source)
+    grid.require_passable(goal)
+    h = heuristic if heuristic is not None else manhattan_heuristic(goal)
+    if stats is None:
+        stats = SearchStats()
+
+    if source == goal:
+        return Path(((start_time, source[0], source[1]),))
+
+    tie = count()
+    start = (source, start_time)
+    open_heap: List[Tuple[int, int, Tuple[Cell, Tick]]] = [
+        (h(source), next(tie), start)]
+    g_score: Dict[Tuple[Cell, Tick], int] = {start: 0}
+    parent: Dict[Tuple[Cell, Tick], Tuple[Cell, Tick]] = {}
+    closed = set()
+
+    while open_heap:
+        stats.peak_open = max(stats.peak_open, len(open_heap))
+        __, __, node = heapq.heappop(open_heap)
+        if node in closed:
+            continue
+        closed.add(node)
+        cell, t = node
+        stats.expansions += 1
+        if stats.expansions > max_expansions:
+            raise PathNotFoundError(
+                source, goal, f"search budget {max_expansions} exhausted")
+
+        if cell == goal:
+            return _reconstruct(parent, node, start_time)
+
+        if finisher is not None and 0 < h(cell) <= finisher_trigger:
+            tail = finisher(cell, t)
+            if tail is not None:
+                stats.cache_finished = True
+                head = _reconstruct(parent, node, start_time)
+                return head.concat(Path(tuple(tail)))
+
+        g_next = g_score[node] + 1
+        for nxt in _successors(grid, cell):
+            if not reservation.move_allowed(t, cell, nxt):
+                continue
+            nxt_node = (nxt, t + 1)
+            if nxt_node in closed:
+                continue
+            best = g_score.get(nxt_node)
+            if best is None or g_next < best:
+                g_score[nxt_node] = g_next
+                parent[nxt_node] = node
+                stats.generated += 1
+                heapq.heappush(open_heap,
+                               (g_next + h(nxt), next(tie), nxt_node))
+    raise PathNotFoundError(source, goal, "open set exhausted")
+
+
+def _successors(grid: Grid, cell: Cell):
+    """Wait plus the passable cardinal moves."""
+    yield cell
+    yield from grid.neighbours(cell)
+
+
+def _reconstruct(parent: Dict, node: Tuple[Cell, Tick],
+                 start_time: Tick) -> Path:
+    steps = []
+    while True:
+        (x, y), t = node
+        steps.append((t, x, y))
+        if node not in parent:
+            break
+        node = parent[node]
+    steps.reverse()
+    assert steps[0][0] == start_time
+    return Path(tuple(steps))

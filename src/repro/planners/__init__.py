@@ -1,0 +1,34 @@
+"""The paper's five planners plus the shared planning scaffolding."""
+
+from .atp import AdaptiveTaskPlanner
+from .base import Planner, PlannerStats, SelectionEntry
+from .eatp import EfficientAdaptiveTaskPlanner
+from .greedy import most_slack_first
+from .ilp import IlpPlanner
+from .lef import LeastExpirationFirstPlanner
+from .ntp import NaiveTaskPlanner
+from .scheme import Assignment, PlanningScheme
+
+#: Registry used by experiments and the CLI: name -> planner class.
+PLANNERS = {
+    "NTP": NaiveTaskPlanner,
+    "LEF": LeastExpirationFirstPlanner,
+    "ILP": IlpPlanner,
+    "ATP": AdaptiveTaskPlanner,
+    "EATP": EfficientAdaptiveTaskPlanner,
+}
+
+__all__ = [
+    "AdaptiveTaskPlanner",
+    "Assignment",
+    "EfficientAdaptiveTaskPlanner",
+    "IlpPlanner",
+    "LeastExpirationFirstPlanner",
+    "NaiveTaskPlanner",
+    "PLANNERS",
+    "Planner",
+    "PlannerStats",
+    "PlanningScheme",
+    "SelectionEntry",
+    "most_slack_first",
+]

@@ -1,0 +1,234 @@
+"""The planner base class: reservation plumbing, timing, shared helpers.
+
+Every algorithm in the paper's evaluation (NTP, LEF, ILP, ATP, EATP) shares
+the same skeleton: a *selection* step that decides which racks to fulfil
+now, and a *path-finding* step that routes robots conflict-free.  The base
+class owns everything common — the reservation structure, the heuristic
+cache, leg planning, STC/PTC accounting, memory introspection — so each
+subclass is exactly its selection (and, for EATP, its path-finding
+optimisations).
+
+Timing contract: selection work must run inside ``self._timed_selection()``
+and path searches inside ``self._timed_planning()``; the simulator reads the
+accumulated totals for the Fig. 11 experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..config import PlannerConfig
+from ..errors import PlanningError
+from ..pathfinding.heuristics import manhattan_heuristic
+from ..pathfinding.paths import Path
+from ..pathfinding.reservation import ReservationTable
+from ..pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from ..pathfinding.st_astar import SearchStats, find_path
+from ..types import Cell, Tick, manhattan
+from ..warehouse.entities import Rack, Robot
+from ..warehouse.state import WarehouseState
+from .scheme import Assignment, PlanningScheme
+
+
+@dataclass
+class PlannerStats:
+    """Accumulated efficiency counters (the paper's STC / PTC inputs)."""
+
+    selection_seconds: float = 0.0
+    planning_seconds: float = 0.0
+    schemes_emitted: int = 0
+    assignments_emitted: int = 0
+    legs_planned: int = 0
+    search_expansions: int = 0
+    search_peak_open: int = 0
+    cache_finished_legs: int = 0
+
+
+class Planner(abc.ABC):
+    """Abstract TPRW planner.
+
+    Parameters
+    ----------
+    state:
+        The live warehouse the planner serves.  Planners keep a reference:
+        the TPRW problem re-plans every timestamp over the same world.
+    config:
+        Shared knobs (see :class:`~repro.config.PlannerConfig`).
+
+    Subclasses implement :meth:`_select` — returning the racks to fulfil
+    and, optionally, pre-matched robots — while the base class turns the
+    selection into a conflict-free :class:`PlanningScheme`.
+    """
+
+    #: Human-readable name used by experiment reports (override).
+    name: str = "planner"
+
+    def __init__(self, state: WarehouseState,
+                 config: Optional[PlannerConfig] = None) -> None:
+        self.state = state
+        self.config = config if config is not None else PlannerConfig()
+        self.grid = state.grid
+        self.reservation: ReservationTable = self._make_reservation()
+        self.stats = PlannerStats()
+
+    # -- extension points ------------------------------------------------------
+
+    def _make_reservation(self) -> ReservationTable:
+        """Reservation structure; ATP and the baselines use the ST graph."""
+        return SpatiotemporalGraph(self.grid)
+
+    @abc.abstractmethod
+    def _select(self, t: Tick, racks: List[Rack],
+                robots: List[Robot]) -> List["SelectionEntry"]:
+        """Choose racks (optionally with robots) to fulfil at ``t``.
+
+        Returns at most ``len(robots)`` entries; racks and robots must be
+        unique across entries.
+        """
+
+    # -- the public planning API -----------------------------------------------
+
+    def plan(self, t: Tick, state: Optional[WarehouseState] = None) -> PlanningScheme:
+        """Emit ``U_t``: selection step then path-finding step.
+
+        ``state`` defaults to the planner's bound state; passing it
+        explicitly exists for tests that drive a planner standalone.
+        """
+        world = state if state is not None else self.state
+        scheme = PlanningScheme(timestamp=t)
+
+        robots = world.idle_robots()
+        racks = world.selectable_racks()
+        if not robots or not racks:
+            return scheme
+
+        with self._timed_selection():
+            entries = self._select(t, racks, robots)
+
+        if len(entries) > len(robots):
+            raise PlanningError(
+                f"{self.name} selected {len(entries)} racks for "
+                f"{len(robots)} idle robots")
+
+        available = {robot.robot_id: robot for robot in robots}
+        for entry in entries:
+            robot = entry.robot
+            if robot is None:
+                robot = self._closest_robot(entry.rack, available.values())
+            if robot.robot_id not in available:
+                raise PlanningError(
+                    f"{self.name} reused robot {robot.robot_id} at t={t}")
+            del available[robot.robot_id]
+            path = self._plan_leg_timed(t, robot.location, entry.rack.home)
+            scheme.add(Assignment(robot_id=robot.robot_id,
+                                  rack_id=entry.rack.rack_id,
+                                  pickup_path=path))
+        self.stats.schemes_emitted += 1
+        self.stats.assignments_emitted += len(scheme)
+        return scheme
+
+    def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        """Plan a later mission leg (delivery or return) starting at ``t``.
+
+        Reserved against — and inserted into — the planner's reservation
+        structure like any pickup leg; counted in PTC.
+        """
+        return self._plan_leg_timed(t, source, goal)
+
+    #: How many ticks between reservation purges (the paper executes the
+    #: CDT update "periodically"; every tick would dominate small runs).
+    PURGE_CADENCE = 32
+
+    def end_of_tick(self, t: Tick) -> None:
+        """Housekeeping after the simulator advances past ``t``.
+
+        Periodically purges reservations older than the configured horizon
+        (the CDT "update" operation / the ST-graph layer eviction the
+        paper calls eliminating passed timestamps).
+        """
+        if t % self.PURGE_CADENCE:
+            return
+        floor = t - self.config.reservation_horizon
+        if floor > 0:
+            self.reservation.purge_before(floor)
+
+    def memory_bytes(self) -> int:
+        """Total live structure footprint — the Fig. 12 MC sample."""
+        return self.reservation.memory_bytes() + self._extra_memory_bytes()
+
+    def _extra_memory_bytes(self) -> int:
+        """Subclass hook for additional structures (cache, Q-table, KNN)."""
+        return 0
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _closest_robot(self, rack: Rack, robots: Iterable[Robot]) -> Robot:
+        """The idle robot nearest to the rack's home (Alg. 1 line 6)."""
+        best = min(robots,
+                   key=lambda robot: (manhattan(robot.location, rack.home),
+                                      robot.robot_id))
+        return best
+
+    def _plan_leg_timed(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        started = time.perf_counter()
+        try:
+            path = self._find_leg(t, source, goal)
+        finally:
+            self.stats.planning_seconds += time.perf_counter() - started
+        self.reservation.reserve_path(path)
+        self.stats.legs_planned += 1
+        return path
+
+    def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        """Single-leg search; EATP overrides to add the cache finisher.
+
+        Uses the paper's Manhattan h-value (Sec. V-C), which is exact on
+        the open rack-to-picker layouts.
+        """
+        search_stats = SearchStats()
+        path = find_path(self.grid, self.reservation, source, goal, t,
+                         heuristic=manhattan_heuristic(goal),
+                         max_expansions=self.config.max_search_expansions,
+                         stats=search_stats)
+        self._absorb_search_stats(search_stats)
+        return path
+
+    def _absorb_search_stats(self, search_stats: SearchStats) -> None:
+        self.stats.search_expansions += search_stats.expansions
+        self.stats.search_peak_open = max(self.stats.search_peak_open,
+                                          search_stats.peak_open)
+        if search_stats.cache_finished:
+            self.stats.cache_finished_legs += 1
+
+    def picker_finish_time(self, picker_id: int) -> int:
+        """f_p of Eq. 3 for one picker."""
+        return self.state.pickers[picker_id].finish_time_estimate
+
+    def transport_distance(self, rack: Rack) -> int:
+        """d(l_r, l_p): rack home to its picker station.
+
+        Manhattan, which equals the true grid distance on the open
+        layouts this library generates (no structural obstacles).
+        """
+        picker = self.state.pickers[rack.picker_id]
+        return manhattan(rack.home, picker.location)
+
+    @contextmanager
+    def _timed_selection(self):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.selection_seconds += time.perf_counter() - started
+
+
+@dataclass
+class SelectionEntry:
+    """One selected rack, optionally pre-matched to a robot (EATP flip)."""
+
+    rack: Rack
+    robot: Optional[Robot] = None

@@ -1,0 +1,44 @@
+"""The shared greedy "most slack picker first" selection.
+
+Algorithm 1's core loop, factored out because three planners use it: NTP
+as its whole strategy, and ATP/EATP as their Bernoulli(δ) *approximation*
+branch that seeds the Q-table (Alg. 2 lines 6–9, Alg. 3 line 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..warehouse.entities import Rack
+from .base import SelectionEntry
+
+
+def most_slack_first(racks: List[Rack], budget: int,
+                     finish_time: Callable[[int], int]) -> List[SelectionEntry]:
+    """Select up to ``budget`` racks, most-slack picker first.
+
+    Parameters
+    ----------
+    racks:
+        The selectable racks (STORED with pending items).
+    budget:
+        Number of idle robots — the dispatch capacity this timestamp.
+    finish_time:
+        Maps a picker id to its f_p (Eq. 3).
+
+    Ordering is deterministic: pickers ascending by (f_p, id), racks of a
+    picker ascending by id.
+    """
+    entries: List[SelectionEntry] = []
+    racks_by_picker = {}
+    for rack in racks:
+        racks_by_picker.setdefault(rack.picker_id, []).append(rack)
+    pickers = sorted(racks_by_picker,
+                     key=lambda pid: (finish_time(pid), pid))
+    for picker_id in pickers:
+        for rack in sorted(racks_by_picker[picker_id],
+                           key=lambda r: r.rack_id):
+            if len(entries) == budget:
+                return entries
+            entries.append(SelectionEntry(rack=rack))
+    return entries

@@ -1,0 +1,120 @@
+"""Integer-linear-programming planner — the Boysen et al. baseline [12].
+
+The original formulation assigns racks to processing slots to minimise
+completion time in a parts-to-picker system; the paper extends it with
+picker status.  Per timestamp we solve the induced **assignment problem**:
+
+    minimise   Σ_{a,r} x_{a,r} · cost(a, r)
+    subject to each robot ≤ 1 rack, each rack ≤ 1 robot, x binary
+
+with ``cost(a, r)`` the end-to-end delay estimate of dispatching robot
+``a`` to rack ``r`` now — pickup + delivery + queuing (picker status) +
+processing + return, mirroring Eq. 2.
+
+The constraint matrix of an assignment problem is totally unimodular, so
+its LP relaxation is integral: the Hungarian solution *is* the ILP optimum.
+We therefore solve with ``scipy.optimize.linear_sum_assignment``, which is
+exact and orders of magnitude faster than a generic MILP — the substitution
+is value-preserving by construction.  (A generic-MILP path via
+``scipy.optimize.milp`` is kept for cross-checking small instances.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment, milp, LinearConstraint, Bounds
+
+from ..types import Tick, manhattan
+from ..warehouse.entities import Rack, Robot
+from .base import Planner, SelectionEntry
+
+
+class IlpPlanner(Planner):
+    """Per-timestamp optimal robot–rack assignment (extended [12])."""
+
+    name = "ILP"
+
+    #: Instances at or below this robot×rack size may use the generic MILP
+    #: cross-check (tests only; the default path is always Hungarian).
+    MILP_CROSSCHECK_LIMIT = 64
+
+    def _select(self, t: Tick, racks: List[Rack],
+                robots: List[Robot]) -> List[SelectionEntry]:
+        cost = self._cost_matrix(racks, robots)
+        row_ind, col_ind = linear_sum_assignment(cost)
+        entries = [SelectionEntry(rack=racks[c], robot=robots[r])
+                   for r, c in zip(row_ind, col_ind)]
+        return entries
+
+    def _cost_matrix(self, racks: List[Rack],
+                     robots: List[Robot]) -> np.ndarray:
+        """cost[a, r] = estimated fulfilment-cycle delay of the pairing.
+
+        Mirrors Eq. 2: pickup d(l_a, l_r) + delivery d(l_r, l_p) +
+        queuing max{f_p − transport, 0} + processing Σ items + return
+        d(l_p, l_r).  Distances are Manhattan (exact on the open layouts,
+        cheap everywhere) — the ILP needs a matrix, not a search.
+        """
+        cost = np.zeros((len(robots), len(racks)), dtype=np.float64)
+        delivery = {}
+        for j, rack in enumerate(racks):
+            picker = self.state.pickers[rack.picker_id]
+            d_rp = manhattan(rack.home, picker.location)
+            delivery[j] = (d_rp, picker.finish_time_estimate,
+                           rack.pending_processing_time)
+        for i, robot in enumerate(robots):
+            for j, rack in enumerate(racks):
+                d_rp, f_p, batch = delivery[j]
+                d_ar = manhattan(robot.location, rack.home)
+                transport = d_ar + d_rp
+                queuing = max(f_p - transport, 0)
+                cost[i, j] = transport + queuing + batch + d_rp
+        return cost
+
+    # -- MILP cross-check (exactness witness for tests) -------------------------
+
+    def solve_milp(self, racks: List[Rack],
+                   robots: List[Robot]) -> Optional[List[SelectionEntry]]:
+        """Solve the same assignment with a generic MILP.
+
+        Returns ``None`` when the instance exceeds
+        :data:`MILP_CROSSCHECK_LIMIT`; used by tests to witness that the
+        Hungarian fast path is the true ILP optimum.
+        """
+        n_a, n_r = len(robots), len(racks)
+        if n_a * n_r > self.MILP_CROSSCHECK_LIMIT:
+            return None
+        cost = self._cost_matrix(racks, robots).reshape(-1)
+        n_vars = n_a * n_r
+
+        rows = []
+        for i in range(n_a):  # each robot at most one rack
+            row = np.zeros(n_vars)
+            row[i * n_r:(i + 1) * n_r] = 1
+            rows.append(row)
+        for j in range(n_r):  # each rack at most one robot
+            row = np.zeros(n_vars)
+            row[j::n_r] = 1
+            rows.append(row)
+        # Maximise the number of assignments, then minimise cost: enforce
+        # exactly min(n_a, n_r) assignments, like linear_sum_assignment.
+        total = np.ones(n_vars)
+        k = min(n_a, n_r)
+
+        constraints = [
+            LinearConstraint(np.array(rows), -np.inf, 1),
+            LinearConstraint(total[None, :], k, k),
+        ]
+        result = milp(c=cost, constraints=constraints,
+                      integrality=np.ones(n_vars),
+                      bounds=Bounds(0, 1))
+        if not result.success:
+            return None
+        chosen = np.flatnonzero(np.round(result.x) == 1)
+        entries = []
+        for flat in chosen:
+            i, j = divmod(int(flat), n_r)
+            entries.append(SelectionEntry(rack=racks[j], robot=robots[i]))
+        return entries

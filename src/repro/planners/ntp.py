@@ -1,0 +1,44 @@
+"""Naive Task Planning — Algorithm 1, the extended state of the art [7].
+
+Extends Ma et al.'s online MAPF dispatcher to TPRW the way the paper's
+Sec. III-A describes: instead of planning for the robot with the least
+pickup time, plan for racks whose picker is *most slack* (smallest finish
+time f_p, Eq. 3), since a slack picker implies less queuing.  Every
+selectable rack is dispatched as soon as a robot is free — no batching —
+which is exactly the greedy behaviour the Sec. III-B bad case punishes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..types import Tick
+from ..warehouse.entities import Rack, Robot
+from .base import Planner, SelectionEntry
+
+
+class NaiveTaskPlanner(Planner):
+    """Algorithm 1: most-slack-picker-first greedy dispatch."""
+
+    name = "NTP"
+
+    def _select(self, t: Tick, racks: List[Rack],
+                robots: List[Robot]) -> List[SelectionEntry]:
+        entries: List[SelectionEntry] = []
+        budget = len(robots)
+
+        # Alg. 1 line 2: pickers ascending by finish time f_p.
+        pickers = sorted({rack.picker_id for rack in racks},
+                         key=lambda pid: (self.picker_finish_time(pid), pid))
+        racks_by_picker = {}
+        for rack in racks:
+            racks_by_picker.setdefault(rack.picker_id, []).append(rack)
+
+        for picker_id in pickers:
+            # Deterministic inner order: rack id (the paper leaves it free).
+            for rack in sorted(racks_by_picker[picker_id],
+                               key=lambda r: r.rack_id):
+                if len(entries) == budget:
+                    return entries
+                entries.append(SelectionEntry(rack=rack))
+        return entries

@@ -1,0 +1,63 @@
+"""Planning schemes — the output contract of every planner.
+
+``U_t`` of the TPRW problem: at timestamp ``t`` a planner emits one
+:class:`Assignment` per dispatched robot (the robot, the rack it will
+fulfil, and the conflict-free pickup-leg path ``u_a``).  The simulator
+turns assignments into missions; later legs (delivery, return) are planned
+lazily through :meth:`~repro.planners.base.Planner.plan_leg` because their
+start times depend on queuing and processing durations unknown at dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import PlanningError
+from ..pathfinding.paths import Path
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One robot dispatched to one rack, with its pickup-leg path."""
+
+    robot_id: int
+    rack_id: int
+    pickup_path: Path
+
+
+@dataclass
+class PlanningScheme:
+    """``U_t``: the set of assignments emitted at one timestamp."""
+
+    timestamp: int
+    assignments: List[Assignment] = field(default_factory=list)
+
+    def add(self, assignment: Assignment) -> None:
+        """Append an assignment, rejecting duplicate robots or racks."""
+        for existing in self.assignments:
+            if existing.robot_id == assignment.robot_id:
+                raise PlanningError(
+                    f"robot {assignment.robot_id} assigned twice at "
+                    f"t={self.timestamp}")
+            if existing.rack_id == assignment.rack_id:
+                raise PlanningError(
+                    f"rack {assignment.rack_id} assigned twice at "
+                    f"t={self.timestamp}")
+        self.assignments.append(assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+    @property
+    def robot_ids(self) -> Tuple[int, ...]:
+        """Robots dispatched by this scheme."""
+        return tuple(a.robot_id for a in self.assignments)
+
+    @property
+    def rack_ids(self) -> Tuple[int, ...]:
+        """Racks selected by this scheme."""
+        return tuple(a.rack_id for a in self.assignments)

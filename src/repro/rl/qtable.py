@@ -1,0 +1,57 @@
+"""A tabular action-value function over the rack-selection state space."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .mdp import ACTIONS, RackState
+
+
+class QTable:
+    """q(s, α) for the binary rack-selection MDP.
+
+    Unvisited entries default to ``initial_value``.  The default of 0 is
+    *optimistic* for this problem (all true values are negative because
+    rewards are negated delays), which nudges early exploration toward
+    untried actions — helpful before the bootstrap has seeded the table.
+    """
+
+    def __init__(self, initial_value: float = 0.0) -> None:
+        self._values: Dict[Tuple[RackState, int], float] = {}
+        self.initial_value = initial_value
+
+    def get(self, state: RackState, action: int) -> float:
+        """Current estimate of q(state, action)."""
+        return self._values.get((state, action), self.initial_value)
+
+    def set(self, state: RackState, action: int, value: float) -> None:
+        """Overwrite q(state, action)."""
+        self._values[(state, action)] = value
+
+    def best_value(self, state: RackState) -> float:
+        """max_α q(state, α) — the bootstrap target of Eq. 5."""
+        return max(self.get(state, action) for action in ACTIONS)
+
+    def best_action(self, state: RackState) -> int:
+        """argmax_α q(state, α), ties broken toward ACTION_REQUEST.
+
+        The tie-break matters only before any update has touched the
+        state; preferring "request" keeps a cold-start system live instead
+        of deadlocking every rack on "wait".
+        """
+        values = [(self.get(state, action), action) for action in ACTIONS]
+        best_value, best = values[0]
+        for value, action in values[1:]:
+            if value > best_value or (value == best_value and action > best):
+                best_value, best = value, action
+        return best
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[RackState, int], float]]:
+        return iter(self._values.items())
+
+    def memory_bytes(self) -> int:
+        """Approximate table footprint (for the MC metric)."""
+        return 64 + 150 * len(self._values)

@@ -1,0 +1,25 @@
+"""The validation system: simulator, missions, queueing, metrics, trace."""
+
+from .engine import Simulation, SimulationResult
+from .metrics import (CheckpointSample, MetricsRecorder, RunMetrics,
+                      picker_processing_rate, robot_working_rate)
+from .missions import Mission, MissionStage
+from .queueing import ProcessingCompletion, enqueue_rack, process_picker_tick
+from .trace import BottleneckSample, BottleneckTrace
+
+__all__ = [
+    "BottleneckSample",
+    "BottleneckTrace",
+    "CheckpointSample",
+    "MetricsRecorder",
+    "Mission",
+    "MissionStage",
+    "ProcessingCompletion",
+    "RunMetrics",
+    "Simulation",
+    "SimulationResult",
+    "enqueue_rack",
+    "picker_processing_rate",
+    "process_picker_tick",
+    "robot_working_rate",
+]

@@ -1,0 +1,120 @@
+"""Effectiveness and efficiency metrics (paper Sec. VII-A).
+
+Effectiveness: **Makespan** (Eq. 1), **PPR** (Eq. 6, picker processing
+rate) and **RWR** (Eq. 7, robot working rate).  Efficiency: **STC**
+(selection time), **PTC** (planning time) and **MC** (memory consumption).
+
+The Fig. 10–12 experiments plot these at ten evenly spaced *item-count*
+checkpoints during the run; :class:`MetricsRecorder` snapshots each metric
+the moment the cumulative processed-item count crosses a checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..types import Tick
+
+
+@dataclass(frozen=True)
+class CheckpointSample:
+    """All metric values at one item-count checkpoint."""
+
+    items_processed: int
+    tick: Tick
+    ppr: float
+    rwr: float
+    selection_seconds: float
+    planning_seconds: float
+    memory_bytes: int
+
+
+@dataclass
+class RunMetrics:
+    """Final metrics of one simulation run plus the checkpoint series."""
+
+    makespan: Tick = 0
+    items_processed: int = 0
+    missions_completed: int = 0
+    ppr: float = 0.0
+    rwr: float = 0.0
+    selection_seconds: float = 0.0
+    planning_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    checkpoints: List[CheckpointSample] = field(default_factory=list)
+
+    @property
+    def total_planner_seconds(self) -> float:
+        """STC + PTC — the paper's total execution time comparison."""
+        return self.selection_seconds + self.planning_seconds
+
+
+class MetricsRecorder:
+    """Accumulates metrics during a run and snapshots checkpoints.
+
+    Parameters
+    ----------
+    total_items:
+        Size of the workload; defines the checkpoint grid.
+    n_checkpoints:
+        How many evenly spaced checkpoints to record (paper: 10).
+    """
+
+    def __init__(self, total_items: int, n_checkpoints: int = 10) -> None:
+        if total_items < 1:
+            raise ValueError("total_items must be >= 1")
+        if n_checkpoints < 1:
+            raise ValueError("n_checkpoints must be >= 1")
+        self.total_items = total_items
+        step = max(1, total_items // n_checkpoints)
+        self._thresholds = [step * (i + 1) for i in range(n_checkpoints)]
+        self._thresholds[-1] = min(self._thresholds[-1], total_items)
+        self._next_checkpoint = 0
+        self.samples: List[CheckpointSample] = []
+        self.items_processed = 0
+        self.peak_memory = 0
+
+    def note_items_processed(self, count: int) -> None:
+        """Record that ``count`` more items finished processing."""
+        self.items_processed += count
+
+    def maybe_checkpoint(self, tick: Tick, ppr: float, rwr: float,
+                         selection_seconds: float, planning_seconds: float,
+                         memory_bytes: int) -> Optional[CheckpointSample]:
+        """Snapshot a checkpoint if the item count crossed a threshold.
+
+        Crossing several thresholds in one tick emits a single sample at
+        the highest crossed threshold (the intermediate values would be
+        identical anyway).
+        """
+        self.peak_memory = max(self.peak_memory, memory_bytes)
+        crossed = False
+        while (self._next_checkpoint < len(self._thresholds)
+               and self.items_processed >= self._thresholds[self._next_checkpoint]):
+            self._next_checkpoint += 1
+            crossed = True
+        if not crossed:
+            return None
+        sample = CheckpointSample(
+            items_processed=self.items_processed, tick=tick, ppr=ppr,
+            rwr=rwr, selection_seconds=selection_seconds,
+            planning_seconds=planning_seconds, memory_bytes=memory_bytes)
+        self.samples.append(sample)
+        return sample
+
+
+def picker_processing_rate(busy_ticks_per_picker: List[int],
+                           elapsed: Tick) -> float:
+    """Eq. 6: mean over pickers of (processing ticks / elapsed time)."""
+    if elapsed <= 0 or not busy_ticks_per_picker:
+        return 0.0
+    return sum(b / elapsed for b in busy_ticks_per_picker) / len(busy_ticks_per_picker)
+
+
+def robot_working_rate(busy_ticks_per_robot: List[int],
+                       elapsed: Tick) -> float:
+    """Eq. 7: mean over robots of (working ticks / elapsed time)."""
+    if elapsed <= 0 or not busy_ticks_per_robot:
+        return 0.0
+    return sum(b / elapsed for b in busy_ticks_per_robot) / len(busy_ticks_per_robot)

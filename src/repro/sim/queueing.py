@@ -1,0 +1,97 @@
+"""FCFS picker queue processing (paper Def. 2 and Eq. 3).
+
+Pickers process queued racks first-come-first-serve — robots carrying racks
+cannot cut the line in the confined picking area.  One call to
+:func:`process_picker_tick` advances a single picker by one tick: pop the
+next rack if the station is free, then perform one tick of processing,
+reporting any batch that completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..types import Tick
+from ..warehouse.entities import Picker, Rack
+
+
+@dataclass
+class ProcessingCompletion:
+    """A batch that finished processing during this tick."""
+
+    picker_id: int
+    rack_id: int
+    completed_at: Tick  # the tick *after* the final processing tick
+
+
+def enqueue_rack(picker: Picker, rack_id: int, batch_time: int) -> None:
+    """Append a delivered rack to the picker's FCFS queue (q_p)."""
+    if batch_time <= 0:
+        raise SimulationError(
+            f"rack {rack_id} enqueued at picker {picker.picker_id} with "
+            f"non-positive batch time {batch_time}")
+    picker.queue.append(rack_id)
+    picker.queued_processing += batch_time
+
+
+def process_picker_tick(picker: Picker, t: Tick,
+                        batch_time_of: Dict[int, int],
+                        racks: List[Rack],
+                        started: Optional[List[int]] = None
+                        ) -> Optional[ProcessingCompletion]:
+    """Advance one picker by one tick of processing.
+
+    Parameters
+    ----------
+    picker:
+        The station to advance.
+    t:
+        The current tick (work happens during ``[t, t + 1)``).
+    batch_time_of:
+        Batch processing time per queued rack id (owned by the engine's
+        mission table).
+    racks:
+        The rack list, for the ``ar_r`` accumulated-processing counters.
+    started:
+        Optional output list; rack ids whose processing *starts* this tick
+        are appended (the engine flips their mission stage).
+
+    Returns
+    -------
+    ProcessingCompletion or None
+        The batch that completed during this tick, if any.
+    """
+    if picker.current_rack is None and picker.queue:
+        rack_id = picker.queue.popleft()
+        batch_time = batch_time_of.get(rack_id)
+        if batch_time is None:
+            raise SimulationError(
+                f"picker {picker.picker_id} popped rack {rack_id} with no "
+                f"recorded batch time")
+        picker.current_rack = rack_id
+        picker.remaining_current = batch_time
+        picker.queued_processing -= batch_time
+        if picker.queued_processing < 0:
+            raise SimulationError(
+                f"picker {picker.picker_id} queued_processing went negative")
+        if started is not None:
+            started.append(rack_id)
+
+    if picker.current_rack is None:
+        return None
+
+    picker.remaining_current -= 1
+    picker.busy_ticks += 1
+    picker.accumulated_processing += 1
+    racks[picker.current_rack].accumulated_processing += 1
+
+    if picker.remaining_current > 0:
+        return None
+    completed = ProcessingCompletion(picker_id=picker.picker_id,
+                                     rack_id=picker.current_rack,
+                                     completed_at=t + 1)
+    picker.current_rack = None
+    picker.remaining_current = 0
+    return completed

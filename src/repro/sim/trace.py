@@ -1,0 +1,75 @@
+"""Bottleneck decomposition trace — the Fig. 13 case study instrument.
+
+Fig. 13 plots, over picking time, the cost each fulfilment step is
+accumulating across all racks: *transport* (pickup + delivery + return),
+*queuing*, and *processing*.  The trace samples, every tick, how many
+missions sit in each step and accumulates those counts — one
+mission-tick of a step is one unit of that step's cost.  The dominant
+accumulating component at any moment is the current bottleneck, and the
+case study checks it migrates transport → queuing as a surge builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..types import Tick
+
+
+@dataclass(frozen=True)
+class BottleneckSample:
+    """Instantaneous and cumulative step costs at one tick."""
+
+    tick: Tick
+    transporting: int
+    queuing: int
+    processing: int
+    cum_transport: int
+    cum_queuing: int
+    cum_processing: int
+
+    @property
+    def bottleneck(self) -> str:
+        """The step with the largest *instantaneous* cost at this tick."""
+        costs = {"transport": self.transporting, "queuing": self.queuing,
+                 "processing": self.processing}
+        return max(costs, key=lambda k: (costs[k], k))
+
+
+@dataclass
+class BottleneckTrace:
+    """Per-tick record of the fulfilment-step cost decomposition."""
+
+    samples: List[BottleneckSample] = field(default_factory=list)
+    _cum_transport: int = 0
+    _cum_queuing: int = 0
+    _cum_processing: int = 0
+
+    def record(self, tick: Tick, transporting: int, queuing: int,
+               processing: int) -> None:
+        """Append one tick's decomposition (counts of missions per step)."""
+        self._cum_transport += transporting
+        self._cum_queuing += queuing
+        self._cum_processing += processing
+        self.samples.append(BottleneckSample(
+            tick=tick, transporting=transporting, queuing=queuing,
+            processing=processing, cum_transport=self._cum_transport,
+            cum_queuing=self._cum_queuing,
+            cum_processing=self._cum_processing))
+
+    def bottleneck_timeline(self, window: int = 100) -> List[str]:
+        """Dominant step per ``window``-tick bucket (smooths tick noise)."""
+        timeline: List[str] = []
+        for start in range(0, len(self.samples), window):
+            bucket = self.samples[start:start + window]
+            totals = {"transport": 0, "queuing": 0, "processing": 0}
+            for sample in bucket:
+                totals["transport"] += sample.transporting
+                totals["queuing"] += sample.queuing
+                totals["processing"] += sample.processing
+            timeline.append(max(totals, key=lambda k: (totals[k], k)))
+        return timeline
+
+    def __len__(self) -> int:
+        return len(self.samples)

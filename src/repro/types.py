@@ -1,0 +1,46 @@
+"""Shared primitive types used across the :mod:`repro` package.
+
+The whole library works on a 4-connected grid with discrete time.  To keep
+hot loops fast we represent coordinates as plain ``(x, y)`` tuples rather
+than objects; this module centralises the aliases and the few primitive
+helpers (neighbourhood, Manhattan distance) that everything else builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: A grid cell, ``(x, y)`` with ``0 <= x < width`` and ``0 <= y < height``.
+Cell = Tuple[int, int]
+
+#: A timed grid cell, ``(t, x, y)`` — one vertex of the spatiotemporal graph.
+TimedCell = Tuple[int, int, int]
+
+#: Discrete simulation time (ticks of unit robot motion).
+Tick = int
+
+#: The four cardinal moves.  Waiting in place is modelled separately by the
+#: spatiotemporal search as a fifth "stay" action.
+CARDINAL_MOVES: Tuple[Cell, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+def manhattan(a: Cell, b: Cell) -> int:
+    """Return the Manhattan (L1) distance between two cells.
+
+    This is the admissible heuristic used by both the spatial and the
+    spatiotemporal A* searches (the paper's h-value, Sec. V-C).
+    """
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def neighbours4(cell: Cell) -> Iterator[Cell]:
+    """Yield the four cardinal neighbours of ``cell`` (unbounded).
+
+    Bounds and passability checks belong to the grid, not here, so this
+    helper stays allocation-light for the inner search loops.
+    """
+    x, y = cell
+    yield x + 1, y
+    yield x - 1, y
+    yield x, y + 1
+    yield x, y - 1

@@ -1,0 +1,25 @@
+"""Warehouse substrate: grid, layout, entities, state, and KNN index."""
+
+from .entities import (Item, Picker, Rack, RackPhase, Robot, RobotState)
+from .grid import Grid
+from .knn import StaticRackKNN
+from .layout import PICKING_AREA_HEIGHT, WarehouseLayout, build_layout
+from .render import occupancy_counts, render_state
+from .state import WarehouseState
+
+__all__ = [
+    "Grid",
+    "Item",
+    "PICKING_AREA_HEIGHT",
+    "Picker",
+    "Rack",
+    "RackPhase",
+    "Robot",
+    "RobotState",
+    "StaticRackKNN",
+    "WarehouseLayout",
+    "WarehouseState",
+    "build_layout",
+    "occupancy_counts",
+    "render_state",
+]

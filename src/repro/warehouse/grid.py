@@ -1,0 +1,132 @@
+"""The warehouse grid: bounds, passability, and distance primitives.
+
+The paper partitions the warehouse into unit cells the size of a robot
+(Sec. II) and plans on the induced 4-connected graph.  ``Grid`` is the
+single source of truth for which cells exist and which are blocked
+(structural obstacles such as walls or pillars — racks themselves are *not*
+obstacles because robots travel beneath them in rack-to-picker systems).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, List, Optional, Set
+
+import numpy as np
+
+from ..errors import InvalidLocationError
+from ..types import Cell, manhattan
+
+
+class Grid:
+    """A bounded 4-connected grid with optional blocked cells.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions; cells are ``(x, y)`` with ``0 <= x < width`` and
+        ``0 <= y < height``.
+    blocked:
+        Cells robots may never occupy (walls, pillars).  Iterable of cells.
+    """
+
+    __slots__ = ("width", "height", "_blocked")
+
+    def __init__(self, width: int, height: int,
+                 blocked: Optional[Iterable[Cell]] = None) -> None:
+        if width <= 0 or height <= 0:
+            raise InvalidLocationError(
+                f"grid dimensions must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._blocked: Set[Cell] = set(blocked) if blocked else set()
+        for cell in self._blocked:
+            if not self.in_bounds(cell):
+                raise InvalidLocationError(f"blocked cell {cell} is out of bounds")
+
+    # -- basic queries ----------------------------------------------------
+
+    def in_bounds(self, cell: Cell) -> bool:
+        """Whether ``cell`` lies inside the grid rectangle."""
+        x, y = cell
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def passable(self, cell: Cell) -> bool:
+        """Whether a robot may occupy ``cell`` (in bounds and not blocked)."""
+        return self.in_bounds(cell) and cell not in self._blocked
+
+    def require_passable(self, cell: Cell) -> None:
+        """Raise :class:`InvalidLocationError` unless ``cell`` is passable."""
+        if not self.passable(cell):
+            raise InvalidLocationError(f"cell {cell} is not passable")
+
+    @property
+    def blocked_cells(self) -> frozenset:
+        """The blocked cells as an immutable set."""
+        return frozenset(self._blocked)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells, blocked or not (H·W of the paper)."""
+        return self.width * self.height
+
+    def neighbours(self, cell: Cell) -> Iterator[Cell]:
+        """Yield passable cardinal neighbours of ``cell``."""
+        x, y = cell
+        for nxt in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if self.passable(nxt):
+                yield nxt
+
+    def cells(self) -> Iterator[Cell]:
+        """Yield every passable cell, row-major."""
+        for y in range(self.height):
+            for x in range(self.width):
+                if (x, y) not in self._blocked:
+                    yield (x, y)
+
+    # -- distances ---------------------------------------------------------
+
+    def manhattan(self, a: Cell, b: Cell) -> int:
+        """Manhattan distance (ignores obstacles)."""
+        return manhattan(a, b)
+
+    def bfs_distances(self, source: Cell) -> np.ndarray:
+        """True shortest-path distances from ``source`` to every cell.
+
+        Returns a ``(width, height)`` int32 array with ``-1`` marking
+        unreachable cells.  Used to build exact heuristics and the
+        shortest-path cache; O(HW) per call.
+        """
+        self.require_passable(source)
+        dist = np.full((self.width, self.height), -1, dtype=np.int32)
+        dist[source] = 0
+        frontier: deque = deque((source,))
+        while frontier:
+            cell = frontier.popleft()
+            d = dist[cell] + 1
+            for nxt in self.neighbours(cell):
+                if dist[nxt] < 0:
+                    dist[nxt] = d
+                    frontier.append(nxt)
+        return dist
+
+    def connected(self, a: Cell, b: Cell) -> bool:
+        """Whether a path exists between two passable cells."""
+        if not (self.passable(a) and self.passable(b)):
+            return False
+        return bool(self.bfs_distances(a)[b] >= 0)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Grid({self.width}x{self.height}, "
+                f"{len(self._blocked)} blocked)")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return (self.width == other.width and self.height == other.height
+                and self._blocked == other._blocked)
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.height, frozenset(self._blocked)))

@@ -1,0 +1,88 @@
+"""Static K-nearest-racks index for flip requesting (paper Sec. VI-A).
+
+Rack home locations are fixed, so "the K racks closest to any given cell"
+is a static structure.  EATP flips the requesting side: instead of sorting
+all racks by value and matching robots to them, it walks the idle robots
+and probes only each robot's K closest racks — turning an
+O(|R| log |R|) selection into an O(|A|·K) one.
+
+The index answers by *home* cell.  A rack that is currently in transit is
+simply skipped by the caller; its slot is not re-used, matching the paper's
+"static and easy to maintain" description.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Cell, manhattan
+
+
+class StaticRackKNN:
+    """Precomputed K closest racks for every grid cell.
+
+    Parameters
+    ----------
+    rack_homes:
+        Home cell per rack (index = rack id).
+    width, height:
+        Grid dimensions the index covers.
+    k:
+        How many closest racks to precompute per cell.
+
+    Notes
+    -----
+    Distances are Manhattan, matching the unobstructed default layouts; on
+    grids with blocked cells the true distance can exceed Manhattan, but the
+    index is only used to *shortlist* candidates, so admissibility is not
+    required.  Memory is O(H·W·K) int32, comfortably below the
+    spatiotemporal structures it helps avoid.
+    """
+
+    def __init__(self, rack_homes: Sequence[Cell], width: int, height: int,
+                 k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if not rack_homes:
+            raise ConfigurationError("need at least one rack to index")
+        self.k = min(k, len(rack_homes))
+        self.width = width
+        self.height = height
+        self._homes = np.array(rack_homes, dtype=np.int64)  # (n_racks, 2)
+
+        xs = np.arange(width, dtype=np.int64)
+        ys = np.arange(height, dtype=np.int64)
+        # dist[x, y, r] = |x - hx_r| + |y - hy_r|, built without a Python loop.
+        dx = np.abs(xs[:, None] - self._homes[:, 0][None, :])   # (W, R)
+        dy = np.abs(ys[:, None] - self._homes[:, 1][None, :])   # (H, R)
+        dist = dx[:, None, :] + dy[None, :, :]                  # (W, H, R)
+        order = np.argsort(dist, axis=2, kind="stable")[:, :, :self.k]
+        dtype = np.int16 if len(rack_homes) < 2 ** 15 else np.int32
+        self._nearest = order.astype(dtype)                     # (W, H, k)
+
+    def nearest(self, cell: Cell) -> List[int]:
+        """Rack ids of the K racks closest to ``cell``, nearest first."""
+        x, y = cell
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigurationError(f"cell {cell} outside indexed area")
+        return [int(r) for r in self._nearest[x, y]]
+
+    def nearest_where(self, cell: Cell,
+                      predicate: Callable[[int], bool]) -> Optional[int]:
+        """First of the K closest racks satisfying ``predicate``, or None.
+
+        This is the flip-requesting probe: EATP calls it with
+        "rack is selectable and not yet claimed this timestamp".
+        """
+        x, y = cell
+        for rack_id in self._nearest[x, y]:
+            if predicate(int(rack_id)):
+                return int(rack_id)
+        return None
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the index (for the MC metric)."""
+        return int(self._nearest.nbytes + self._homes.nbytes)

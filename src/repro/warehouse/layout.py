@@ -1,0 +1,176 @@
+"""Warehouse layout generation.
+
+Builds the 2-D rack-to-picker layout of the paper's Fig. 2: a storage area
+filled with rack blocks separated by travel aisles, and a picking area along
+the bottom edge where the picker stations sit.  The generator is fully
+parametric so the Table II datasets (and their scaled-down versions) are all
+instances of the same builder.
+
+A layout is *data*: it records the grid, rack home cells, and picker
+locations.  Entity objects are materialised from it by
+:func:`~repro.warehouse.state.WarehouseState.from_layout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import LayoutError
+from ..types import Cell
+from .grid import Grid
+
+#: Height (in cells) reserved for the picking area at the bottom of the grid.
+PICKING_AREA_HEIGHT = 3
+
+
+@dataclass(frozen=True)
+class WarehouseLayout:
+    """An immutable description of a warehouse floor.
+
+    Attributes
+    ----------
+    grid:
+        The passability grid (no structural obstacles by default — rack
+        cells stay passable because robots drive beneath racks).
+    rack_homes:
+        Home cell of each rack, index = rack id.
+    picker_locations:
+        Cell of each picker station, index = picker id.
+    """
+
+    grid: Grid
+    rack_homes: Tuple[Cell, ...]
+    picker_locations: Tuple[Cell, ...]
+
+    @property
+    def n_racks(self) -> int:
+        """Number of rack home cells."""
+        return len(self.rack_homes)
+
+    @property
+    def n_pickers(self) -> int:
+        """Number of picker stations."""
+        return len(self.picker_locations)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`LayoutError` on failure.
+
+        Invariants: all cells passable and in-bounds, no two racks share a
+        home, no rack home inside the picking area, at least one picker.
+        """
+        if not self.picker_locations:
+            raise LayoutError("a warehouse needs at least one picker")
+        if not self.rack_homes:
+            raise LayoutError("a warehouse needs at least one rack")
+        seen = set()
+        for home in self.rack_homes:
+            if not self.grid.passable(home):
+                raise LayoutError(f"rack home {home} is not passable")
+            if home in seen:
+                raise LayoutError(f"duplicate rack home {home}")
+            seen.add(home)
+        for loc in self.picker_locations:
+            if not self.grid.passable(loc):
+                raise LayoutError(f"picker location {loc} is not passable")
+        picker_set = set(self.picker_locations)
+        if len(picker_set) != len(self.picker_locations):
+            raise LayoutError("duplicate picker locations")
+        overlap = seen & picker_set
+        if overlap:
+            raise LayoutError(f"rack homes overlap picker stations: {sorted(overlap)}")
+
+
+def build_layout(width: int, height: int, n_racks: int, n_pickers: int,
+                 block_width: int = 4, block_height: int = 2,
+                 aisle: int = 1) -> WarehouseLayout:
+    """Build a rack-to-picker layout in the style of the paper's Fig. 2.
+
+    The storage area occupies everything above the picking strip.  Racks are
+    placed in ``block_width`` × ``block_height`` blocks separated by
+    ``aisle``-wide travel lanes, filled row-major from the top-left until
+    ``n_racks`` homes are placed.  Pickers are spread evenly along the
+    bottom row of the grid.
+
+    Parameters
+    ----------
+    width, height:
+        Overall grid dimensions (the paper's W and H).
+    n_racks:
+        Number of rack home cells to place.
+    n_pickers:
+        Number of picker stations along the bottom edge.
+    block_width, block_height:
+        Shape of each rack block in cells.
+    aisle:
+        Width of the travel aisles between blocks, in cells.
+
+    Raises
+    ------
+    LayoutError
+        If the storage area cannot host ``n_racks`` racks or the bottom
+        edge cannot host ``n_pickers`` pickers.
+    """
+    if width < 4 or height < PICKING_AREA_HEIGHT + 3:
+        raise LayoutError(
+            f"grid {width}x{height} too small for a rack-to-picker layout")
+    if n_pickers < 1:
+        raise LayoutError("need at least one picker")
+    if n_pickers > width:
+        raise LayoutError(
+            f"cannot place {n_pickers} pickers on a bottom edge of width {width}")
+    if block_width < 1 or block_height < 1 or aisle < 1:
+        raise LayoutError("block dimensions and aisle width must be >= 1")
+
+    grid = Grid(width, height)
+    rack_homes = _place_rack_blocks(width, height, n_racks,
+                                    block_width, block_height, aisle)
+    picker_locations = _place_pickers(width, height, n_pickers)
+    layout = WarehouseLayout(grid=grid,
+                             rack_homes=tuple(rack_homes),
+                             picker_locations=tuple(picker_locations))
+    layout.validate()
+    return layout
+
+
+def _place_rack_blocks(width: int, height: int, n_racks: int,
+                       block_width: int, block_height: int,
+                       aisle: int) -> List[Cell]:
+    """Fill the storage area with rack blocks, returning ``n_racks`` homes."""
+    homes: List[Cell] = []
+    # Leave an aisle along every border of the storage area so that any rack
+    # is reachable from any side.
+    y = aisle
+    storage_bottom = height - PICKING_AREA_HEIGHT - 1
+    while y + block_height - 1 <= storage_bottom - aisle and len(homes) < n_racks:
+        x = aisle
+        while x + block_width - 1 <= width - 1 - aisle and len(homes) < n_racks:
+            for dy in range(block_height):
+                for dx in range(block_width):
+                    if len(homes) < n_racks:
+                        homes.append((x + dx, y + dy))
+            x += block_width + aisle
+        y += block_height + aisle
+    if len(homes) < n_racks:
+        raise LayoutError(
+            f"storage area of {width}x{height} grid fits only {len(homes)} "
+            f"racks (requested {n_racks}); enlarge the grid or shrink blocks")
+    return homes
+
+
+def _place_pickers(width: int, height: int, n_pickers: int) -> List[Cell]:
+    """Spread picker stations evenly along the bottom row."""
+    y = height - 1
+    if n_pickers == 1:
+        return [(width // 2, y)]
+    step = (width - 1) / (n_pickers - 1)
+    xs = sorted({min(width - 1, round(i * step)) for i in range(n_pickers)})
+    # Rounding can collide stations on narrow grids; fall back to distinct
+    # leftmost cells in that case.
+    while len(xs) < n_pickers:
+        for x in range(width):
+            if x not in xs:
+                xs.append(x)
+                break
+        xs.sort()
+    return [(x, y) for x in xs[:n_pickers]]

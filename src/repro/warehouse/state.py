@@ -1,0 +1,163 @@
+"""The live warehouse state shared by the simulator and the planners.
+
+``WarehouseState`` owns the entity collections (racks, pickers, robots) and
+the cheap indexes planners query every timestamp: racks per picker, idle
+robots, racks with pending items.  It is the ``R``, ``P``, ``A`` triple of
+the TPRW problem statement plus the grid they live on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..types import Cell
+from .entities import Item, Picker, Rack, RackPhase, Robot, RobotState
+from .grid import Grid
+from .layout import WarehouseLayout
+
+
+@dataclass
+class WarehouseState:
+    """Mutable world state: the grid plus all entities, with integrity checks.
+
+    Construct via :meth:`from_layout`, which materialises entities from a
+    :class:`~repro.warehouse.layout.WarehouseLayout` and assigns each rack
+    to its picker round-robin (the fixed rack→picker association of Def. 1).
+    """
+
+    grid: Grid
+    racks: List[Rack]
+    pickers: List[Picker]
+    robots: List[Robot]
+    _racks_by_picker: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_layout(cls, layout: WarehouseLayout, n_robots: int,
+                    rack_to_picker: Optional[Sequence[int]] = None) -> "WarehouseState":
+        """Materialise a state from a layout.
+
+        Parameters
+        ----------
+        layout:
+            The floor plan (validated).
+        n_robots:
+            Robots to create.  They start idle, parked at the first
+            ``n_robots`` rack home cells (idling beneath racks, as deployed
+            rack-to-picker systems do).
+        rack_to_picker:
+            Optional explicit rack→picker assignment (index = rack id).
+            Defaults to round-robin, which spreads load evenly.
+        """
+        layout.validate()
+        if n_robots < 1:
+            raise SimulationError("need at least one robot")
+        if n_robots > layout.n_racks:
+            raise SimulationError(
+                f"{n_robots} robots cannot park beneath {layout.n_racks} racks")
+        if rack_to_picker is None:
+            rack_to_picker = [i % layout.n_pickers for i in range(layout.n_racks)]
+        if len(rack_to_picker) != layout.n_racks:
+            raise SimulationError(
+                "rack_to_picker must assign every rack exactly once")
+        for picker_id in rack_to_picker:
+            if not 0 <= picker_id < layout.n_pickers:
+                raise SimulationError(f"picker id {picker_id} out of range")
+
+        racks = [Rack(rack_id=i, home=home, picker_id=rack_to_picker[i])
+                 for i, home in enumerate(layout.rack_homes)]
+        pickers = [Picker(picker_id=i, location=loc)
+                   for i, loc in enumerate(layout.picker_locations)]
+        robots = [Robot(robot_id=i, location=layout.rack_homes[i])
+                  for i in range(n_robots)]
+        state = cls(grid=layout.grid, racks=racks, pickers=pickers, robots=robots)
+        state._rebuild_indexes()
+        return state
+
+    def _rebuild_indexes(self) -> None:
+        self._racks_by_picker = {p.picker_id: [] for p in self.pickers}
+        for rack in self.racks:
+            self._racks_by_picker[rack.picker_id].append(rack.rack_id)
+
+    # -- planner-facing queries ---------------------------------------------
+
+    def idle_robots(self) -> List[Robot]:
+        """The set A: robots able to accept a mission this timestamp."""
+        return [robot for robot in self.robots if robot.is_idle]
+
+    def selectable_racks(self) -> List[Rack]:
+        """Racks that are home (STORED) and carry at least one pending item."""
+        return [rack for rack in self.racks
+                if rack.phase is RackPhase.STORED and rack.has_pending]
+
+    def racks_of_picker(self, picker_id: int) -> List[Rack]:
+        """All racks associated with ``picker_id`` (fixed association)."""
+        return [self.racks[rid] for rid in self._racks_by_picker[picker_id]]
+
+    def picker_of_rack(self, rack_id: int) -> Picker:
+        """The picker a rack's items are destined to."""
+        return self.pickers[self.racks[rack_id].picker_id]
+
+    def pickers_with_work(self) -> List[Picker]:
+        """Pickers that have at least one selectable rack (Alg. 1 line 4)."""
+        out = []
+        for picker in self.pickers:
+            for rid in self._racks_by_picker[picker.picker_id]:
+                rack = self.racks[rid]
+                if rack.phase is RackPhase.STORED and rack.has_pending:
+                    out.append(picker)
+                    break
+        return out
+
+    def total_pending_items(self) -> int:
+        """Number of items that emerged but are not yet part of a batch."""
+        return sum(len(rack.pending_items) for rack in self.racks)
+
+    # -- mutation helpers used by the simulator ------------------------------
+
+    def deliver_item(self, item: Item) -> None:
+        """Register a newly arrived item on its rack (online arrival)."""
+        rack = self.racks[item.rack_id]
+        rack.pending_items.append(item)
+
+    def check_invariants(self) -> None:
+        """Validate cross-entity invariants; raise on violation.
+
+        Used by tests and (cheaply) by the simulator in debug runs:
+        - a robot in a carrying state references an existing rack;
+        - a rack IN_TRANSIT is referenced by exactly one busy robot;
+        - picker queues only contain IN_TRANSIT racks.
+        """
+        carrier_of: Dict[int, int] = {}
+        for robot in self.robots:
+            if robot.state is RobotState.IDLE:
+                if robot.rack_id is not None:
+                    raise SimulationError(
+                        f"idle robot {robot.robot_id} still references rack "
+                        f"{robot.rack_id}")
+                continue
+            if robot.rack_id is None:
+                raise SimulationError(
+                    f"busy robot {robot.robot_id} has no rack assigned")
+            if robot.rack_id in carrier_of:
+                raise SimulationError(
+                    f"rack {robot.rack_id} carried by robots "
+                    f"{carrier_of[robot.rack_id]} and {robot.robot_id}")
+            carrier_of[robot.rack_id] = robot.robot_id
+        for rack in self.racks:
+            if rack.phase is RackPhase.IN_TRANSIT and rack.rack_id not in carrier_of:
+                raise SimulationError(
+                    f"rack {rack.rack_id} is IN_TRANSIT but unowned")
+            if rack.phase is RackPhase.STORED and rack.rack_id in carrier_of:
+                raise SimulationError(
+                    f"rack {rack.rack_id} is STORED but robot "
+                    f"{carrier_of[rack.rack_id]} claims it")
+        for picker in self.pickers:
+            for rid in picker.queue:
+                if self.racks[rid].phase is not RackPhase.IN_TRANSIT:
+                    raise SimulationError(
+                        f"queued rack {rid} at picker {picker.picker_id} "
+                        f"is not IN_TRANSIT")

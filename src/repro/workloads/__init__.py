@@ -1,0 +1,23 @@
+"""Workload generation: arrival processes, scenarios, Table II datasets."""
+
+from .arrivals import (PROCESSING_TIME_RANGE, deterministic_arrivals,
+                       poisson_arrivals, surge_arrivals,
+                       uniform_processing_time)
+from .datasets import (all_datasets, make_mini, make_real_large,
+                       make_real_norm, make_syn_a, make_syn_b)
+from .scenario import Scenario
+
+__all__ = [
+    "PROCESSING_TIME_RANGE",
+    "Scenario",
+    "all_datasets",
+    "deterministic_arrivals",
+    "make_mini",
+    "make_real_large",
+    "make_real_norm",
+    "make_syn_a",
+    "make_syn_b",
+    "poisson_arrivals",
+    "surge_arrivals",
+    "uniform_processing_time",
+]

@@ -1,0 +1,68 @@
+"""Scenario: a reproducible (layout, fleet, workload) bundle.
+
+A scenario is *data*; :meth:`Scenario.build` materialises a fresh
+:class:`~repro.warehouse.state.WarehouseState` plus the item stream every
+time it is called, so each planner in a comparison starts from an
+identical, untouched world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..warehouse.entities import Item
+from ..warehouse.layout import WarehouseLayout, build_layout
+from ..warehouse.state import WarehouseState
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible experiment input.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as reported in tables (e.g. ``"Syn-A"``).
+    width, height:
+        Grid dimensions.
+    n_racks, n_pickers, n_robots:
+        Entity counts.
+    items_factory:
+        Zero-argument callable producing the item stream; must be
+        deterministic (seeded) so planners compare on identical inputs.
+    description:
+        One-line provenance note for reports.
+    """
+
+    name: str
+    width: int
+    height: int
+    n_racks: int
+    n_pickers: int
+    n_robots: int
+    items_factory: Callable[[], List[Item]]
+    description: str = ""
+
+    def layout(self) -> WarehouseLayout:
+        """Build the floor plan for this scenario."""
+        return build_layout(self.width, self.height,
+                            n_racks=self.n_racks, n_pickers=self.n_pickers)
+
+    def build(self) -> Tuple[WarehouseState, List[Item]]:
+        """Materialise a fresh world and its workload."""
+        state = WarehouseState.from_layout(self.layout(), self.n_robots)
+        items = self.items_factory()
+        if not items:
+            raise ValueError(f"scenario {self.name} produced no items")
+        max_rack = max(item.rack_id for item in items)
+        if max_rack >= self.n_racks:
+            raise ValueError(
+                f"scenario {self.name}: item references rack {max_rack} "
+                f"but only {self.n_racks} racks exist")
+        return state, items
+
+    @property
+    def n_items(self) -> int:
+        """Workload size (materialises the stream once)."""
+        return len(self.items_factory())

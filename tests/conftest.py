@@ -1,0 +1,69 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlannerConfig, QLearningConfig, SimulationConfig
+from repro.warehouse.grid import Grid
+from repro.warehouse.layout import build_layout
+from repro.warehouse.state import WarehouseState
+from repro.workloads.arrivals import deterministic_arrivals
+from repro.workloads.datasets import make_mini
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A 10×8 open grid."""
+    return Grid(10, 8)
+
+
+@pytest.fixture
+def blocked_grid() -> Grid:
+    """A 10×8 grid with a vertical wall leaving one gap at y=6."""
+    wall = [(5, y) for y in range(0, 6)]
+    return Grid(10, 8, blocked=wall)
+
+
+@pytest.fixture
+def small_layout():
+    """A compact layout: 16×12, 8 racks, 2 pickers."""
+    return build_layout(16, 12, n_racks=8, n_pickers=2)
+
+
+@pytest.fixture
+def small_state(small_layout) -> WarehouseState:
+    """A world over ``small_layout`` with 2 robots."""
+    return WarehouseState.from_layout(small_layout, n_robots=2)
+
+
+@pytest.fixture
+def mini_scenario():
+    """The seconds-fast smoke scenario."""
+    return make_mini(n_items=40)
+
+
+@pytest.fixture
+def fast_sim_config() -> SimulationConfig:
+    """A simulation config with a tight tick budget for unit tests."""
+    return SimulationConfig(max_ticks=50_000)
+
+
+@pytest.fixture
+def quiet_learner_config() -> PlannerConfig:
+    """Adaptive planner config with exploration turned down (determinism)."""
+    return PlannerConfig(qlearning=QLearningConfig(delta=0.05, epsilon=0.02))
+
+
+def make_two_picker_state(n_racks: int = 6, n_robots: int = 2) -> WarehouseState:
+    """Helper used by planner tests: a small, fully deterministic world."""
+    layout = build_layout(16, 12, n_racks=n_racks, n_pickers=2)
+    return WarehouseState.from_layout(layout, n_robots=n_robots)
+
+
+def drip_items(rack_ids, start: int = 0, spacing: int = 1,
+               processing: int = 5):
+    """Items arriving one per ``spacing`` ticks across ``rack_ids``."""
+    schedule = [(start + i * spacing, rack_id)
+                for i, rack_id in enumerate(rack_ids)]
+    return deterministic_arrivals(schedule, processing_time=processing)

@@ -1,0 +1,138 @@
+"""Unit tests for the arrival processes and dataset generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (PROCESSING_TIME_RANGE,
+                                      deterministic_arrivals,
+                                      poisson_arrivals, surge_arrivals)
+from repro.workloads.datasets import (all_datasets, make_mini,
+                                      make_real_large, make_real_norm,
+                                      make_syn_a, make_syn_b)
+
+
+class TestPoissonArrivals:
+    def test_count_and_fields(self):
+        items = poisson_arrivals(n_items=200, n_racks=10, rate=0.5, seed=1)
+        assert len(items) == 200
+        assert all(0 <= item.rack_id < 10 for item in items)
+        low, high = PROCESSING_TIME_RANGE
+        assert all(low <= item.processing_time <= high for item in items)
+
+    def test_arrivals_non_decreasing(self):
+        items = poisson_arrivals(n_items=200, n_racks=10, rate=0.5, seed=1)
+        arrivals = [item.arrival for item in items]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(100, 5, 0.5, seed=7)
+        b = poisson_arrivals(100, 5, 0.5, seed=7)
+        assert a == b
+        c = poisson_arrivals(100, 5, 0.5, seed=8)
+        assert a != c
+
+    def test_rate_controls_span(self):
+        slow = poisson_arrivals(500, 5, rate=0.2, seed=1)
+        fast = poisson_arrivals(500, 5, rate=2.0, seed=1)
+        assert fast[-1].arrival < slow[-1].arrival
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_items=0, n_racks=5, rate=0.5, seed=1),
+        dict(n_items=5, n_racks=0, rate=0.5, seed=1),
+        dict(n_items=5, n_racks=5, rate=0.0, seed=1),
+    ])
+    def test_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(**kwargs)
+
+
+class TestSurgeArrivals:
+    def test_count(self):
+        items = surge_arrivals(300, 20, base_rate=0.2, peak_rate=1.5,
+                               ramp_fraction=0.25, seed=2)
+        assert len(items) == 300
+
+    def test_peak_is_denser_than_tails(self):
+        items = surge_arrivals(900, 20, base_rate=0.2, peak_rate=2.0,
+                               ramp_fraction=0.25, seed=2)
+        warm = items[224].arrival - items[0].arrival
+        peak = items[674].arrival - items[225].arrival
+        # Twice the items in the peak window, far less time per item.
+        assert peak / 450 < warm / 225
+
+    def test_zipf_concentrates_load(self):
+        items = surge_arrivals(2000, 50, base_rate=0.5, peak_rate=2.0,
+                               ramp_fraction=0.25, seed=3)
+        counts = {}
+        for item in items:
+            counts[item.rack_id] = counts.get(item.rack_id, 0) + 1
+        top = max(counts.values())
+        assert top > 2000 / 50  # hottest rack above uniform share
+
+    def test_rejects_bad_ramp(self):
+        with pytest.raises(ConfigurationError):
+            surge_arrivals(10, 5, 0.5, 1.0, ramp_fraction=0.6, seed=1)
+
+    def test_rejects_peak_below_base(self):
+        with pytest.raises(ConfigurationError):
+            surge_arrivals(10, 5, 1.0, 0.5, ramp_fraction=0.25, seed=1)
+
+
+class TestDeterministicArrivals:
+    def test_schedule_respected(self):
+        items = deterministic_arrivals([(5, 2), (9, 0)], processing_time=7)
+        assert items[0].arrival == 5 and items[0].rack_id == 2
+        assert items[1].processing_time == 7
+        assert [i.item_id for i in items] == [0, 1]
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("factory", [make_syn_a, make_syn_b,
+                                         make_real_norm, make_real_large,
+                                         make_mini])
+    def test_scenarios_build(self, factory):
+        scenario = factory() if factory is not make_mini else factory(n_items=20)
+        state, items = scenario.build()
+        assert len(state.racks) == scenario.n_racks
+        assert len(state.robots) == scenario.n_robots
+        assert items
+
+    def test_all_datasets_has_paper_names(self):
+        names = list(all_datasets())
+        assert names == ["Syn-A", "Syn-B", "Real-Norm", "Real-Large"]
+
+    def test_scale_shrinks_items(self):
+        full = make_syn_a(1.0)
+        half = make_syn_a(0.5)
+        assert half.n_items < full.n_items
+
+    def test_workload_identical_across_builds(self):
+        scenario = make_syn_a(0.2)
+        _, items_a = scenario.build()
+        _, items_b = scenario.build()
+        assert items_a == items_b
+
+    def test_syn_b_denser_than_syn_a(self):
+        # The paper's Syn-B: more items on fewer racks.
+        a, b = make_syn_a(), make_syn_b()
+        assert b.n_items / b.n_racks > a.n_items / a.n_racks
+
+
+class TestScenarioValidation:
+    def test_rejects_item_referencing_missing_rack(self):
+        from repro.workloads.scenario import Scenario
+        from repro.warehouse.entities import Item
+        scenario = Scenario(
+            name="bad", width=16, height=12, n_racks=2, n_pickers=1,
+            n_robots=1,
+            items_factory=lambda: [Item(0, 5, 0, 3)])
+        with pytest.raises(ValueError):
+            scenario.build()
+
+    def test_rejects_empty_workload(self):
+        from repro.workloads.scenario import Scenario
+        scenario = Scenario(
+            name="empty", width=16, height=12, n_racks=2, n_pickers=1,
+            n_robots=1, items_factory=list)
+        with pytest.raises(ValueError):
+            scenario.build()

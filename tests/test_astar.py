@@ -1,0 +1,88 @@
+"""Unit tests for spatial A* and the heuristics module."""
+
+import pytest
+
+from repro.errors import PathNotFoundError
+from repro.pathfinding.astar import shortest_distance, shortest_path
+from repro.pathfinding.heuristics import (HeuristicCache, manhattan_heuristic,
+                                          true_distance_heuristic)
+from repro.types import manhattan
+from repro.warehouse.grid import Grid
+
+
+class TestShortestPath:
+    def test_trivial_same_cell(self, small_grid):
+        assert shortest_path(small_grid, (3, 3), (3, 3)) == [(3, 3)]
+
+    def test_length_equals_manhattan_on_open_grid(self, small_grid):
+        path = shortest_path(small_grid, (0, 0), (9, 7))
+        assert len(path) - 1 == manhattan((0, 0), (9, 7))
+
+    def test_consecutive_steps_adjacent(self, small_grid):
+        path = shortest_path(small_grid, (0, 0), (7, 5))
+        for a, b in zip(path, path[1:]):
+            assert manhattan(a, b) == 1
+
+    def test_detours_around_wall(self, blocked_grid):
+        path = shortest_path(blocked_grid, (4, 0), (6, 0))
+        assert len(path) - 1 > manhattan((4, 0), (6, 0))
+        assert all(blocked_grid.passable(cell) for cell in path)
+
+    def test_raises_when_disconnected(self):
+        grid = Grid(5, 3, blocked=[(2, y) for y in range(3)])
+        with pytest.raises(PathNotFoundError):
+            shortest_path(grid, (0, 0), (4, 0))
+
+    def test_with_true_distance_heuristic_same_length(self, blocked_grid):
+        h = true_distance_heuristic(blocked_grid, (6, 0))
+        with_h = shortest_path(blocked_grid, (4, 0), (6, 0), heuristic=h)
+        without = shortest_path(blocked_grid, (4, 0), (6, 0))
+        assert len(with_h) == len(without)
+
+    def test_endpoints(self, small_grid):
+        path = shortest_path(small_grid, (2, 2), (8, 6))
+        assert path[0] == (2, 2)
+        assert path[-1] == (8, 6)
+
+
+class TestShortestDistance:
+    def test_matches_bfs(self, blocked_grid):
+        bfs = blocked_grid.bfs_distances((0, 0))
+        for goal in [(9, 7), (6, 0), (5, 6)]:
+            assert shortest_distance(blocked_grid, (0, 0), goal) == bfs[goal]
+
+
+class TestHeuristics:
+    def test_manhattan_heuristic(self):
+        h = manhattan_heuristic((5, 5))
+        assert h((5, 5)) == 0
+        assert h((0, 0)) == 10
+
+    def test_true_distance_admissible_and_exact(self, blocked_grid):
+        h = true_distance_heuristic(blocked_grid, (6, 0))
+        assert h((6, 0)) == 0
+        assert h((4, 0)) == shortest_distance(blocked_grid, (4, 0), (6, 0))
+
+    def test_true_distance_unreachable_is_big(self):
+        grid = Grid(5, 3, blocked=[(2, y) for y in range(3)])
+        h = true_distance_heuristic(grid, (4, 0))
+        assert h((0, 0)) > grid.n_cells
+
+    def test_cache_reuses_tables(self, small_grid):
+        cache = HeuristicCache(small_grid)
+        cache.heuristic((5, 5))
+        cache.heuristic((5, 5))
+        assert len(cache) == 1
+        cache.heuristic((1, 1))
+        assert len(cache) == 2
+
+    def test_cache_distance(self, blocked_grid):
+        cache = HeuristicCache(blocked_grid)
+        assert cache.distance((4, 0), (6, 0)) == shortest_distance(
+            blocked_grid, (4, 0), (6, 0))
+
+    def test_cache_memory_grows(self, small_grid):
+        cache = HeuristicCache(small_grid)
+        empty = cache.memory_bytes()
+        cache.heuristic((5, 5))
+        assert cache.memory_bytes() > empty

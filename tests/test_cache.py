@@ -1,0 +1,103 @@
+"""Unit tests for the shortest-path cache and wait-based finisher."""
+
+import pytest
+
+from repro.pathfinding.cache import (ShortestPathCache, follow_with_waits,
+                                     make_wait_finisher)
+from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.conflicts import is_conflict_free
+from repro.pathfinding.paths import Path
+from repro.types import manhattan
+from repro.warehouse.grid import Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid(12, 10)
+
+
+class TestShortestPathCache:
+    def test_rejects_negative_threshold(self, grid):
+        with pytest.raises(ValueError):
+            ShortestPathCache(grid, -1)
+
+    def test_beyond_threshold_returns_none(self, grid):
+        cache = ShortestPathCache(grid, threshold=3)
+        assert cache.lookup((0, 0), (9, 9)) is None
+        assert cache.misses == 0
+
+    def test_lookup_returns_shortest(self, grid):
+        cache = ShortestPathCache(grid, threshold=10)
+        cells = cache.lookup((0, 0), (3, 2))
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (3, 2)
+        assert len(cells) - 1 == manhattan((0, 0), (3, 2))
+
+    def test_hit_counting(self, grid):
+        cache = ShortestPathCache(grid, threshold=10)
+        first = cache.lookup((0, 0), (3, 2))
+        second = cache.lookup((0, 0), (3, 2))
+        assert first == second
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_roundtrip_packing(self, grid):
+        cache = ShortestPathCache(grid, threshold=12)
+        original = cache.lookup((1, 1), (7, 5))
+        decoded = cache.lookup((1, 1), (7, 5))
+        assert original == decoded
+
+    def test_memory_counts_blobs(self, grid):
+        cache = ShortestPathCache(grid, threshold=10)
+        empty = cache.memory_bytes()
+        cache.lookup((0, 0), (5, 5))
+        assert cache.memory_bytes() > empty
+
+
+class TestFollowWithWaits:
+    def test_no_conflicts_no_waits(self):
+        cdt = ConflictDetectionTable()
+        steps = follow_with_waits(cdt, ((0, 0), (1, 0), (2, 0)), 5)
+        assert steps == [(5, 0, 0), (6, 1, 0), (7, 2, 0)]
+
+    def test_waits_out_transient_conflict(self):
+        cdt = ConflictDetectionTable()
+        cdt.reserve_path(Path.from_cells([(1, 0), (1, 0)], start_time=0))
+        steps = follow_with_waits(cdt, ((0, 0), (1, 0), (2, 0)), 0)
+        path = Path(tuple(steps))
+        assert path.goal == (2, 0)
+        assert path.duration > 2  # at least one wait inserted
+        blocked = Path.from_cells([(1, 0), (1, 0)], start_time=0)
+        assert is_conflict_free([path, blocked])
+
+    def test_gives_up_when_wait_budget_exhausted(self):
+        cdt = ConflictDetectionTable()
+        cdt.reserve_path(Path.waiting((1, 0), 0, 200))
+        steps = follow_with_waits(cdt, ((0, 0), (1, 0)), 0,
+                                  max_wait_per_step=4)
+        assert steps is None
+
+    def test_gives_up_when_holding_cell_reserved(self):
+        cdt = ConflictDetectionTable()
+        # Next cell blocked at t=1 and our holding cell reserved at t=1.
+        cdt.reserve_path(Path.from_cells([(1, 0), (1, 0)], start_time=0))
+        cdt.reserve_path(Path.from_cells([(0, 1), (0, 0)], start_time=0))
+        steps = follow_with_waits(cdt, ((0, 0), (1, 0)), 0)
+        assert steps is None
+
+
+class TestMakeWaitFinisher:
+    def test_finisher_integrates_with_cache(self, grid):
+        cdt = ConflictDetectionTable()
+        cache = ShortestPathCache(grid, threshold=8)
+        finisher = make_wait_finisher(cache, (4, 0), cdt)
+        steps = finisher((0, 0), 10)
+        assert steps[0] == (10, 0, 0)
+        assert steps[-1][1:] == (4, 0)
+
+    def test_finisher_none_beyond_threshold(self, grid):
+        cdt = ConflictDetectionTable()
+        cache = ShortestPathCache(grid, threshold=2)
+        finisher = make_wait_finisher(cache, (9, 9), cdt)
+        assert finisher((0, 0), 0) is None

@@ -1,0 +1,24 @@
+"""Tests for the ``python -m repro`` dispatcher."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDispatcher:
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig13" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_badcase_runs(self, capsys):
+        assert main(["badcase", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Bad case k=3" in out

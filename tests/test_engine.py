@@ -1,0 +1,149 @@
+"""Unit and behavioural tests for the simulation engine."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.planners import NaiveTaskPlanner
+from repro.sim.engine import Simulation
+from repro.sim.missions import MissionStage
+from repro.warehouse.entities import Item, RackPhase, RobotState
+from repro.warehouse.layout import build_layout
+from repro.warehouse.state import WarehouseState
+
+from tests.conftest import make_two_picker_state
+
+
+def one_item_world(processing=4):
+    state = make_two_picker_state(n_racks=6, n_robots=1)
+    items = [Item(0, 5, arrival=0, processing_time=processing)]
+    return state, items
+
+
+class TestConstruction:
+    def test_rejects_foreign_planner(self):
+        state_a = make_two_picker_state()
+        state_b = make_two_picker_state()
+        planner = NaiveTaskPlanner(state_a)
+        with pytest.raises(SimulationError):
+            Simulation(state_b, planner, [Item(0, 0, 0, 1)])
+
+    def test_rejects_empty_workload(self):
+        state = make_two_picker_state()
+        with pytest.raises(SimulationError):
+            Simulation(state, NaiveTaskPlanner(state), [])
+
+
+class TestSingleMission:
+    def test_full_cycle_completes(self):
+        state, items = one_item_world()
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert result.metrics.items_processed == 1
+        assert result.metrics.missions_completed == 1
+        assert result.missions[0].stage is MissionStage.DONE
+
+    def test_rack_returns_home(self):
+        state, items = one_item_world()
+        home = state.racks[5].home
+        Simulation(state, NaiveTaskPlanner(state), items).run()
+        rack = state.racks[5]
+        assert rack.phase is RackPhase.STORED
+        assert rack.home == home
+        assert rack.last_return > 0
+
+    def test_robot_ends_idle_at_rack_home(self):
+        state, items = one_item_world()
+        Simulation(state, NaiveTaskPlanner(state), items).run()
+        robot = state.robots[0]
+        assert robot.state is RobotState.IDLE
+        assert robot.rack_id is None
+        assert robot.location == state.racks[5].home
+
+    def test_makespan_covers_full_cycle(self):
+        state, items = one_item_world(processing=4)
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        rack = state.racks[5]
+        picker = state.pickers[rack.picker_id]
+        # Lower bound: delivery + processing + return (pickup may be 0).
+        from repro.types import manhattan
+        d = manhattan(rack.home, picker.location)
+        assert result.metrics.makespan >= 2 * d + 4
+
+    def test_state_invariants_hold_after_run(self):
+        state, items = one_item_world()
+        Simulation(state, NaiveTaskPlanner(state), items).run()
+        state.check_invariants()
+
+
+class TestBatching:
+    def test_items_waiting_on_same_rack_processed_in_one_batch(self):
+        state = make_two_picker_state(n_racks=6, n_robots=1)
+        items = [Item(i, 5, arrival=0, processing_time=3) for i in range(4)]
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert result.metrics.missions_completed == 1
+        assert result.missions[0].n_items == 4
+
+    def test_late_item_needs_second_mission(self):
+        state = make_two_picker_state(n_racks=6, n_robots=1)
+        items = [Item(0, 5, arrival=0, processing_time=3),
+                 Item(1, 5, arrival=500, processing_time=3)]
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert result.metrics.missions_completed == 2
+
+
+class TestAccounting:
+    def test_busy_ticks_accumulate(self):
+        state, items = one_item_world()
+        Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert state.robots[0].busy_ticks > 0
+        picker = state.pickers[state.racks[5].picker_id]
+        assert picker.busy_ticks == 4  # exactly the processing time
+
+    def test_checkpoints_recorded(self):
+        state = make_two_picker_state(n_racks=6, n_robots=2)
+        items = [Item(i, i % 6, arrival=i * 3, processing_time=3)
+                 for i in range(20)]
+        config = SimulationConfig(metrics_checkpoints=5)
+        result = Simulation(state, NaiveTaskPlanner(state), items,
+                            config).run()
+        assert len(result.metrics.checkpoints) == 5
+        counts = [c.items_processed for c in result.metrics.checkpoints]
+        assert counts == sorted(counts)
+
+    def test_trace_recorded_when_enabled(self):
+        state, items = one_item_world()
+        config = SimulationConfig(record_bottleneck_trace=True)
+        result = Simulation(state, NaiveTaskPlanner(state), items,
+                            config).run()
+        assert result.trace is not None
+        assert len(result.trace) > 0
+
+    def test_trace_absent_by_default(self):
+        state, items = one_item_world()
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert result.trace is None
+
+    def test_paths_collected_when_enabled(self):
+        state, items = one_item_world()
+        config = SimulationConfig(collect_paths=True)
+        result = Simulation(state, NaiveTaskPlanner(state), items,
+                            config).run()
+        # One mission = pickup + delivery + return legs.
+        assert len(result.paths) == 3
+        assert len(result.path_owners) == 3
+
+
+class TestGuards:
+    def test_max_ticks_guard_fires(self):
+        state = make_two_picker_state(n_racks=6, n_robots=1)
+        items = [Item(0, 5, arrival=0, processing_time=1000)]
+        config = SimulationConfig(max_ticks=50)
+        with pytest.raises(SimulationError):
+            Simulation(state, NaiveTaskPlanner(state), items, config).run()
+
+    def test_items_arriving_after_long_silence_still_served(self):
+        state = make_two_picker_state(n_racks=6, n_robots=1)
+        items = [Item(0, 5, arrival=0, processing_time=3),
+                 Item(1, 2, arrival=300, processing_time=3)]
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        assert result.metrics.items_processed == 2

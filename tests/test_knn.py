@@ -1,0 +1,66 @@
+"""Unit tests for the static K-nearest-racks index (flip requesting)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import manhattan
+from repro.warehouse.knn import StaticRackKNN
+
+
+HOMES = [(1, 1), (5, 1), (9, 1), (1, 5), (5, 5), (9, 5)]
+
+
+class TestConstruction:
+    def test_rejects_k_zero(self):
+        with pytest.raises(ConfigurationError):
+            StaticRackKNN(HOMES, 12, 8, k=0)
+
+    def test_rejects_empty_homes(self):
+        with pytest.raises(ConfigurationError):
+            StaticRackKNN([], 12, 8, k=1)
+
+    def test_k_clamped_to_rack_count(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=50)
+        assert index.k == len(HOMES)
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=3)
+        for cell in [(0, 0), (6, 4), (11, 7), (5, 1)]:
+            got = index.nearest(cell)
+            expected = sorted(range(len(HOMES)),
+                              key=lambda r: (manhattan(cell, HOMES[r]),))
+            # Distances may tie; compare distance multisets.
+            got_d = [manhattan(cell, HOMES[r]) for r in got]
+            exp_d = [manhattan(cell, HOMES[r]) for r in expected[:3]]
+            assert got_d == exp_d
+
+    def test_nearest_first_is_own_cell_if_home(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=2)
+        assert index.nearest((5, 5))[0] == 4
+
+    def test_out_of_bounds_rejected(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=2)
+        with pytest.raises(ConfigurationError):
+            index.nearest((12, 0))
+
+
+class TestNearestWhere:
+    def test_returns_first_matching(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=6)
+        got = index.nearest_where((0, 0), lambda r: r >= 3)
+        # Nearest homes from (0,0): 0 (d=2), 3 (d=6), 1 (d=6)... predicate
+        # skips 0; the first accepted must be at distance >= 6.
+        assert got is not None and got >= 3
+
+    def test_returns_none_when_no_match(self):
+        index = StaticRackKNN(HOMES, 12, 8, k=3)
+        assert index.nearest_where((0, 0), lambda r: False) is None
+
+
+class TestMemory:
+    def test_memory_scales_with_k(self):
+        small = StaticRackKNN(HOMES, 12, 8, k=1)
+        large = StaticRackKNN(HOMES, 12, 8, k=6)
+        assert large.memory_bytes() > small.memory_bytes()

@@ -1,0 +1,73 @@
+"""Unit tests for the rack-selection MDP (Sec. V-A, Eq. 4)."""
+
+from repro.rl.mdp import (ACTION_REQUEST, ACTION_WAIT, RackObservation,
+                          bucketize, request_cost, reward, transition,
+                          wait_cost)
+
+
+def obs(ap=0, ar=0, fp=0, d=10, batch=30, n=1):
+    return RackObservation(picker_accumulated=ap, rack_accumulated=ar,
+                           picker_finish_time=fp, distance_to_picker=d,
+                           batch_processing_time=batch, n_pending=n)
+
+
+class TestBucketize:
+    def test_zero_state(self):
+        assert bucketize(obs(), 60) == (0, 0)
+
+    def test_bucket_boundaries(self):
+        assert bucketize(obs(ap=59, ar=60), 60) == (0, 1)
+        assert bucketize(obs(ap=60, ar=119), 60) == (1, 1)
+
+    def test_bin_width_one_is_identity(self):
+        assert bucketize(obs(ap=17, ar=23), 1) == (17, 23)
+
+
+class TestTransition:
+    def test_wait_keeps_state(self):
+        assert transition((3, 4), ACTION_WAIT, 100, 60) == (3, 4)
+
+    def test_request_advances_both_counters(self):
+        assert transition((0, 0), ACTION_REQUEST, 120, 60) == (2, 2)
+
+    def test_small_batch_may_stay_in_bucket(self):
+        assert transition((1, 1), ACTION_REQUEST, 30, 60) == (1, 1)
+
+
+class TestReward:
+    def test_eq4_transport_dominated(self):
+        # max{f_p, d} with f_p=0: the wait is the delivery distance.
+        assert reward(obs(fp=0, d=25, batch=30)) == -(25 + 30)
+
+    def test_eq4_queue_dominated(self):
+        assert reward(obs(fp=500, d=25, batch=30)) == -(500 + 30)
+
+    def test_reward_is_negative(self):
+        assert reward(obs()) < 0
+
+
+class TestDecisionCosts:
+    def test_request_cost_drops_batch_term(self):
+        assert request_cost(obs(fp=0, d=25, batch=999)) == -25
+        assert request_cost(obs(fp=500, d=25, batch=999)) == -500
+
+    def test_wait_cost_scales_with_pending(self):
+        assert wait_cost(obs(n=1), weight=10) == -10
+        assert wait_cost(obs(n=5), weight=10) == -50
+
+    def test_wait_cost_weight(self):
+        assert wait_cost(obs(n=2), weight=1) == -2
+
+    def test_loaded_rack_near_slack_picker_favours_request(self):
+        # Decision boundary: request when |τ| ≳ max{f_p, d} / weight.
+        loaded = obs(fp=0, d=20, n=5)
+        assert request_cost(loaded) > wait_cost(loaded, weight=10)
+
+    def test_empty_rack_far_away_favours_wait(self):
+        nearly_empty = obs(fp=0, d=30, n=1)
+        assert wait_cost(nearly_empty, weight=10) > request_cost(nearly_empty)
+
+    def test_busy_picker_discourages_request(self):
+        busy = obs(fp=400, d=20, n=10)
+        idle = obs(fp=0, d=20, n=10)
+        assert request_cost(busy) < request_cost(idle)

@@ -1,0 +1,77 @@
+"""Unit tests for the metrics recorder and rate formulas."""
+
+import pytest
+
+from repro.sim.metrics import (MetricsRecorder, picker_processing_rate,
+                               robot_working_rate)
+
+
+class TestRates:
+    def test_ppr_is_mean_over_pickers(self):
+        # Eq. 6: two pickers, busy 50 and 100 of 200 ticks.
+        assert picker_processing_rate([50, 100], 200) == pytest.approx(0.375)
+
+    def test_rwr_is_mean_over_robots(self):
+        assert robot_working_rate([100, 0, 50], 100) == pytest.approx(0.5)
+
+    def test_zero_elapsed_is_zero(self):
+        assert picker_processing_rate([10], 0) == 0.0
+        assert robot_working_rate([10], 0) == 0.0
+
+    def test_empty_fleet_is_zero(self):
+        assert picker_processing_rate([], 10) == 0.0
+        assert robot_working_rate([], 10) == 0.0
+
+
+class TestMetricsRecorder:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(0)
+        with pytest.raises(ValueError):
+            MetricsRecorder(10, n_checkpoints=0)
+
+    def sample(self, recorder, tick=0):
+        return recorder.maybe_checkpoint(tick=tick, ppr=0.5, rwr=0.5,
+                                         selection_seconds=0.0,
+                                         planning_seconds=0.0,
+                                         memory_bytes=100)
+
+    def test_no_checkpoint_before_threshold(self):
+        recorder = MetricsRecorder(100, n_checkpoints=10)
+        recorder.note_items_processed(9)
+        assert self.sample(recorder) is None
+
+    def test_checkpoint_on_crossing(self):
+        recorder = MetricsRecorder(100, n_checkpoints=10)
+        recorder.note_items_processed(10)
+        sample = self.sample(recorder, tick=42)
+        assert sample is not None
+        assert sample.items_processed == 10
+        assert sample.tick == 42
+
+    def test_multiple_thresholds_in_one_tick_emit_one_sample(self):
+        recorder = MetricsRecorder(100, n_checkpoints=10)
+        recorder.note_items_processed(35)
+        assert self.sample(recorder) is not None
+        assert len(recorder.samples) == 1
+
+    def test_all_checkpoints_emitted_over_run(self):
+        recorder = MetricsRecorder(100, n_checkpoints=10)
+        for _ in range(100):
+            recorder.note_items_processed(1)
+            self.sample(recorder)
+        assert len(recorder.samples) == 10
+
+    def test_peak_memory_tracked_every_call(self):
+        recorder = MetricsRecorder(100, n_checkpoints=2)
+        recorder.maybe_checkpoint(tick=0, ppr=0, rwr=0, selection_seconds=0,
+                                  planning_seconds=0, memory_bytes=500)
+        recorder.maybe_checkpoint(tick=1, ppr=0, rwr=0, selection_seconds=0,
+                                  planning_seconds=0, memory_bytes=200)
+        assert recorder.peak_memory == 500
+
+    def test_small_workload_single_checkpoint(self):
+        recorder = MetricsRecorder(3, n_checkpoints=10)
+        recorder.note_items_processed(3)
+        self.sample(recorder)
+        assert recorder.samples  # no crash on tiny workloads

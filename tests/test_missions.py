@@ -1,0 +1,75 @@
+"""Unit tests for the mission state machine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pathfinding.paths import Path
+from repro.sim.missions import Mission, MissionStage
+from repro.warehouse.entities import Item
+
+
+def mission(n_items=2, processing=5):
+    batch = [Item(i, 0, 0, processing) for i in range(n_items)]
+    path = Path.from_cells([(0, 0), (1, 0)], start_time=0)
+    return Mission(robot_id=0, rack_id=0, batch=batch, path=path)
+
+
+class TestMission:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            Mission(robot_id=0, rack_id=0, batch=[],
+                    path=Path.waiting((0, 0), 0, 0))
+
+    def test_batch_processing_time(self):
+        assert mission(n_items=3, processing=7).batch_processing_time == 21
+
+    def test_n_items(self):
+        assert mission(n_items=4).n_items == 4
+
+    def test_moving_stages(self):
+        assert MissionStage.TO_RACK.moving
+        assert MissionStage.TO_PICKER.moving
+        assert MissionStage.RETURNING.moving
+        assert not MissionStage.QUEUING.moving
+        assert not MissionStage.PROCESSING.moving
+        assert not MissionStage.DONE.moving
+
+
+class TestTransitions:
+    def test_full_legal_cycle(self):
+        m = mission()
+        path = Path.from_cells([(1, 0), (1, 1)], start_time=2)
+        m.enter(MissionStage.TO_PICKER, 2, path)
+        m.enter(MissionStage.QUEUING, 4)
+        m.enter(MissionStage.PROCESSING, 5)
+        m.enter(MissionStage.RETURNING, 15,
+                Path.from_cells([(1, 1), (1, 0)], start_time=15))
+        m.enter(MissionStage.DONE, 17)
+        assert m.stage is MissionStage.DONE
+        assert m.stage_entered_at == 17
+
+    def test_skipping_stage_rejected(self):
+        m = mission()
+        with pytest.raises(SimulationError):
+            m.enter(MissionStage.QUEUING, 2)
+
+    def test_backwards_rejected(self):
+        m = mission()
+        m.enter(MissionStage.TO_PICKER, 2)
+        with pytest.raises(SimulationError):
+            m.enter(MissionStage.TO_RACK, 3)
+
+    def test_done_is_terminal(self):
+        m = mission()
+        m.enter(MissionStage.TO_PICKER, 1)
+        m.enter(MissionStage.QUEUING, 2)
+        m.enter(MissionStage.PROCESSING, 3)
+        m.enter(MissionStage.RETURNING, 4)
+        m.enter(MissionStage.DONE, 5)
+        with pytest.raises(SimulationError):
+            m.enter(MissionStage.TO_RACK, 6)
+
+    def test_enter_clears_path_when_not_given(self):
+        m = mission()
+        m.enter(MissionStage.TO_PICKER, 2)
+        assert m.path is None

@@ -1,0 +1,61 @@
+"""Unit tests for the tabular action-value function."""
+
+from repro.rl.mdp import ACTION_REQUEST, ACTION_WAIT
+from repro.rl.qtable import QTable
+
+
+class TestDefaults:
+    def test_unvisited_returns_initial(self):
+        table = QTable(initial_value=0.0)
+        assert table.get((0, 0), ACTION_WAIT) == 0.0
+
+    def test_custom_initial_value(self):
+        table = QTable(initial_value=-5.0)
+        assert table.get((9, 9), ACTION_REQUEST) == -5.0
+
+
+class TestSetGet:
+    def test_roundtrip(self):
+        table = QTable()
+        table.set((1, 2), ACTION_REQUEST, -42.5)
+        assert table.get((1, 2), ACTION_REQUEST) == -42.5
+        assert table.get((1, 2), ACTION_WAIT) == 0.0
+
+    def test_len_counts_entries(self):
+        table = QTable()
+        table.set((0, 0), ACTION_WAIT, 1.0)
+        table.set((0, 0), ACTION_REQUEST, 2.0)
+        table.set((1, 0), ACTION_WAIT, 3.0)
+        assert len(table) == 3
+
+    def test_iteration(self):
+        table = QTable()
+        table.set((0, 0), ACTION_WAIT, 1.0)
+        entries = dict(table)
+        assert entries[((0, 0), ACTION_WAIT)] == 1.0
+
+
+class TestBest:
+    def test_best_value(self):
+        table = QTable()
+        table.set((0, 0), ACTION_WAIT, -3.0)
+        table.set((0, 0), ACTION_REQUEST, -1.0)
+        assert table.best_value((0, 0)) == -1.0
+
+    def test_best_action(self):
+        table = QTable()
+        table.set((0, 0), ACTION_WAIT, -3.0)
+        table.set((0, 0), ACTION_REQUEST, -1.0)
+        assert table.best_action((0, 0)) == ACTION_REQUEST
+
+    def test_tie_prefers_request(self):
+        # Fresh state: both actions at the initial value — prefer REQUEST
+        # so a cold-start system dispatches instead of deadlocking.
+        table = QTable()
+        assert table.best_action((5, 5)) == ACTION_REQUEST
+
+    def test_memory_grows_with_entries(self):
+        table = QTable()
+        empty = table.memory_bytes()
+        table.set((0, 0), ACTION_WAIT, 1.0)
+        assert table.memory_bytes() > empty

@@ -1,0 +1,89 @@
+"""Unit tests for FCFS picker queue processing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.queueing import enqueue_rack, process_picker_tick
+from repro.warehouse.entities import Picker, Rack
+
+
+def picker():
+    return Picker(picker_id=0, location=(5, 9))
+
+
+def racks(n=3):
+    return [Rack(rack_id=i, home=(i, 0), picker_id=0) for i in range(n)]
+
+
+class TestEnqueue:
+    def test_enqueue_updates_queue_and_estimate(self):
+        p = picker()
+        enqueue_rack(p, 1, batch_time=12)
+        assert list(p.queue) == [1]
+        assert p.queued_processing == 12
+        assert p.finish_time_estimate == 12
+
+    def test_rejects_non_positive_batch(self):
+        with pytest.raises(SimulationError):
+            enqueue_rack(picker(), 1, batch_time=0)
+
+
+class TestProcessing:
+    def test_idle_picker_no_queue_does_nothing(self):
+        p = picker()
+        assert process_picker_tick(p, 0, {}, racks()) is None
+        assert p.busy_ticks == 0
+
+    def test_pops_and_processes_first_tick(self):
+        p = picker()
+        enqueue_rack(p, 1, batch_time=3)
+        started = []
+        result = process_picker_tick(p, 0, {1: 3}, racks(), started)
+        assert started == [1]
+        assert result is None
+        assert p.current_rack == 1
+        assert p.remaining_current == 2
+        assert p.busy_ticks == 1
+        assert p.queued_processing == 0
+
+    def test_completion_reported_with_time(self):
+        p = picker()
+        enqueue_rack(p, 1, batch_time=2)
+        process_picker_tick(p, 0, {1: 2}, racks())
+        completion = process_picker_tick(p, 1, {1: 2}, racks())
+        assert completion is not None
+        assert completion.rack_id == 1
+        assert completion.completed_at == 2
+        assert p.current_rack is None
+
+    def test_fcfs_order(self):
+        p = picker()
+        enqueue_rack(p, 1, batch_time=1)
+        enqueue_rack(p, 2, batch_time=1)
+        batch_times = {1: 1, 2: 1}
+        first = process_picker_tick(p, 0, batch_times, racks())
+        second = process_picker_tick(p, 1, batch_times, racks())
+        assert first.rack_id == 1
+        assert second.rack_id == 2
+
+    def test_accumulated_counters_update(self):
+        rs = racks()
+        p = picker()
+        enqueue_rack(p, 2, batch_time=2)
+        process_picker_tick(p, 0, {2: 2}, rs)
+        process_picker_tick(p, 1, {2: 2}, rs)
+        assert p.accumulated_processing == 2
+        assert rs[2].accumulated_processing == 2
+
+    def test_missing_batch_time_raises(self):
+        p = picker()
+        enqueue_rack(p, 1, batch_time=5)
+        with pytest.raises(SimulationError):
+            process_picker_tick(p, 0, {}, racks())
+
+    def test_single_tick_batch_completes_immediately(self):
+        p = picker()
+        enqueue_rack(p, 0, batch_time=1)
+        completion = process_picker_tick(p, 4, {0: 1}, racks())
+        assert completion is not None
+        assert completion.completed_at == 5

@@ -1,0 +1,77 @@
+"""Tests for the ASCII warehouse renderer."""
+
+from repro.warehouse.entities import Item, RackPhase, RobotState
+from repro.warehouse.render import occupancy_counts, render_state
+
+from tests.conftest import make_two_picker_state
+
+
+class TestRenderState:
+    def test_dimensions(self):
+        state = make_two_picker_state()
+        lines = render_state(state).splitlines()
+        assert len(lines) == state.grid.height
+        assert all(len(line) == state.grid.width for line in lines)
+
+    def test_entities_drawn(self):
+        state = make_two_picker_state()
+        out = render_state(state)
+        assert "o" in out  # empty racks
+        assert "P" in out  # idle pickers
+        assert "r" in out  # idle robots
+
+    def test_pending_counts_shown(self):
+        state = make_two_picker_state()
+        for i in range(3):
+            state.deliver_item(Item(i, 5, 0, 5))
+        x, y = state.racks[5].home
+        assert render_state(state).splitlines()[y][x] == "3"
+
+    def test_ten_plus_items_capped(self):
+        state = make_two_picker_state()
+        for i in range(12):
+            state.deliver_item(Item(i, 5, 0, 5))
+        x, y = state.racks[5].home
+        assert render_state(state).splitlines()[y][x] == "+"
+
+    def test_in_transit_rack_marked(self):
+        state = make_two_picker_state()
+        rack = state.racks[5]
+        rack.phase = RackPhase.IN_TRANSIT
+        x, y = rack.home
+        assert render_state(state).splitlines()[y][x] == "_"
+
+    def test_busy_robot_uppercase(self):
+        state = make_two_picker_state()
+        state.robots[0].state = RobotState.TO_RACK
+        state.robots[0].rack_id = 0
+        state.racks[0].phase = RackPhase.IN_TRANSIT
+        out = render_state(state)
+        assert "R" in out
+
+    def test_queueing_picker_marked(self):
+        state = make_two_picker_state()
+        state.pickers[0].current_rack = 0
+        x, y = state.pickers[0].location
+        assert render_state(state).splitlines()[y][x] == "Q"
+
+    def test_legend_appended(self):
+        state = make_two_picker_state()
+        assert "picker" in render_state(state, show_legend=True)
+
+
+class TestOccupancyCounts:
+    def test_initial_counts(self):
+        state = make_two_picker_state(n_racks=8, n_robots=2)
+        counts = occupancy_counts(state)
+        assert counts["racks_home"] == 8
+        assert counts["racks_in_transit"] == 0
+        assert counts["busy_robots"] == 0
+
+    def test_counts_track_state(self):
+        state = make_two_picker_state()
+        state.deliver_item(Item(0, 5, 0, 5))
+        state.racks[0].phase = RackPhase.IN_TRANSIT
+        counts = occupancy_counts(state)
+        assert counts["racks_with_pending"] == 1
+        assert counts["racks_in_transit"] == 1

@@ -1,0 +1,39 @@
+"""Unit tests for planning schemes."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.pathfinding.paths import Path
+from repro.planners.scheme import Assignment, PlanningScheme
+
+
+def assignment(robot_id=0, rack_id=0):
+    path = Path.from_cells([(0, 0), (1, 0)], start_time=0)
+    return Assignment(robot_id=robot_id, rack_id=rack_id, pickup_path=path)
+
+
+class TestPlanningScheme:
+    def test_add_and_iterate(self):
+        scheme = PlanningScheme(timestamp=3)
+        scheme.add(assignment(0, 5))
+        scheme.add(assignment(1, 6))
+        assert len(scheme) == 2
+        assert scheme.robot_ids == (0, 1)
+        assert scheme.rack_ids == (5, 6)
+
+    def test_duplicate_robot_rejected(self):
+        scheme = PlanningScheme(timestamp=0)
+        scheme.add(assignment(0, 5))
+        with pytest.raises(PlanningError):
+            scheme.add(assignment(0, 6))
+
+    def test_duplicate_rack_rejected(self):
+        scheme = PlanningScheme(timestamp=0)
+        scheme.add(assignment(0, 5))
+        with pytest.raises(PlanningError):
+            scheme.add(assignment(1, 5))
+
+    def test_empty_scheme(self):
+        scheme = PlanningScheme(timestamp=0)
+        assert len(scheme) == 0
+        assert list(scheme) == []

@@ -1,0 +1,127 @@
+"""Unit tests for WarehouseState construction, indexes, and invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.warehouse.entities import Item, RackPhase, RobotState
+from repro.warehouse.state import WarehouseState
+
+
+class TestFromLayout:
+    def test_entity_counts(self, small_layout):
+        state = WarehouseState.from_layout(small_layout, n_robots=3)
+        assert len(state.racks) == small_layout.n_racks
+        assert len(state.pickers) == small_layout.n_pickers
+        assert len(state.robots) == 3
+
+    def test_robots_park_beneath_first_racks(self, small_layout):
+        state = WarehouseState.from_layout(small_layout, n_robots=2)
+        assert state.robots[0].location == small_layout.rack_homes[0]
+        assert state.robots[1].location == small_layout.rack_homes[1]
+
+    def test_round_robin_picker_assignment(self, small_layout):
+        state = WarehouseState.from_layout(small_layout, n_robots=1)
+        assignments = [rack.picker_id for rack in state.racks]
+        assert assignments == [i % 2 for i in range(small_layout.n_racks)]
+
+    def test_explicit_assignment(self, small_layout):
+        mapping = [1] * small_layout.n_racks
+        state = WarehouseState.from_layout(small_layout, n_robots=1,
+                                           rack_to_picker=mapping)
+        assert all(rack.picker_id == 1 for rack in state.racks)
+
+    def test_rejects_zero_robots(self, small_layout):
+        with pytest.raises(SimulationError):
+            WarehouseState.from_layout(small_layout, n_robots=0)
+
+    def test_rejects_more_robots_than_racks(self, small_layout):
+        with pytest.raises(SimulationError):
+            WarehouseState.from_layout(small_layout,
+                                       n_robots=small_layout.n_racks + 1)
+
+    def test_rejects_bad_assignment_length(self, small_layout):
+        with pytest.raises(SimulationError):
+            WarehouseState.from_layout(small_layout, n_robots=1,
+                                       rack_to_picker=[0])
+
+    def test_rejects_bad_picker_id(self, small_layout):
+        mapping = [99] * small_layout.n_racks
+        with pytest.raises(SimulationError):
+            WarehouseState.from_layout(small_layout, n_robots=1,
+                                       rack_to_picker=mapping)
+
+
+class TestQueries:
+    def test_idle_robots_initially_all(self, small_state):
+        assert len(small_state.idle_robots()) == 2
+
+    def test_selectable_racks_need_pending_items(self, small_state):
+        assert small_state.selectable_racks() == []
+        small_state.deliver_item(Item(0, 3, 0, 10))
+        selectable = small_state.selectable_racks()
+        assert [r.rack_id for r in selectable] == [3]
+
+    def test_in_transit_rack_not_selectable(self, small_state):
+        small_state.deliver_item(Item(0, 3, 0, 10))
+        small_state.racks[3].phase = RackPhase.IN_TRANSIT
+        assert small_state.selectable_racks() == []
+
+    def test_racks_of_picker(self, small_state):
+        racks = small_state.racks_of_picker(0)
+        assert all(r.picker_id == 0 for r in racks)
+        assert len(racks) == 4  # 8 racks round-robin over 2 pickers
+
+    def test_picker_of_rack(self, small_state):
+        assert small_state.picker_of_rack(0).picker_id == 0
+        assert small_state.picker_of_rack(1).picker_id == 1
+
+    def test_pickers_with_work(self, small_state):
+        assert small_state.pickers_with_work() == []
+        small_state.deliver_item(Item(0, 2, 0, 10))  # rack 2 -> picker 0
+        workers = small_state.pickers_with_work()
+        assert [p.picker_id for p in workers] == [0]
+
+    def test_total_pending_items(self, small_state):
+        small_state.deliver_item(Item(0, 1, 0, 10))
+        small_state.deliver_item(Item(1, 1, 0, 10))
+        small_state.deliver_item(Item(2, 4, 0, 10))
+        assert small_state.total_pending_items() == 3
+
+
+class TestInvariants:
+    def test_clean_state_passes(self, small_state):
+        small_state.check_invariants()
+
+    def test_idle_robot_with_rack_fails(self, small_state):
+        small_state.robots[0].rack_id = 2
+        with pytest.raises(SimulationError):
+            small_state.check_invariants()
+
+    def test_busy_robot_without_rack_fails(self, small_state):
+        small_state.robots[0].state = RobotState.TO_RACK
+        with pytest.raises(SimulationError):
+            small_state.check_invariants()
+
+    def test_rack_in_transit_unowned_fails(self, small_state):
+        small_state.racks[0].phase = RackPhase.IN_TRANSIT
+        with pytest.raises(SimulationError):
+            small_state.check_invariants()
+
+    def test_two_robots_one_rack_fails(self, small_state):
+        for robot in small_state.robots:
+            robot.state = RobotState.TO_RACK
+            robot.rack_id = 0
+        small_state.racks[0].phase = RackPhase.IN_TRANSIT
+        with pytest.raises(SimulationError):
+            small_state.check_invariants()
+
+    def test_consistent_mission_passes(self, small_state):
+        small_state.robots[0].state = RobotState.TO_RACK
+        small_state.robots[0].rack_id = 0
+        small_state.racks[0].phase = RackPhase.IN_TRANSIT
+        small_state.check_invariants()
+
+    def test_queued_stored_rack_fails(self, small_state):
+        small_state.pickers[0].queue.append(0)
+        with pytest.raises(SimulationError):
+            small_state.check_invariants()

@@ -1,0 +1,45 @@
+"""Unit tests for the bottleneck decomposition trace (Fig. 13 instrument)."""
+
+from repro.sim.trace import BottleneckTrace
+
+
+class TestRecording:
+    def test_cumulative_sums(self):
+        trace = BottleneckTrace()
+        trace.record(0, transporting=3, queuing=1, processing=2)
+        trace.record(1, transporting=2, queuing=4, processing=2)
+        last = trace.samples[-1]
+        assert last.cum_transport == 5
+        assert last.cum_queuing == 5
+        assert last.cum_processing == 4
+        assert len(trace) == 2
+
+    def test_sample_bottleneck(self):
+        trace = BottleneckTrace()
+        trace.record(0, transporting=5, queuing=1, processing=2)
+        assert trace.samples[0].bottleneck == "transport"
+        trace.record(1, transporting=1, queuing=9, processing=2)
+        assert trace.samples[1].bottleneck == "queuing"
+
+
+class TestTimeline:
+    def fill(self, trace, spec):
+        t = 0
+        for count, (tr, qu, pr) in spec:
+            for _ in range(count):
+                trace.record(t, tr, qu, pr)
+                t += 1
+
+    def test_migration_visible_in_timeline(self):
+        trace = BottleneckTrace()
+        self.fill(trace, [(100, (5, 0, 1)), (100, (1, 8, 2))])
+        timeline = trace.bottleneck_timeline(window=100)
+        assert timeline == ["transport", "queuing"]
+
+    def test_window_larger_than_trace(self):
+        trace = BottleneckTrace()
+        self.fill(trace, [(10, (1, 0, 0))])
+        assert trace.bottleneck_timeline(window=100) == ["transport"]
+
+    def test_empty_trace(self):
+        assert BottleneckTrace().bottleneck_timeline() == []

@@ -1,0 +1,44 @@
+"""Unit tests for the primitive helpers in repro.types."""
+
+from repro.types import CARDINAL_MOVES, manhattan, neighbours4
+
+
+class TestManhattan:
+    def test_zero_for_same_cell(self):
+        assert manhattan((3, 4), (3, 4)) == 0
+
+    def test_axis_aligned(self):
+        assert manhattan((0, 0), (5, 0)) == 5
+        assert manhattan((0, 0), (0, 7)) == 7
+
+    def test_diagonal(self):
+        assert manhattan((1, 2), (4, 6)) == 7
+
+    def test_symmetry(self):
+        a, b = (2, 9), (11, 3)
+        assert manhattan(a, b) == manhattan(b, a)
+
+    def test_triangle_inequality(self):
+        a, b, c = (0, 0), (3, 5), (10, 2)
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+
+class TestNeighbours4:
+    def test_yields_exactly_four(self):
+        assert len(list(neighbours4((5, 5)))) == 4
+
+    def test_all_at_distance_one(self):
+        for n in neighbours4((5, 5)):
+            assert manhattan((5, 5), n) == 1
+
+    def test_unbounded_goes_negative(self):
+        neighbours = set(neighbours4((0, 0)))
+        assert (-1, 0) in neighbours
+        assert (0, -1) in neighbours
+
+
+class TestCardinalMoves:
+    def test_four_distinct_unit_moves(self):
+        assert len(set(CARDINAL_MOVES)) == 4
+        for dx, dy in CARDINAL_MOVES:
+            assert abs(dx) + abs(dy) == 1
