@@ -2,16 +2,22 @@
 
 These isolate the per-call costs the end-to-end figures aggregate:
 spatial A*, spatiotemporal A* against both reservation structures, the
-cache-aided finisher, conflict probes, and the two selection strategies.
+cache-aided finisher, conflict probes, reservation purges, heuristic-field
+builds, and the two selection strategies.
+
+``scripts/bench_kernels.py`` runs the same scenarios (shared via
+``_bench_common``) head-to-head against the frozen seed implementations
+and records the speedups in ``BENCH_PR1.json``.
 """
 
 import pytest
+from _bench_common import crossing_traffic, dense_traffic
 
 from repro.config import PlannerConfig
 from repro.pathfinding.astar import shortest_path
 from repro.pathfinding.cache import ShortestPathCache, make_wait_finisher
 from repro.pathfinding.cdt import ConflictDetectionTable
-from repro.pathfinding.paths import Path
+from repro.pathfinding.heuristics import HeuristicFieldCache
 from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from repro.pathfinding.st_astar import find_path
 from repro.planners import EfficientAdaptiveTaskPlanner, NaiveTaskPlanner
@@ -22,12 +28,6 @@ from repro.warehouse.layout import build_layout
 from repro.warehouse.state import WarehouseState
 
 GRID = Grid(64, 40)
-
-
-def crossing_traffic(table, n=12):
-    for i in range(n):
-        cells = [(x, 3 + 2 * i % 30) for x in range(0, 50)]
-        table.reserve_path(Path.from_cells(cells, start_time=i * 3))
 
 
 def test_spatial_astar(benchmark):
@@ -58,6 +58,43 @@ def test_st_astar_with_cache_finisher(benchmark):
                          finisher=finisher, finisher_trigger=12)
 
     benchmark(search)
+
+
+def test_st_astar_with_heuristic_field(benchmark):
+    table = ConflictDetectionTable()
+    crossing_traffic(table)
+    field = HeuristicFieldCache(GRID).field((60, 35))
+    benchmark(find_path, GRID, table, (0, 0), (60, 35), 0, field)
+
+
+def test_heuristic_field_build(benchmark):
+    cache = HeuristicFieldCache(GRID)
+
+    def build():
+        cache._fields.clear()  # force the BFS, not the memo hit
+        return cache.field((60, 35))
+
+    benchmark(build)
+
+
+def test_cdt_purge(benchmark):
+    def setup():
+        table = ConflictDetectionTable()
+        dense_traffic(table, GRID)
+        return (table,), {}
+
+    benchmark.pedantic(lambda table: table.purge_before(400),
+                       setup=setup, rounds=20)
+
+
+def test_stgraph_purge(benchmark):
+    def setup():
+        table = SpatiotemporalGraph(GRID)
+        dense_traffic(table, GRID, n_paths=120, horizon=300)
+        return (table,), {}
+
+    benchmark.pedantic(lambda table: table.purge_before(150),
+                       setup=setup, rounds=20)
 
 
 def test_cdt_probe(benchmark):

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Record the PR-1 performance trajectory into ``BENCH_PR1.json``.
+
+Measures the packed-integer search core and the tick-bucketed reservation
+purge **head-to-head against the frozen seed implementations**
+(``repro.pathfinding._legacy``) in one process, so the recorded speedups
+cannot be an artefact of machine drift between runs.  Three sections:
+
+* ``st_astar`` — expansions/sec of the spatiotemporal A* micro-kernel
+  (the Fig. 11 hot loop), plus Python-level function calls per expansion
+  measured with cProfile.
+* ``purge`` — latency of the periodic reservation *update* on a CDT
+  loaded with dense traffic (the Sec. VI-B operation the bucketing fixes).
+* ``table3`` — end-to-end Table III wall-time at a reduced scale, with a
+  bit-identity check of every planner's makespan between the two stacks.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_kernels.py [--scale 0.35] [--out BENCH_PR1.json]
+
+Future PRs: re-run before and after touching the pathfinding package and
+keep ``st_astar.packed.expansions_per_s`` from regressing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import platform
+import sys
+import time
+from pathlib import Path as FsPath
+
+_REPO = FsPath(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+sys.path.insert(0, str(_REPO / "benchmarks"))
+
+from _bench_common import crossing_traffic, dense_traffic  # noqa: E402
+from repro.pathfinding._legacy import (LegacyConflictDetectionTable,  # noqa: E402
+                                       legacy_find_path,
+                                       seed_planner_patches)
+from repro.pathfinding.cdt import ConflictDetectionTable  # noqa: E402
+from repro.pathfinding.st_astar import SearchStats, find_path  # noqa: E402
+from repro.warehouse.grid import Grid  # noqa: E402
+
+GRID = Grid(64, 40)
+SEARCH_ENDPOINTS = [((0, 0), (60, 35)), ((63, 0), (2, 38)), ((5, 20), (58, 4))]
+
+
+def _time_search(search_fn, make_table, rounds=30):
+    """Total seconds and expansions for ``rounds`` sweeps of the endpoints."""
+    table = make_table()
+    crossing_traffic(table)
+    # Warm-up: populates the per-goal field caches so both variants are
+    # measured in their steady state (the seed has no cache to warm).
+    for source, goal in SEARCH_ENDPOINTS:
+        search_fn(GRID, table, source, goal, 0)
+    expansions = 0
+    started = time.perf_counter()
+    for __ in range(rounds):
+        for source, goal in SEARCH_ENDPOINTS:
+            stats = SearchStats()
+            search_fn(GRID, table, source, goal, 0, stats=stats)
+            expansions += stats.expansions
+    elapsed = time.perf_counter() - started
+    return elapsed, expansions
+
+
+def _calls_per_expansion(search_fn, make_table):
+    """Python-level function calls per node expansion, via cProfile."""
+    table = make_table()
+    crossing_traffic(table)
+    source, goal = SEARCH_ENDPOINTS[0]
+    search_fn(GRID, table, source, goal, 0)  # warm field caches
+    stats = SearchStats()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    search_fn(GRID, table, source, goal, 0, stats=stats)
+    profiler.disable()
+    calls = sum(entry.callcount for entry in profiler.getstats())
+    return calls / max(1, stats.expansions)
+
+
+def bench_st_astar():
+    seed_s, seed_exp = _time_search(legacy_find_path,
+                                    LegacyConflictDetectionTable)
+    packed_s, packed_exp = _time_search(find_path, ConflictDetectionTable)
+    assert seed_exp == packed_exp, (
+        f"expansion counts diverged: seed {seed_exp} vs packed {packed_exp}")
+    seed_cpe = _calls_per_expansion(legacy_find_path,
+                                    LegacyConflictDetectionTable)
+    packed_cpe = _calls_per_expansion(find_path, ConflictDetectionTable)
+    return {
+        "workload": "3 endpoints x 30 rounds on 64x40 with crossing traffic",
+        "expansions": packed_exp,
+        "seed": {"seconds": seed_s,
+                 "expansions_per_s": seed_exp / seed_s,
+                 "calls_per_expansion": seed_cpe},
+        "packed": {"seconds": packed_s,
+                   "expansions_per_s": packed_exp / packed_s,
+                   "calls_per_expansion": packed_cpe},
+        "speedup": (packed_exp / packed_s) / (seed_exp / seed_s),
+        "calls_per_expansion_ratio": seed_cpe / packed_cpe,
+    }
+
+
+def _time_purges(make_table, rounds=12):
+    """Mean seconds per periodic purge sweep (cadence-32 floors)."""
+    total = 0.0
+    n_purges = 0
+    for __ in range(rounds):
+        table = make_table()
+        dense_traffic(table, GRID)
+        floors = list(range(32, 833, 32))
+        started = time.perf_counter()
+        for floor in floors:
+            table.purge_before(floor)
+        total += time.perf_counter() - started
+        n_purges += len(floors)
+    return total / n_purges
+
+
+def bench_purge():
+    seed_latency = _time_purges(LegacyConflictDetectionTable)
+    bucketed_latency = _time_purges(ConflictDetectionTable)
+    return {
+        "workload": "400 paths x 30 cells over an 830-tick horizon, "
+                    "cadence-32 purge sweep",
+        "seed": {"purge_latency_s": seed_latency},
+        "bucketed": {"purge_latency_s": bucketed_latency},
+        "speedup": seed_latency / bucketed_latency,
+    }
+
+
+def bench_table3(scale):
+    from repro.experiments.table3 import run_table3
+
+    started = time.perf_counter()
+    packed_table = run_table3(scale=scale)
+    packed_s = time.perf_counter() - started
+
+    patches = seed_planner_patches()
+    saved = [(target, name, getattr(target, name)) for target, name, __ in patches]
+    try:
+        for target, name, repl in patches:
+            setattr(target, name, repl)
+        started = time.perf_counter()
+        seed_table = run_table3(scale=scale)
+        seed_s = time.perf_counter() - started
+    finally:
+        for target, name, original in saved:
+            setattr(target, name, original)
+
+    identical = packed_table == seed_table
+    return {
+        "scale": scale,
+        "makespans": packed_table,
+        "seed_makespans": seed_table,
+        "makespans_bit_identical": identical,
+        "wall_s": packed_s,
+        "seed_wall_s": seed_s,
+        "speedup": seed_s / packed_s,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="Table III dataset scale (default 0.35, the "
+                             "benchmark harness scale)")
+    parser.add_argument("--out", default="BENCH_PR1.json",
+                        help="output path (default BENCH_PR1.json)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "st_astar": bench_st_astar(),
+        "purge": bench_purge(),
+        "table3": bench_table3(args.scale),
+    }
+    FsPath(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
+    print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "
+          f"(seed {st['seed']['expansions_per_s']:,.0f}) — "
+          f"{st['speedup']:.2f}x, "
+          f"{st['calls_per_expansion_ratio']:.1f}x fewer calls/expansion")
+    print(f"purge    : {purge['bucketed']['purge_latency_s'] * 1e6:,.1f} µs "
+          f"(seed {purge['seed']['purge_latency_s'] * 1e6:,.1f} µs) — "
+          f"{purge['speedup']:.2f}x")
+    print(f"table3   : {t3['wall_s']:.1f}s vs seed {t3['seed_wall_s']:.1f}s "
+          f"(scale {t3['scale']}), makespans identical: "
+          f"{t3['makespans_bit_identical']}")
+    if not t3["makespans_bit_identical"]:
+        raise SystemExit("Table III makespans diverged from the seed stack")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

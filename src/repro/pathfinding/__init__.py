@@ -5,8 +5,8 @@ from .cache import ShortestPathCache, follow_with_waits, make_wait_finisher
 from .cdt import ConflictDetectionTable
 from .conflicts import (Conflict, ConflictKind, find_conflicts,
                         is_conflict_free, paths_conflict)
-from .heuristics import (HeuristicCache, manhattan_heuristic,
-                         true_distance_heuristic)
+from .heuristics import (HeuristicField, HeuristicFieldCache,
+                         manhattan_heuristic, true_distance_heuristic)
 from .paths import Path
 from .reservation import ReservationTable
 from .spatiotemporal_graph import SpatiotemporalGraph
@@ -16,7 +16,8 @@ __all__ = [
     "Conflict",
     "ConflictDetectionTable",
     "ConflictKind",
-    "HeuristicCache",
+    "HeuristicField",
+    "HeuristicFieldCache",
     "Path",
     "ReservationTable",
     "SearchStats",

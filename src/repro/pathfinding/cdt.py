@@ -1,14 +1,20 @@
 """Conflict Detection Table (paper Sec. VI-B).
 
-One entry per grid cell holding the *set of reserved timestamps* — nothing
-is stored for free (cell, time) pairs, so the footprint tracks the number of
-live reservations instead of the time horizon.  The paper reports this
-drops the reservation space from O((HW)²) to O(HW) while keeping O(1)
+Nothing is stored for free (cell, time) pairs, so the footprint tracks the
+number of live reservations instead of the time horizon.  The paper reports
+this drops the reservation space from O((HW)²) to O(HW) while keeping O(1)
 conflict probes; Fig. 12 is the resulting memory gap and the A4 ablation in
 this repo reproduces it directly.
 
-Supports the three operations of Sec. VI-B: conflict *search* (``is_free`` /
-``edge_free``), *insertion* (``reserve_path``) and the periodic *update*
+Layout: reservations live in per-tick buckets of packed cell keys
+(``x << 16 | y``).  A probe is two O(1) hits (tick bucket, then key); the
+periodic *update* deletes whole passed buckets in O(ticks purged), where
+the seed's per-cell timestamp sets forced a scan of every live cell.  The
+packed keys are also exactly what the packed-integer spatiotemporal A*
+core probes with, so the search's hot loop never materialises a tuple.
+
+Supports the three operations of Sec. VI-B: conflict *search* (``is_free``
+/ ``edge_free``), *insertion* (``reserve_path``) and the periodic *update*
 that deletes passed timestamps (``purge_before``).
 """
 
@@ -16,65 +22,83 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from ..types import Cell, Tick
+from ..types import CELL_KEY_SHIFT, Cell, Tick
 from .paths import Path
-from .reservation import ReservationTable, _EdgeMixin
+from .reservation import ReservationTable, _EdgeMixin, _stale_ticks
 
 
 class ConflictDetectionTable(_EdgeMixin, ReservationTable):
-    """Sparse per-cell timestamp sets (the paper's compact structure)."""
+    """Sparse tick-bucketed packed reservations (the compact structure)."""
 
     def __init__(self) -> None:
         _EdgeMixin.__init__(self)
-        self._cells: Dict[Cell, Set[Tick]] = {}
+        #: t -> set of packed cell keys reserved at t.
+        self._buckets: Dict[Tick, Set[int]] = {}
         self._floor: Tick = 0
 
     # -- ReservationTable -----------------------------------------------------
 
     def is_free(self, t: Tick, cell: Cell) -> bool:
-        if t < self._floor:
-            return True
-        times = self._cells.get(cell)
-        return times is None or t not in times
+        bucket = self._buckets.get(t)
+        return bucket is None or (
+            (cell[0] << CELL_KEY_SHIFT) | cell[1]) not in bucket
+
+    def is_free_packed(self, t: Tick, key: int) -> bool:
+        bucket = self._buckets.get(t)
+        return bucket is None or key not in bucket
 
     def edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
         return self._edge_free(t, source, target)
 
+    edge_free_packed = _EdgeMixin._edge_free_packed
+
+    def packed_buckets(self):
+        return self._buckets, self._edge_buckets
+
     def reserve_path(self, path: Path) -> None:
-        for (t, x, y) in path:
-            if t >= self._floor:
-                self._cells.setdefault((x, y), set()).add(t)
+        buckets = self._buckets
+        floor = self._floor
+        for (t, x, y) in path.steps:
+            if t >= floor:
+                bucket = buckets.get(t)
+                if bucket is None:
+                    bucket = buckets[t] = set()
+                bucket.add((x << CELL_KEY_SHIFT) | y)
         self._reserve_edges(path)
 
     def purge_before(self, t: Tick) -> None:
         """The periodic *update* operation: delete all passed timestamps."""
-        self._floor = max(self._floor, t)
-        empty = []
-        for cell, times in self._cells.items():
-            stale = [s for s in times if s < t]
-            for s in stale:
-                times.discard(s)
-            if not times:
-                empty.append(cell)
-        for cell in empty:
-            del self._cells[cell]
+        if t > self._floor:
+            buckets = self._buckets
+            for tick in _stale_ticks(buckets, self._floor, t):
+                buckets.pop(tick, None)
+            self._floor = t
         self._purge_edges(t)
 
     def memory_bytes(self) -> int:
-        # ~32 B per timestamp in a set of small ints plus ~100 B per cell
-        # entry (dict slot + key tuple + set header) — measured Python
-        # container costs, consistent across runs.
-        entries = sum(len(times) for times in self._cells.values())
-        return 64 + 100 * len(self._cells) + 32 * entries + self._edges_memory()
+        # ~32 B per packed key in a set of small ints plus ~100 B per tick
+        # bucket (dict slot + set header) — measured Python container
+        # costs, consistent across runs and with the seed's estimate.
+        entries = sum(len(bucket) for bucket in self._buckets.values())
+        return (64 + 100 * len(self._buckets) + 32 * entries
+                + self._edges_memory())
 
     # -- introspection ----------------------------------------------------------
 
     @property
     def n_reservations(self) -> int:
         """Total number of live (cell, time) reservations."""
-        return sum(len(times) for times in self._cells.values())
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     @property
     def n_cells_touched(self) -> int:
         """Number of cells with at least one live reservation."""
-        return len(self._cells)
+        touched: Set[int] = set()
+        for bucket in self._buckets.values():
+            touched |= bucket
+        return len(touched)
+
+    @property
+    def n_ticks_live(self) -> int:
+        """Number of ticks holding at least one reservation."""
+        return len(self._buckets)

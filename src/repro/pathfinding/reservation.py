@@ -9,14 +9,20 @@ the other is the A4 ablation in DESIGN.md.
 Semantics: ``is_free(t, cell)`` guards single-grid conflicts;
 ``edge_free(t, a, b)`` guards inter-grid (swap) conflicts for a move that
 departs ``a`` at ``t`` and arrives at ``b`` at ``t + 1``.
+
+Both probe families exist in two signatures.  The tuple methods are the
+readable public API; the ``*_packed`` methods take grid-independent packed
+cell keys (``x << 16 | y``, see :func:`repro.types.pack_cell`) and are what
+the packed-integer search core calls — implementations override them with
+direct integer set probes so the hot loop never builds a tuple.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Set, Tuple
+from typing import Dict, Set
 
-from ..types import Cell, Tick
+from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
 from .paths import Path
 
 
@@ -43,6 +49,32 @@ class ReservationTable(abc.ABC):
     def memory_bytes(self) -> int:
         """Approximate structure footprint, for the MC metric."""
 
+    # -- packed fast path --------------------------------------------------
+
+    def is_free_packed(self, t: Tick, key: int) -> bool:
+        """Packed-key :meth:`is_free`; override with a direct int probe."""
+        return self.is_free(t, (key >> CELL_KEY_SHIFT, key & CELL_KEY_MASK))
+
+    def edge_free_packed(self, t: Tick, source_key: int,
+                         target_key: int) -> bool:
+        """Packed-key :meth:`edge_free`; override with a direct int probe."""
+        return self.edge_free(
+            t,
+            (source_key >> CELL_KEY_SHIFT, source_key & CELL_KEY_MASK),
+            (target_key >> CELL_KEY_SHIFT, target_key & CELL_KEY_MASK))
+
+    def packed_buckets(self):
+        """Expose tick-bucketed reservation sets for the search fast path.
+
+        Implementations whose bookkeeping is literally ``{tick: set of
+        packed keys}`` (the CDT) return ``(vertex_buckets, edge_buckets)``
+        so the packed A* core can fetch each tick's sets once per
+        expansion and probe with bare ``in`` operators.  Structures with a
+        different layout return ``None`` and are probed through the
+        ``*_packed`` methods instead.
+        """
+        return None
+
     # -- shared convenience ----------------------------------------------
 
     def move_allowed(self, t: Tick, source: Cell, target: Cell) -> bool:
@@ -59,28 +91,79 @@ class ReservationTable(abc.ABC):
         return self.edge_free(t, source, target)
 
 
+def _stale_ticks(buckets: Dict[Tick, Set[int]], floor: Tick, t: Tick):
+    """Ticks in ``[floor, t)`` that may hold a bucket, cheapest way first.
+
+    Walking ``range(floor, t)`` is O(ticks purged) — the normal periodic
+    case, where the window advances by the purge cadence.  If a caller
+    jumps the floor far ahead of the live window, scanning the bucket keys
+    (O(live ticks)) is cheaper; either way the cost never depends on the
+    number of stored reservations.
+    """
+    if t - floor <= len(buckets):
+        return range(floor, t)
+    return [tick for tick in buckets if tick < t]
+
+
 class _EdgeMixin:
     """Shared directed-edge bookkeeping for both implementations.
 
-    Stores the set of traversed timed edges ``(t, source, target)``; a swap
-    is the presence of the reversed edge at the same tick.
+    Traversed timed edges live in per-tick buckets of packed 64-bit keys
+    (``source_key << 32 | target_key``); a swap is the presence of the
+    reversed key in the departure tick's bucket.  Bucketing by tick makes
+    the periodic purge O(ticks purged) — each passed tick is one dict pop —
+    where the seed's flat edge set was rebuilt wholesale, O(live edges),
+    on every purge.
+
+    Edges below the purge floor are never stored: probes at purged times
+    answer "free" anyway (the corresponding vertices are gone), and
+    refusing them keeps every live bucket at or above the floor, which is
+    what lets the purge walk ``range(old_floor, new_floor)``.
     """
 
     def __init__(self) -> None:
-        self._edges: Set[Tuple[Tick, Cell, Cell]] = set()
+        self._edge_buckets: Dict[Tick, Set[int]] = {}
+        self._n_edges = 0
+        self._edge_floor: Tick = 0
 
     def _edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
-        return (t, target, source) not in self._edges
+        return self._edge_free_packed(
+            t, (source[0] << CELL_KEY_SHIFT) | source[1],
+            (target[0] << CELL_KEY_SHIFT) | target[1])
+
+    def _edge_free_packed(self, t: Tick, source_key: int,
+                          target_key: int) -> bool:
+        bucket = self._edge_buckets.get(t)
+        return bucket is None or (
+            (target_key << 32) | source_key) not in bucket
 
     def _reserve_edges(self, path: Path) -> None:
         steps = path.steps
+        buckets = self._edge_buckets
+        floor = self._edge_floor
         for (t0, x0, y0), (__, x1, y1) in zip(steps, steps[1:]):
-            if (x0, y0) != (x1, y1):
-                self._edges.add((t0, (x0, y0), (x1, y1)))
+            if t0 >= floor and (x0 != x1 or y0 != y1):
+                key = ((((x0 << CELL_KEY_SHIFT) | y0) << 32)
+                       | ((x1 << CELL_KEY_SHIFT) | y1))
+                bucket = buckets.get(t0)
+                if bucket is None:
+                    bucket = buckets[t0] = set()
+                if key not in bucket:
+                    bucket.add(key)
+                    self._n_edges += 1
 
     def _purge_edges(self, t: Tick) -> None:
-        self._edges = {edge for edge in self._edges if edge[0] >= t}
+        if t <= self._edge_floor:
+            return
+        buckets = self._edge_buckets
+        for tick in _stale_ticks(buckets, self._edge_floor, t):
+            bucket = buckets.pop(tick, None)
+            if bucket is not None:
+                self._n_edges -= len(bucket)
+        self._edge_floor = t
 
     def _edges_memory(self) -> int:
-        # Rough per-entry cost of a set of small tuples (~100 B measured).
-        return 64 + 100 * len(self._edges)
+        # Rough per-entry cost of a set of small ints (~100 B measured,
+        # matching the seed's tuple-set estimate) plus the per-tick bucket
+        # headers the tick-keyed layout adds.
+        return 64 + 100 * self._n_edges + 64 * len(self._edge_buckets)

@@ -7,19 +7,17 @@ which Fig. 12 quantifies — is its memory appetite: the structure grows a
 of how sparsely the layer is actually occupied.
 
 To reproduce that behaviour honestly, this implementation materialises a
-dense boolean occupancy layer (one byte per cell) for **every** timestep
-between the purge floor and the latest reserved step, exactly as a literal
-time-expanded graph does.  The CDT (``cdt.py``) keeps only the occupied
-entries and is the paper's fix.
+dense occupancy layer (one byte per cell, a ``bytearray`` indexed by cell
+index ``x·H + y``) for **every** timestep between the purge floor and the
+latest reserved step, exactly as a literal time-expanded graph does.  The
+CDT (``cdt.py``) keeps only the occupied entries and is the paper's fix.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
-
-from ..types import Cell, Tick
+from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
 from ..warehouse.grid import Grid
 from .paths import Path
 from .reservation import ReservationTable, _EdgeMixin
@@ -37,11 +35,11 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
     def __init__(self, grid: Grid) -> None:
         _EdgeMixin.__init__(self)
         self._grid = grid
-        #: t -> dense (width, height) uint8 occupancy layer.
-        self._layers: Dict[Tick, np.ndarray] = {}
+        #: t -> dense one-byte-per-cell occupancy layer (cell-indexed).
+        self._layers: Dict[Tick, bytearray] = {}
         self._floor: Tick = 0
 
-    def _layer(self, t: Tick) -> np.ndarray:
+    def _layer(self, t: Tick) -> bytearray:
         """Materialise (densely!) the layer for timestep ``t``.
 
         Materialising every intermediate layer up to ``t`` is what makes
@@ -52,11 +50,11 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         if layer is None:
             # A real time-expanded graph has *every* timestep's copy of the
             # grid, so create all missing layers up to t, not just t's.
+            n_cells = self._grid.n_cells
             high = max(self._layers, default=self._floor)
             for step in range(min(t, self._floor), max(t, high) + 1):
                 if step >= self._floor and step not in self._layers:
-                    self._layers[step] = np.zeros(
-                        (self._grid.width, self._grid.height), dtype=np.uint8)
+                    self._layers[step] = bytearray(n_cells)
             layer = self._layers[t]
         return layer
 
@@ -68,15 +66,27 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         layer = self._layers.get(t)
         if layer is None:
             return True
-        return not bool(layer[cell])
+        return not layer[cell[0] * self._grid.height + cell[1]]
+
+    def is_free_packed(self, t: Tick, key: int) -> bool:
+        # Layers below the floor are evicted, so a miss means free either
+        # way — no separate floor check needed on the fast path.
+        layer = self._layers.get(t)
+        if layer is None:
+            return True
+        return not layer[(key >> CELL_KEY_SHIFT) * self._grid.height
+                         + (key & CELL_KEY_MASK)]
 
     def edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
         return self._edge_free(t, source, target)
 
+    edge_free_packed = _EdgeMixin._edge_free_packed
+
     def reserve_path(self, path: Path) -> None:
+        height = self._grid.height
         for (t, x, y) in path:
             if t >= self._floor:
-                self._layer(t)[x, y] = 1
+                self._layer(t)[x * height + y] = 1
         self._reserve_edges(path)
 
     def purge_before(self, t: Tick) -> None:
@@ -86,7 +96,9 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         self._purge_edges(t)
 
     def memory_bytes(self) -> int:
-        layers = sum(layer.nbytes for layer in self._layers.values())
+        # One byte per cell per layer — identical accounting to the seed's
+        # uint8 ndarray layers.
+        layers = sum(len(layer) for layer in self._layers.values())
         return layers + self._edges_memory()
 
     # -- introspection ---------------------------------------------------------

@@ -6,19 +6,33 @@ returned path conflicts with none of the previously planned ones.  This is
 the prioritised-planning search that every planner in the paper (NTP, LEF,
 ILP, ATP, EATP) uses for its path-finding step; only the reservation
 structure and the cache-aided finisher differ between them.
+
+The core runs entirely on **packed integers**: a state is ``t · (W·H) + x ·
+H + y`` (one machine int instead of a nested ``((x, y), t)`` tuple), so
+heap entries, g-scores and parents are plain-int keyed, successor
+generation is one indexed read of the grid's precomputed adjacency table,
+conflict probes go through the reservation structure's packed-key fast
+path, and h-values are flat-list lookups.  Stale heap entries are skipped
+by g-dominance (``g > g_score[state]``), which replaces the seed's closed
+set and its redundant re-check at generation time.  For any *consistent*
+heuristic — Manhattan and the exact BFS fields both are — expansion
+order, tie breaking and the search statistics are bit-identical to the
+tuple-based seed implementation (kept in ``_legacy.py`` as the
+equivalence reference).  An inconsistent custom heuristic may re-expand
+states the seed's closed set would have frozen; the seed's answer there
+was arbitrary, not better.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from itertools import count
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import PathNotFoundError
 from ..types import Cell, Tick
 from ..warehouse.grid import Grid
-from .heuristics import Heuristic, manhattan_heuristic
+from .heuristics import Heuristic
 from .paths import Path
 from .reservation import ReservationTable
 
@@ -67,7 +81,11 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
     start_time:
         Tick at which the robot sits on ``source``.
     heuristic:
-        Admissible remaining-distance bound (default: Manhattan).
+        Admissible remaining-distance bound (default: Manhattan).  A
+        :class:`~repro.pathfinding.heuristics.HeuristicField` (or any
+        object with a ``flat`` list of length W·H) is consumed directly;
+        a plain callable is evaluated lazily — once per cell the search
+        touches, memoised for the duration of the call.
     max_expansions:
         Abort threshold; exceeded means livelock, reported as
         :class:`~repro.errors.PathNotFoundError`.
@@ -94,75 +112,190 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
     """
     grid.require_passable(source)
     grid.require_passable(goal)
-    h = heuristic if heuristic is not None else manhattan_heuristic(goal)
     if stats is None:
         stats = SearchStats()
 
     if source == goal:
         return Path(((start_time, source[0], source[1]),))
 
-    tie = count()
-    start = (source, start_time)
-    open_heap: List[Tuple[int, int, Tuple[Cell, Tick]]] = [
-        (h(source), next(tie), start)]
-    g_score: Dict[Tuple[Cell, Tick], int] = {start: 0}
-    parent: Dict[Tuple[Cell, Tick], Tuple[Cell, Tick]] = {}
-    closed = set()
+    height = grid.height
+    n_cells = grid.width * height
+    adjacency = grid.adjacency
+    cell_keys = grid.cell_keys
+    hfield = _heuristic_field(grid, goal, heuristic)
 
-    while open_heap:
-        stats.peak_open = max(stats.peak_open, len(open_heap))
-        __, __, node = heapq.heappop(open_heap)
-        if node in closed:
-            continue
-        closed.add(node)
-        cell, t = node
-        stats.expansions += 1
-        if stats.expansions > max_expansions:
-            raise PathNotFoundError(
-                source, goal, f"search budget {max_expansions} exhausted")
+    vertex_free = reservation.is_free_packed
+    edge_free = reservation.edge_free_packed
+    buckets = reservation.packed_buckets()
+    if buckets is not None:
+        vertex_buckets, edge_buckets = buckets
+    push = heapq.heappush
+    pop = heapq.heappop
 
-        if cell == goal:
-            return _reconstruct(parent, node, start_time)
+    source_ci = source[0] * height + source[1]
+    goal_ci = goal[0] * height + goal[1]
+    start_state = start_time * n_cells + source_ci
 
-        if finisher is not None and 0 < h(cell) <= finisher_trigger:
-            tail = finisher(cell, t)
-            if tail is not None:
-                stats.cache_finished = True
-                head = _reconstruct(parent, node, start_time)
-                return head.concat(Path(tuple(tail)))
+    # Heap entries are (f, tie, g, state): f/tie order matches the seed
+    # exactly (FIFO among equal f), and carrying g lets a popped entry be
+    # recognised as stale without a closed set.
+    open_heap = [(hfield[source_ci], 0, 0, start_state)]
+    tie = 1
+    g_score: Dict[int, int] = {start_state: 0}
+    parent: Dict[int, int] = {}
 
-        g_next = g_score[node] + 1
-        for nxt in _successors(grid, cell):
-            if not reservation.move_allowed(t, cell, nxt):
-                continue
-            nxt_node = (nxt, t + 1)
-            if nxt_node in closed:
-                continue
-            best = g_score.get(nxt_node)
-            if best is None or g_next < best:
-                g_score[nxt_node] = g_next
-                parent[nxt_node] = node
-                stats.generated += 1
-                heapq.heappush(open_heap,
-                               (g_next + h(nxt), next(tie), nxt_node))
-    raise PathNotFoundError(source, goal, "open set exhausted")
+    expansions = stats.expansions
+    generated = 0
+    peak_open = stats.peak_open
+
+    try:
+        while open_heap:
+            if len(open_heap) > peak_open:
+                peak_open = len(open_heap)
+            __, __, g, state = pop(open_heap)
+            if g > g_score[state]:
+                continue  # dominated by a later, cheaper push
+            expansions += 1
+            if expansions > max_expansions:
+                raise PathNotFoundError(
+                    source, goal, f"search budget {max_expansions} exhausted")
+            t, ci = divmod(state, n_cells)
+
+            if ci == goal_ci:
+                return _reconstruct(parent, state, n_cells, height,
+                                    start_time)
+
+            if finisher is not None:
+                h = hfield[ci]
+                if 0 < h <= finisher_trigger:
+                    tail = finisher(divmod(ci, height), t)
+                    if tail is not None:
+                        stats.cache_finished = True
+                        head = _reconstruct(parent, state, n_cells, height,
+                                            start_time)
+                        return head.concat(Path(tuple(tail)))
+
+            g_next = g + 1
+            t1 = t + 1
+            next_base = t1 * n_cells
+            source_key = cell_keys[ci]
+
+            # Successor generation, wait first then the adjacency row —
+            # the same order as the seed.  Two probe styles: when the
+            # reservation structure is tick-bucketed (CDT), fetch this
+            # tick's vertex/edge sets once and test membership with bare
+            # ``in``; otherwise go through the packed probe methods.
+            if buckets is not None:
+                occupied = vertex_buckets.get(t1)
+                swaps = edge_buckets.get(t)
+                if occupied is None or source_key not in occupied:
+                    nxt_state = next_base + ci
+                    best = g_score.get(nxt_state)
+                    if best is None or g_next < best:
+                        g_score[nxt_state] = g_next
+                        parent[nxt_state] = state
+                        generated += 1
+                        push(open_heap,
+                             (g_next + hfield[ci], tie, g_next, nxt_state))
+                        tie += 1
+                for nci, nkey in adjacency[ci]:
+                    if occupied is not None and nkey in occupied:
+                        continue
+                    if (swaps is not None
+                            and ((nkey << 32) | source_key) in swaps):
+                        continue
+                    nxt_state = next_base + nci
+                    best = g_score.get(nxt_state)
+                    if best is None or g_next < best:
+                        g_score[nxt_state] = g_next
+                        parent[nxt_state] = state
+                        generated += 1
+                        push(open_heap,
+                             (g_next + hfield[nci], tie, g_next, nxt_state))
+                        tie += 1
+            else:
+                # Wait in place (the fifth action) — vertex check only.
+                if vertex_free(t1, source_key):
+                    nxt_state = next_base + ci
+                    best = g_score.get(nxt_state)
+                    if best is None or g_next < best:
+                        g_score[nxt_state] = g_next
+                        parent[nxt_state] = state
+                        generated += 1
+                        push(open_heap,
+                             (g_next + hfield[ci], tie, g_next, nxt_state))
+                        tie += 1
+
+                for nci, nkey in adjacency[ci]:
+                    if (vertex_free(t1, nkey)
+                            and edge_free(t, source_key, nkey)):
+                        nxt_state = next_base + nci
+                        best = g_score.get(nxt_state)
+                        if best is None or g_next < best:
+                            g_score[nxt_state] = g_next
+                            parent[nxt_state] = state
+                            generated += 1
+                            push(open_heap,
+                                 (g_next + hfield[nci], tie, g_next,
+                                  nxt_state))
+                            tie += 1
+        raise PathNotFoundError(source, goal, "open set exhausted")
+    finally:
+        stats.expansions = expansions
+        stats.generated += generated
+        stats.peak_open = peak_open
 
 
-def _successors(grid: Grid, cell: Cell):
-    """Wait plus the passable cardinal moves."""
-    yield cell
-    yield from grid.neighbours(cell)
+def _heuristic_field(grid: Grid, goal: Cell,
+                     heuristic: Optional[Heuristic]) -> Sequence[int]:
+    """Resolve ``heuristic`` into an h-field indexed by cell index."""
+    if heuristic is None:
+        return grid.manhattan_field(goal)
+    flat = getattr(heuristic, "flat", None)
+    if flat is not None:
+        field_height = getattr(heuristic, "_height", None)
+        if (len(flat) != grid.n_cells
+                or (field_height is not None
+                    and field_height != grid.height)):
+            raise ValueError(
+                "heuristic field was built for a different grid "
+                f"({len(flat)} cells, height {field_height}) than the one "
+                f"being searched ({grid.n_cells} cells, height {grid.height})")
+        return flat
+    return _LazyField(heuristic, grid.height)
 
 
-def _reconstruct(parent: Dict, node: Tuple[Cell, Tick],
-                 start_time: Tick) -> Path:
-    steps = []
-    while True:
-        (x, y), t = node
+class _LazyField:
+    """Index adapter over a plain callable heuristic, memoised per cell.
+
+    Keeps the seed's lazy evaluation for arbitrary callables — h is
+    computed only for cells the search actually touches, once each —
+    while presenting the ``field[ci]`` interface the core indexes.
+    """
+
+    __slots__ = ("_heuristic", "_height", "_memo")
+
+    def __init__(self, heuristic: Heuristic, height: int) -> None:
+        self._heuristic = heuristic
+        self._height = height
+        self._memo: Dict[int, int] = {}
+
+    def __getitem__(self, ci: int) -> int:
+        h = self._memo.get(ci)
+        if h is None:
+            h = self._heuristic(divmod(ci, self._height))
+            self._memo[ci] = h
+        return h
+
+
+def _reconstruct(parent: Dict[int, int], state: int, n_cells: int,
+                 height: int, start_time: Tick) -> Path:
+    steps: List = []
+    while state is not None:
+        t, ci = divmod(state, n_cells)
+        x, y = divmod(ci, height)
         steps.append((t, x, y))
-        if node not in parent:
-            break
-        node = parent[node]
+        state = parent.get(state)
     steps.reverse()
     assert steps[0][0] == start_time
     return Path(tuple(steps))

@@ -106,4 +106,4 @@ class AdaptiveTaskPlanner(Planner):
     # -- memory ------------------------------------------------------------------
 
     def _extra_memory_bytes(self) -> int:
-        return self.agent.memory_bytes()
+        return super()._extra_memory_bytes() + self.agent.memory_bytes()

@@ -26,7 +26,6 @@ from typing import List, Optional, Set
 from ..config import PlannerConfig
 from ..pathfinding.cache import ShortestPathCache, make_wait_finisher
 from ..pathfinding.cdt import ConflictDetectionTable
-from ..pathfinding.heuristics import manhattan_heuristic
 from ..pathfinding.paths import Path
 from ..pathfinding.reservation import ReservationTable
 from ..pathfinding.st_astar import SearchStats, find_path
@@ -118,7 +117,7 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
             finisher = make_wait_finisher(self.cache, goal, self.reservation)
             trigger = self.cache.threshold
         path = find_path(self.grid, self.reservation, source, goal, t,
-                         heuristic=manhattan_heuristic(goal),
+                         heuristic=self.heuristics.field(goal),
                          max_expansions=self.config.max_search_expansions,
                          finisher=finisher, finisher_trigger=trigger,
                          stats=search_stats)

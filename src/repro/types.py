@@ -23,6 +23,27 @@ Tick = int
 #: spatiotemporal search as a fifth "stay" action.
 CARDINAL_MOVES: Tuple[Cell, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
+#: Bit width of each coordinate in a packed cell key.  16 bits per axis
+#: caps grids at 65 536 cells a side — far beyond any warehouse floor —
+#: and keeps a packed *edge* (two cells) inside 64 bits.
+CELL_KEY_SHIFT = 16
+CELL_KEY_MASK = (1 << CELL_KEY_SHIFT) - 1
+
+
+def pack_cell(cell: Cell) -> int:
+    """Pack ``(x, y)`` into one grid-independent integer key.
+
+    The hot loops (spatiotemporal A*, reservation probes) inline the
+    shift/mask instead of calling this; the helper exists for cold paths
+    and tests, and documents the encoding in one place.
+    """
+    return (cell[0] << CELL_KEY_SHIFT) | cell[1]
+
+
+def unpack_cell(key: int) -> Cell:
+    """Invert :func:`pack_cell`."""
+    return key >> CELL_KEY_SHIFT, key & CELL_KEY_MASK
+
 
 def manhattan(a: Cell, b: Cell) -> int:
     """Return the Manhattan (L1) distance between two cells.

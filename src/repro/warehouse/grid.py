@@ -10,12 +10,12 @@ obstacles because robots travel beneath them in rack-to-picker systems).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..errors import InvalidLocationError
-from ..types import Cell, manhattan
+from ..types import CELL_KEY_SHIFT, Cell, manhattan
 
 
 class Grid:
@@ -30,7 +30,12 @@ class Grid:
         Cells robots may never occupy (walls, pillars).  Iterable of cells.
     """
 
-    __slots__ = ("width", "height", "_blocked")
+    __slots__ = ("width", "height", "_blocked", "adjacency", "cell_keys",
+                 "_manhattan_fields")
+
+    #: Cap on memoised Manhattan fields before the cache resets; bounds the
+    #: worst case (every cell used as a goal) to ~cap·H·W ints.
+    _MANHATTAN_FIELD_CAP = 1024
 
     def __init__(self, width: int, height: int,
                  blocked: Optional[Iterable[Cell]] = None) -> None:
@@ -43,6 +48,36 @@ class Grid:
         for cell in self._blocked:
             if not self.in_bounds(cell):
                 raise InvalidLocationError(f"blocked cell {cell} is out of bounds")
+        self._build_packed_tables()
+        self._manhattan_fields: Dict[Cell, List[int]] = {}
+
+    def _build_packed_tables(self) -> None:
+        """Precompute the packed-integer views the search core runs on.
+
+        ``adjacency[ci]`` holds, for the cell with flat index ``ci = x·H +
+        y``, one ``(neighbour_ci, neighbour_key)`` pair per passable
+        cardinal neighbour *in the same order* :meth:`neighbours` yields
+        them, so the packed search expands successors identically to the
+        tuple-based one.  ``cell_keys[ci]`` is the grid-independent bit
+        packing ``x << 16 | y`` the reservation structures key on.
+        Blocked cells get an empty adjacency row and are never the target
+        of anyone else's row, so the search can index blindly.
+        """
+        height = self.height
+        blocked = self._blocked
+        adjacency: List[Tuple[Tuple[int, int], ...]] = []
+        cell_keys: List[int] = []
+        for x in range(self.width):
+            for y in range(height):
+                cell_keys.append((x << CELL_KEY_SHIFT) | y)
+                if (x, y) in blocked:
+                    adjacency.append(())
+                    continue
+                adjacency.append(tuple(
+                    (nx * height + ny, (nx << CELL_KEY_SHIFT) | ny)
+                    for nx, ny in self.neighbours((x, y))))
+        self.adjacency: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(adjacency)
+        self.cell_keys: List[int] = cell_keys
 
     # -- basic queries ----------------------------------------------------
 
@@ -69,6 +104,36 @@ class Grid:
     def n_cells(self) -> int:
         """Total number of cells, blocked or not (H·W of the paper)."""
         return self.width * self.height
+
+    # -- packed-integer view ------------------------------------------------
+
+    def cell_index(self, cell: Cell) -> int:
+        """Flat index ``x·H + y`` — the spatial part of a packed state."""
+        return cell[0] * self.height + cell[1]
+
+    def index_cell(self, index: int) -> Cell:
+        """Invert :meth:`cell_index`."""
+        return divmod(index, self.height)
+
+    def manhattan_field(self, goal: Cell) -> List[int]:
+        """Flat Manhattan-distance-to-``goal`` field, indexed by cell index.
+
+        Memoised per goal so repeated searches toward the same cell pay
+        the O(HW) build once; the cache resets past
+        ``_MANHATTAN_FIELD_CAP`` distinct goals to bound its footprint.
+        """
+        field = self._manhattan_fields.get(goal)
+        if field is None:
+            if len(self._manhattan_fields) >= self._MANHATTAN_FIELD_CAP:
+                self._manhattan_fields.clear()
+            gx, gy = goal
+            height = self.height
+            field = []
+            for x in range(self.width):
+                dx = abs(x - gx)
+                field.extend(dx + abs(y - gy) for y in range(height))
+            self._manhattan_fields[goal] = field
+        return field
 
     def neighbours(self, cell: Cell) -> Iterator[Cell]:
         """Yield passable cardinal neighbours of ``cell``."""
@@ -98,17 +163,23 @@ class Grid:
         shortest-path cache; O(HW) per call.
         """
         self.require_passable(source)
-        dist = np.full((self.width, self.height), -1, dtype=np.int32)
-        dist[source] = 0
-        frontier: deque = deque((source,))
+        # Flood over the precomputed adjacency table with flat-list
+        # distances; an order of magnitude faster than tuple BFS, which
+        # matters because every heuristic field starts with one of these.
+        adjacency = self.adjacency
+        dist = [-1] * (self.width * self.height)
+        src = source[0] * self.height + source[1]
+        dist[src] = 0
+        frontier: deque = deque((src,))
         while frontier:
-            cell = frontier.popleft()
-            d = dist[cell] + 1
-            for nxt in self.neighbours(cell):
-                if dist[nxt] < 0:
-                    dist[nxt] = d
-                    frontier.append(nxt)
-        return dist
+            ci = frontier.popleft()
+            d = dist[ci] + 1
+            for nci, __ in adjacency[ci]:
+                if dist[nci] < 0:
+                    dist[nci] = d
+                    frontier.append(nci)
+        return np.asarray(dist, dtype=np.int32).reshape(
+            self.width, self.height)
 
     def connected(self, a: Cell, b: Cell) -> bool:
         """Whether a path exists between two passable cells."""

@@ -4,7 +4,8 @@ import pytest
 
 from repro.errors import PathNotFoundError
 from repro.pathfinding.astar import shortest_distance, shortest_path
-from repro.pathfinding.heuristics import (HeuristicCache, manhattan_heuristic,
+from repro.pathfinding.heuristics import (HeuristicFieldCache,
+                                          manhattan_heuristic,
                                           true_distance_heuristic)
 from repro.types import manhattan
 from repro.warehouse.grid import Grid
@@ -69,20 +70,20 @@ class TestHeuristics:
         assert h((0, 0)) > grid.n_cells
 
     def test_cache_reuses_tables(self, small_grid):
-        cache = HeuristicCache(small_grid)
-        cache.heuristic((5, 5))
-        cache.heuristic((5, 5))
+        cache = HeuristicFieldCache(small_grid)
+        cache.field((5, 5))
+        cache.field((5, 5))
         assert len(cache) == 1
-        cache.heuristic((1, 1))
+        cache.field((1, 1))
         assert len(cache) == 2
 
     def test_cache_distance(self, blocked_grid):
-        cache = HeuristicCache(blocked_grid)
+        cache = HeuristicFieldCache(blocked_grid)
         assert cache.distance((4, 0), (6, 0)) == shortest_distance(
             blocked_grid, (4, 0), (6, 0))
 
     def test_cache_memory_grows(self, small_grid):
-        cache = HeuristicCache(small_grid)
+        cache = HeuristicFieldCache(small_grid)
         empty = cache.memory_bytes()
-        cache.heuristic((5, 5))
+        cache.field((5, 5))
         assert cache.memory_bytes() > empty

@@ -96,6 +96,20 @@ class TestPurge:
         table.purge_before(5)  # lower floor must not resurrect anything
         assert table.is_free(10, (1, 1))
 
+    def test_reserving_below_floor_is_fully_ignored(self, table):
+        """Pre-floor steps leave no trace — vertices *and* edges.
+
+        (The seed kept pre-floor edges while dropping their vertices, so a
+        purged-time probe could report an occupied edge between two free
+        vertices; the bucketed structures treat both uniformly.)
+        """
+        table.purge_before(17)
+        reserve(table, [(1, 1), (2, 1), (2, 2)], t0=10)
+        assert table.is_free(10, (1, 1))
+        assert table.is_free(11, (2, 1))
+        assert table.edge_free(10, (2, 1), (1, 1))
+        assert table.move_allowed(10, (2, 1), (1, 1))
+
     def test_purge_reduces_memory(self, table):
         for t0 in range(0, 60, 3):
             reserve(table, [(1, 1), (2, 1), (3, 1)], t0=t0)

@@ -1,6 +1,23 @@
 """Unit tests for the primitive helpers in repro.types."""
 
-from repro.types import CARDINAL_MOVES, manhattan, neighbours4
+from repro.types import (CARDINAL_MOVES, CELL_KEY_MASK, CELL_KEY_SHIFT,
+                         manhattan, neighbours4, pack_cell, unpack_cell)
+
+
+class TestPackedCellKeys:
+    def test_round_trip(self):
+        for cell in [(0, 0), (1, 0), (0, 1), (63, 39), (541, 302),
+                     (CELL_KEY_MASK, CELL_KEY_MASK)]:
+            assert unpack_cell(pack_cell(cell)) == cell
+
+    def test_keys_are_unique_and_ordered_like_cell_index(self):
+        keys = [pack_cell((x, y)) for x in range(5) for y in range(4)]
+        assert len(set(keys)) == len(keys)
+        assert keys == sorted(keys)  # x-major, same order as x*H + y
+
+    def test_matches_inline_encoding(self):
+        # The hot loops inline this shift; the helper must agree.
+        assert pack_cell((6, 9)) == (6 << CELL_KEY_SHIFT) | 9
 
 
 class TestManhattan:
