@@ -13,18 +13,17 @@ Run::
 """
 
 from repro import AdaptiveTaskPlanner, Simulation, SimulationConfig
-from repro.workloads.arrivals import surge_arrivals
-from repro.workloads.scenario import Scenario
+from repro.workloads.scenario import ItemStreamSpec, ScenarioSpec
 
 
-def build_surge_scenario() -> Scenario:
+def build_surge_scenario() -> ScenarioSpec:
     n_racks = 60
-    return Scenario(
+    return ScenarioSpec(
         name="surge-day", width=36, height=24, n_racks=n_racks,
         n_pickers=8, n_robots=8,
-        items_factory=lambda: surge_arrivals(
-            n_items=900, n_racks=n_racks, base_rate=0.2, peak_rate=1.4,
-            ramp_fraction=0.25, seed=42),
+        items=ItemStreamSpec.of(
+            "surge", n_items=900, n_racks=n_racks, base_rate=0.2,
+            peak_rate=1.4, ramp_fraction=0.25, seed=42),
         description="ramp → surge → tail, Zipf rack popularity")
 
 

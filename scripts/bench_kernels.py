@@ -20,6 +20,13 @@ Run from the repo root::
 
 Future PRs: re-run before and after touching the pathfinding package and
 keep ``st_astar.packed.expansions_per_s`` from regressing.
+
+``--smoke`` is the CI gate: a seconds-fast subset (reduced rounds, no
+end-to-end Table III timing) that fails the build when the packed search
+core's speedup over the in-process seed implementation falls below
+``SMOKE_MIN_SEARCH_SPEEDUP``.  Comparing against the seed *in the same
+process* keeps the gate machine-independent — absolute expansions/sec
+vary across runners, the relative speedup does not.
 """
 
 from __future__ import annotations
@@ -46,6 +53,10 @@ from repro.warehouse.grid import Grid  # noqa: E402
 
 GRID = Grid(64, 40)
 SEARCH_ENDPOINTS = [((0, 0), (60, 35)), ((63, 0), (2, 38)), ((5, 20), (58, 4))]
+
+#: The recorded PR-1 speedup is ~2.8x; CI fails below this floor (margin
+#: for noisy shared runners).
+SMOKE_MIN_SEARCH_SPEEDUP = 1.5
 
 
 def _time_search(search_fn, make_table, rounds=30):
@@ -82,10 +93,11 @@ def _calls_per_expansion(search_fn, make_table):
     return calls / max(1, stats.expansions)
 
 
-def bench_st_astar():
+def bench_st_astar(rounds=30):
     seed_s, seed_exp = _time_search(legacy_find_path,
-                                    LegacyConflictDetectionTable)
-    packed_s, packed_exp = _time_search(find_path, ConflictDetectionTable)
+                                    LegacyConflictDetectionTable, rounds)
+    packed_s, packed_exp = _time_search(find_path, ConflictDetectionTable,
+                                        rounds)
     assert seed_exp == packed_exp, (
         f"expansion counts diverged: seed {seed_exp} vs packed {packed_exp}")
     seed_cpe = _calls_per_expansion(legacy_find_path,
@@ -164,6 +176,20 @@ def bench_table3(scale):
     }
 
 
+def run_smoke():
+    """The CI regression gate: quick search benchmark, hard floor."""
+    st = bench_st_astar(rounds=8)
+    print(f"smoke st_astar: {st['packed']['expansions_per_s']:,.0f} exp/s "
+          f"(seed {st['seed']['expansions_per_s']:,.0f}) — "
+          f"{st['speedup']:.2f}x vs in-process seed "
+          f"(floor {SMOKE_MIN_SEARCH_SPEEDUP}x)")
+    if st["speedup"] < SMOKE_MIN_SEARCH_SPEEDUP:
+        raise SystemExit(
+            f"st_astar.packed.expansions_per_s regressed: speedup "
+            f"{st['speedup']:.2f}x < {SMOKE_MIN_SEARCH_SPEEDUP}x floor")
+    print("smoke gate passed")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.35,
@@ -171,7 +197,15 @@ def main(argv=None):
                              "benchmark harness scale)")
     parser.add_argument("--out", default="BENCH_PR1.json",
                         help="output path (default BENCH_PR1.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-fast CI gate: fail if the packed "
+                             "search speedup drops below "
+                             f"{SMOKE_MIN_SEARCH_SPEEDUP}x; writes no file")
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        run_smoke()
+        return
 
     report = {
         "python": platform.python_version(),

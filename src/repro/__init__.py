@@ -32,9 +32,11 @@ from .sim import (BottleneckTrace, Mission, MissionStage, RunMetrics,
 from .warehouse import (Grid, Item, Picker, Rack, RackPhase, Robot,
                         RobotState, WarehouseLayout, WarehouseState,
                         build_layout)
-from .workloads import (Scenario, all_datasets, make_mini, make_real_large,
-                        make_real_norm, make_syn_a, make_syn_b,
-                        poisson_arrivals, surge_arrivals)
+from .workloads import (ItemStreamSpec, ObstructionSpec, SCENARIO_FAMILIES,
+                        ScenarioSpec, all_datasets, make_mini,
+                        make_real_large, make_real_norm, make_syn_a,
+                        make_syn_b, poisson_arrivals, scenario_family,
+                        surge_arrivals)
 
 __version__ = "1.0.0"
 
@@ -49,11 +51,13 @@ __all__ = [
     "IlpPlanner",
     "InvalidLocationError",
     "Item",
+    "ItemStreamSpec",
     "LayoutError",
     "LeastExpirationFirstPlanner",
     "Mission",
     "MissionStage",
     "NaiveTaskPlanner",
+    "ObstructionSpec",
     "PLANNERS",
     "PathNotFoundError",
     "Picker",
@@ -68,7 +72,8 @@ __all__ = [
     "Robot",
     "RobotState",
     "RunMetrics",
-    "Scenario",
+    "SCENARIO_FAMILIES",
+    "ScenarioSpec",
     "Simulation",
     "SimulationConfig",
     "SimulationError",
@@ -83,6 +88,7 @@ __all__ = [
     "make_syn_a",
     "make_syn_b",
     "poisson_arrivals",
+    "scenario_family",
     "surge_arrivals",
     "__version__",
 ]

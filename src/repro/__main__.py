@@ -3,18 +3,20 @@
 A thin dispatcher over the experiment regenerators, so the whole
 evaluation can be driven without writing Python:
 
-    python -m repro table3 --scale 0.5
+    python -m repro table3 --scale 0.5 --workers 4
     python -m repro fig10 --dataset Syn-A
     python -m repro fig13
     python -m repro badcase --k 10
     python -m repro ablations --which a4
+    python -m repro matrix --family fleet-ladder --workers 4 --results-dir results
 """
 
 from __future__ import annotations
 
 import sys
 
-from .experiments import ablations, badcase, fig10, fig11, fig12, fig13, table3
+from .experiments import (ablations, badcase, fig10, fig11, fig12, fig13,
+                          matrix, table3)
 
 _COMMANDS = {
     "table3": table3.main,
@@ -24,6 +26,7 @@ _COMMANDS = {
     "fig13": fig13.main,
     "badcase": badcase.main,
     "ablations": ablations.main,
+    "matrix": matrix.main,
 }
 
 

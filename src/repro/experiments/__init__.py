@@ -8,8 +8,11 @@ from .fig11 import TimeSeries, render_fig11, run_fig11
 from .fig12 import MemorySeries, render_fig12, run_fig12
 from .fig13 import BottleneckReport, render_fig13, run_fig13
 from .harness import (DEFAULT_PLANNERS, SLOW_PLANNERS, ComparisonResult,
-                      run_comparison, run_planner)
+                      MatrixCell, execute_cell, plan_cells, run_comparison,
+                      run_matrix, run_planner)
+from .matrix import render_matrix_summary
 from .reporting import format_series, format_table, percent_improvement
+from .store import ResultStore, open_store
 from .table3 import render_table3, run_table3
 
 __all__ = [
@@ -17,21 +20,28 @@ __all__ = [
     "BottleneckReport",
     "ComparisonResult",
     "DEFAULT_PLANNERS",
+    "MatrixCell",
     "MemorySeries",
     "RateSeries",
+    "ResultStore",
     "SLOW_PLANNERS",
     "TimeSeries",
     "build_bad_case",
+    "execute_cell",
     "format_series",
     "format_table",
+    "open_store",
     "percent_improvement",
+    "plan_cells",
     "render_fig10",
     "render_fig11",
     "render_fig12",
     "render_fig13",
+    "render_matrix_summary",
     "render_table3",
     "run_bad_case",
     "run_comparison",
+    "run_matrix",
     "run_fig10",
     "run_fig11",
     "run_fig12",

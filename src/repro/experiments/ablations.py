@@ -26,7 +26,7 @@ from ..pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from ..planners.eatp import EfficientAdaptiveTaskPlanner
 from ..sim.engine import Simulation
 from ..workloads.datasets import make_syn_a
-from .harness import run_planner
+from .harness import MatrixCell, run_matrix
 from .reporting import format_table
 
 
@@ -42,20 +42,34 @@ class AblationPoint:
     extra: Dict[str, float]
 
 
-def sweep_delta(values: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.8, 1.0),
-                scale: float = 1.0) -> List[AblationPoint]:
-    """A1: bootstrap degree δ on Syn-A with ATP."""
+def _config_sweep(planner: str, values: Sequence[float],
+                  make_config, scale: float, knob: str,
+                  workers: int = 0) -> List[AblationPoint]:
+    """Run one planner on Syn-A once per knob value, through the matrix."""
+    scenario = make_syn_a(scale)
+    cells = [MatrixCell(scenario=scenario, planner=planner,
+                        planner_config=make_config(value),
+                        label=f"{planner}-{knob}={value:g}")
+             for value in values]
+    payloads = run_matrix(cells, workers=workers)
     points = []
-    for delta in values:
-        config = PlannerConfig(qlearning=QLearningConfig(delta=delta))
-        result = run_planner(make_syn_a(scale), "ATP", config)
-        m = result.metrics
+    for value, cell in zip(values, cells):
+        m = payloads[cell.cell_id]["result"]["metrics"]
         points.append(AblationPoint(
-            value=delta, makespan=m.makespan,
-            selection_seconds=m.selection_seconds,
-            planning_seconds=m.planning_seconds,
-            peak_memory_kib=m.peak_memory_bytes / 1024, extra={}))
+            value=value, makespan=m["makespan"],
+            selection_seconds=m["selection_seconds"],
+            planning_seconds=m["planning_seconds"],
+            peak_memory_kib=m["peak_memory_bytes"] / 1024, extra={}))
     return points
+
+
+def sweep_delta(values: Sequence[float] = (0.0, 0.1, 0.2, 0.4, 0.8, 1.0),
+                scale: float = 1.0, workers: int = 0) -> List[AblationPoint]:
+    """A1: bootstrap degree δ on Syn-A with ATP."""
+    return _config_sweep(
+        "ATP", values,
+        lambda delta: PlannerConfig(qlearning=QLearningConfig(delta=delta)),
+        scale, knob="delta", workers=workers)
 
 
 def sweep_cache_threshold(values: Sequence[int] = (0, 4, 8, 12, 20),
@@ -80,19 +94,11 @@ def sweep_cache_threshold(values: Sequence[int] = (0, 4, 8, 12, 20),
 
 
 def sweep_knn(values: Sequence[int] = (1, 3, 5, 8, 16),
-              scale: float = 1.0) -> List[AblationPoint]:
+              scale: float = 1.0, workers: int = 0) -> List[AblationPoint]:
     """A3: flip-requesting breadth K on Syn-A with EATP."""
-    points = []
-    for k in values:
-        config = PlannerConfig(knn_k=k)
-        result = run_planner(make_syn_a(scale), "EATP", config)
-        m = result.metrics
-        points.append(AblationPoint(
-            value=k, makespan=m.makespan,
-            selection_seconds=m.selection_seconds,
-            planning_seconds=m.planning_seconds,
-            peak_memory_kib=m.peak_memory_bytes / 1024, extra={}))
-    return points
+    return _config_sweep(
+        "EATP", values, lambda k: PlannerConfig(knn_k=int(k)),
+        scale, knob="K", workers=workers)
 
 
 class _EatpOnStGraph(EfficientAdaptiveTaskPlanner):
@@ -137,15 +143,17 @@ def main(argv=None) -> None:
     parser.add_argument("--which", default="all",
                         choices=("a1", "a2", "a3", "a4", "all"))
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the A1/A3 sweeps")
     args = parser.parse_args(argv)
     if args.which in ("a1", "all"):
-        print(_render(sweep_delta(scale=args.scale), "delta",
-                      "A1 — bootstrap degree sweep (ATP, Syn-A)"))
+        print(_render(sweep_delta(scale=args.scale, workers=args.workers),
+                      "delta", "A1 — bootstrap degree sweep (ATP, Syn-A)"))
     if args.which in ("a2", "all"):
         print(_render(sweep_cache_threshold(scale=args.scale), "L",
                       "A2 — cache threshold sweep (EATP, Syn-A)"))
     if args.which in ("a3", "all"):
-        print(_render(sweep_knn(scale=args.scale), "K",
+        print(_render(sweep_knn(scale=args.scale, workers=args.workers), "K",
                       "A3 — flip-requesting breadth sweep (EATP, Syn-A)"))
     if args.which in ("a4", "all"):
         swap = sweep_reservation(scale=args.scale)

@@ -3,10 +3,12 @@
 For each dataset and planner, the picker processing rate (Eq. 6) and robot
 working rate (Eq. 7) are sampled at ten evenly spaced item-count
 checkpoints — the x-axis of the paper's Fig. 10 — and printed as series.
+Cells run through the experiment matrix, so ``--workers`` parallelises
+and ``--results-dir`` resumes.
 
 Run as a module::
 
-    python -m repro.experiments.fig10 [--scale S] [--dataset NAME]
+    python -m repro.experiments.fig10 [--scale S] [--dataset NAME] [--workers N]
 """
 
 from __future__ import annotations
@@ -17,8 +19,9 @@ from typing import Dict, List, Optional
 
 from ..config import PlannerConfig
 from ..workloads.datasets import all_datasets
-from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
 from .reporting import format_series
+from .store import open_store
 
 
 @dataclass(frozen=True)
@@ -32,26 +35,24 @@ class RateSeries:
 
 
 def run_fig10(scale: float = 1.0, dataset: Optional[str] = None,
-              planner_config: Optional[PlannerConfig] = None
+              planner_config: Optional[PlannerConfig] = None,
+              workers: int = 0, results_dir: Optional[str] = None
               ) -> Dict[str, List[RateSeries]]:
     """Compute the Fig. 10 series; ``{dataset: [series per planner]}``."""
     datasets = all_datasets(scale)
     if dataset is not None:
         datasets = {dataset: datasets[dataset]}
-    out: Dict[str, List[RateSeries]] = {}
-    for name, scenario in datasets.items():
-        skip = SLOW_PLANNERS if name == "Real-Large" else ()
-        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
-                                    planner_config, skip=skip)
-        series = []
-        for planner, result in comparison.results.items():
-            checkpoints = result.metrics.checkpoints
-            series.append(RateSeries(
-                planner=planner,
-                items=[c.items_processed for c in checkpoints],
-                ppr=[c.ppr for c in checkpoints],
-                rwr=[c.rwr for c in checkpoints]))
-        out[name] = series
+    cells = plan_cells(datasets.values(), DEFAULT_PLANNERS, planner_config)
+    store = open_store(results_dir, f"fig10-s{scale:g}")
+    payloads = run_matrix(cells, workers=workers, store=store)
+    out: Dict[str, List[RateSeries]] = {name: [] for name in datasets}
+    for payload in payloads.values():
+        checkpoints = payload["result"]["metrics"]["checkpoints"]
+        out[payload["scenario"]].append(RateSeries(
+            planner=payload["planner"],
+            items=[c["items_processed"] for c in checkpoints],
+            ppr=[c["ppr"] for c in checkpoints],
+            rwr=[c["rwr"] for c in checkpoints]))
     return out
 
 
@@ -74,8 +75,12 @@ def main(argv=None) -> None:
     parser.add_argument("--dataset", default=None,
                         choices=[None, "Syn-A", "Syn-B", "Real-Norm",
                                  "Real-Large"])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--results-dir", default=None)
     args = parser.parse_args(argv)
-    print(render_fig10(run_fig10(scale=args.scale, dataset=args.dataset)))
+    print(render_fig10(run_fig10(scale=args.scale, dataset=args.dataset,
+                                 workers=args.workers,
+                                 results_dir=args.results_dir)))
 
 
 if __name__ == "__main__":

@@ -4,11 +4,12 @@ Cumulative selection-step and path-finding wall-clock seconds at ten
 item-count checkpoints, per planner per dataset — the paper's efficiency
 figure.  Absolute values differ from the paper's Java system; the shape
 claims (EATP's STC near the cheap greedy methods, EATP's PTC below
-everyone) are what the regenerator demonstrates.
+everyone) are what the regenerator demonstrates.  Cells run through the
+experiment matrix (``--workers``, ``--results-dir``).
 
 Run as a module::
 
-    python -m repro.experiments.fig11 [--scale S] [--dataset NAME]
+    python -m repro.experiments.fig11 [--scale S] [--dataset NAME] [--workers N]
 """
 
 from __future__ import annotations
@@ -19,8 +20,9 @@ from typing import Dict, List, Optional
 
 from ..config import PlannerConfig
 from ..workloads.datasets import all_datasets
-from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
 from .reporting import format_series
+from .store import open_store
 
 
 @dataclass(frozen=True)
@@ -34,26 +36,24 @@ class TimeSeries:
 
 
 def run_fig11(scale: float = 1.0, dataset: Optional[str] = None,
-              planner_config: Optional[PlannerConfig] = None
+              planner_config: Optional[PlannerConfig] = None,
+              workers: int = 0, results_dir: Optional[str] = None
               ) -> Dict[str, List[TimeSeries]]:
     """Compute the Fig. 11 series; ``{dataset: [series per planner]}``."""
     datasets = all_datasets(scale)
     if dataset is not None:
         datasets = {dataset: datasets[dataset]}
-    out: Dict[str, List[TimeSeries]] = {}
-    for name, scenario in datasets.items():
-        skip = SLOW_PLANNERS if name == "Real-Large" else ()
-        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
-                                    planner_config, skip=skip)
-        series = []
-        for planner, result in comparison.results.items():
-            checkpoints = result.metrics.checkpoints
-            series.append(TimeSeries(
-                planner=planner,
-                items=[c.items_processed for c in checkpoints],
-                stc_seconds=[c.selection_seconds for c in checkpoints],
-                ptc_seconds=[c.planning_seconds for c in checkpoints]))
-        out[name] = series
+    cells = plan_cells(datasets.values(), DEFAULT_PLANNERS, planner_config)
+    store = open_store(results_dir, f"fig11-s{scale:g}")
+    payloads = run_matrix(cells, workers=workers, store=store)
+    out: Dict[str, List[TimeSeries]] = {name: [] for name in datasets}
+    for payload in payloads.values():
+        checkpoints = payload["result"]["metrics"]["checkpoints"]
+        out[payload["scenario"]].append(TimeSeries(
+            planner=payload["planner"],
+            items=[c["items_processed"] for c in checkpoints],
+            stc_seconds=[c["selection_seconds"] for c in checkpoints],
+            ptc_seconds=[c["planning_seconds"] for c in checkpoints]))
     return out
 
 
@@ -78,8 +78,12 @@ def main(argv=None) -> None:
     parser.add_argument("--dataset", default=None,
                         choices=[None, "Syn-A", "Syn-B", "Real-Norm",
                                  "Real-Large"])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--results-dir", default=None)
     args = parser.parse_args(argv)
-    print(render_fig11(run_fig11(scale=args.scale, dataset=args.dataset)))
+    print(render_fig11(run_fig11(scale=args.scale, dataset=args.dataset,
+                                 workers=args.workers,
+                                 results_dir=args.results_dir)))
 
 
 if __name__ == "__main__":

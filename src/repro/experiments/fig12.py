@@ -4,11 +4,12 @@ Samples each planner's live planning-structure footprint (reservation
 structure, plus EATP's cache/KNN/Q-table) at the item-count checkpoints.
 The paper's claim — every A*-based planner pays for the spatiotemporal
 graph while EATP's conflict detection table stays far below — is the shape
-this regenerator checks.
+this regenerator checks.  Cells run through the experiment matrix
+(``--workers``, ``--results-dir``).
 
 Run as a module::
 
-    python -m repro.experiments.fig12 [--scale S] [--dataset NAME]
+    python -m repro.experiments.fig12 [--scale S] [--dataset NAME] [--workers N]
 """
 
 from __future__ import annotations
@@ -19,8 +20,9 @@ from typing import Dict, List, Optional
 
 from ..config import PlannerConfig
 from ..workloads.datasets import all_datasets
-from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
 from .reporting import format_series
+from .store import open_store
 
 
 @dataclass(frozen=True)
@@ -34,26 +36,25 @@ class MemorySeries:
 
 
 def run_fig12(scale: float = 1.0, dataset: Optional[str] = None,
-              planner_config: Optional[PlannerConfig] = None
+              planner_config: Optional[PlannerConfig] = None,
+              workers: int = 0, results_dir: Optional[str] = None
               ) -> Dict[str, List[MemorySeries]]:
     """Compute the Fig. 12 series; ``{dataset: [series per planner]}``."""
     datasets = all_datasets(scale)
     if dataset is not None:
         datasets = {dataset: datasets[dataset]}
-    out: Dict[str, List[MemorySeries]] = {}
-    for name, scenario in datasets.items():
-        skip = SLOW_PLANNERS if name == "Real-Large" else ()
-        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
-                                    planner_config, skip=skip)
-        series = []
-        for planner, result in comparison.results.items():
-            checkpoints = result.metrics.checkpoints
-            series.append(MemorySeries(
-                planner=planner,
-                items=[c.items_processed for c in checkpoints],
-                memory_kib=[c.memory_bytes / 1024 for c in checkpoints],
-                peak_kib=result.metrics.peak_memory_bytes / 1024))
-        out[name] = series
+    cells = plan_cells(datasets.values(), DEFAULT_PLANNERS, planner_config)
+    store = open_store(results_dir, f"fig12-s{scale:g}")
+    payloads = run_matrix(cells, workers=workers, store=store)
+    out: Dict[str, List[MemorySeries]] = {name: [] for name in datasets}
+    for payload in payloads.values():
+        metrics = payload["result"]["metrics"]
+        checkpoints = metrics["checkpoints"]
+        out[payload["scenario"]].append(MemorySeries(
+            planner=payload["planner"],
+            items=[c["items_processed"] for c in checkpoints],
+            memory_kib=[c["memory_bytes"] / 1024 for c in checkpoints],
+            peak_kib=metrics["peak_memory_bytes"] / 1024))
     return out
 
 
@@ -76,8 +77,12 @@ def main(argv=None) -> None:
     parser.add_argument("--dataset", default=None,
                         choices=[None, "Syn-A", "Syn-B", "Real-Norm",
                                  "Real-Large"])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--results-dir", default=None)
     args = parser.parse_args(argv)
-    print(render_fig12(run_fig12(scale=args.scale, dataset=args.dataset)))
+    print(render_fig12(run_fig12(scale=args.scale, dataset=args.dataset,
+                                 workers=args.workers,
+                                 results_dir=args.results_dir)))
 
 
 if __name__ == "__main__":

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..config import PlannerConfig, SimulationConfig
-from ..sim.trace import BottleneckTrace
+from ..sim.serialize import trace_from_dict
 from ..workloads.datasets import make_real_norm
-from .harness import run_planner
+from .harness import MatrixCell, run_matrix
+from .store import open_store
 
 
 @dataclass(frozen=True)
@@ -48,13 +49,22 @@ class BottleneckReport:
 
 def run_fig13(scale: float = 1.0, planner: str = "ATP",
               window: int = 200,
-              planner_config: Optional[PlannerConfig] = None) -> BottleneckReport:
-    """Run the case study and summarise the bottleneck migration."""
-    scenario = make_real_norm(scale)
-    sim_config = SimulationConfig(record_bottleneck_trace=True)
-    result = run_planner(scenario, planner, planner_config, sim_config)
-    trace = result.trace
-    assert isinstance(trace, BottleneckTrace)
+              planner_config: Optional[PlannerConfig] = None,
+              results_dir: Optional[str] = None) -> BottleneckReport:
+    """Run the case study and summarise the bottleneck migration.
+
+    A one-cell matrix: with ``results_dir`` set, a stored cell replays
+    from its serialised trace without re-simulating.
+    """
+    # No explicit label: the default cell id carries a config digest, so
+    # a stored trace is never replayed under different knobs.
+    cell = MatrixCell(
+        scenario=make_real_norm(scale), planner=planner,
+        planner_config=planner_config,
+        sim_config=SimulationConfig(record_bottleneck_trace=True))
+    store = open_store(results_dir, f"fig13-s{scale:g}")
+    payload = run_matrix([cell], store=store)[cell.cell_id]
+    trace = trace_from_dict(payload["result"]["trace"])
     last = trace.samples[-1]
     return BottleneckReport(
         planner=planner,
@@ -82,8 +92,10 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--planner", default="ATP")
+    parser.add_argument("--results-dir", default=None)
     args = parser.parse_args(argv)
-    print(render_fig13(run_fig13(scale=args.scale, planner=args.planner)))
+    print(render_fig13(run_fig13(scale=args.scale, planner=args.planner,
+                                 results_dir=args.results_dir)))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,92 @@
+"""``python -m repro matrix`` — run a (scenario × planner) grid in parallel.
+
+The scenario axis comes from the family registry in
+:mod:`repro.workloads.datasets`; the planner axis defaults to the paper's
+five.  Finished cells stream into ``<results-dir>/<matrix-name>/`` and a
+re-run skips everything already on disk::
+
+    python -m repro matrix --family table2 --workers 4 --results-dir results
+    python -m repro matrix --family fleet-ladder --planners NTP,EATP --scale 0.3
+    python -m repro matrix --family obstructed --workers 2 --fresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..workloads.datasets import SCENARIO_FAMILIES, scenario_family
+from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
+from .reporting import format_table
+from .store import ResultStore, open_store
+
+
+def render_matrix_summary(payloads: Dict[str, dict], title: str) -> str:
+    """One row per scenario, one makespan column per planner."""
+    scenarios: List[str] = []
+    planners: List[str] = []
+    makespans: Dict[str, Dict[str, int]] = {}
+    for payload in payloads.values():
+        scenario, planner = payload["scenario"], payload["planner"]
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+        if planner not in planners:
+            planners.append(planner)
+        makespans.setdefault(scenario, {})[planner] = (
+            payload["result"]["metrics"]["makespan"])
+    rows = []
+    for scenario in scenarios:
+        row = [scenario]
+        for planner in planners:
+            value = makespans[scenario].get(planner)
+            row.append(f"{value:,}" if value is not None else "-")
+        rows.append(row)
+    return format_table(["Scenario"] + planners, rows, title=title)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default="table2",
+                        choices=sorted(SCENARIO_FAMILIES),
+                        help="scenario family to sweep (registry name)")
+    parser.add_argument("--planners", default=",".join(DEFAULT_PLANNERS),
+                        help="comma-separated planner names")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scenario scale multiplier")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial)")
+    parser.add_argument("--results-dir", default=None,
+                        help="root directory for per-cell JSON results; "
+                             "cells already on disk are not re-run")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore (delete) cached cells before running")
+    args = parser.parse_args(argv)
+
+    scenarios = scenario_family(args.family, scale=args.scale)
+    planners = tuple(p.strip() for p in args.planners.split(",") if p.strip())
+    cells = plan_cells(scenarios, planners)
+    matrix_name = f"{args.family}-s{args.scale:g}"
+    store: Optional[ResultStore] = open_store(args.results_dir, matrix_name)
+    if store is not None and args.fresh:
+        for cell in cells:
+            store.delete(cell.cell_id)
+
+    def progress(cell_id: str, status: str) -> None:
+        print(f"  [{status:>6}] {cell_id}", file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    payloads = run_matrix(cells, workers=args.workers, store=store,
+                          progress=progress)
+    elapsed = time.perf_counter() - started
+
+    title = (f"Matrix {matrix_name}: {len(cells)} cells, "
+             f"{args.workers or 1} worker(s), {elapsed:.1f}s")
+    print(render_matrix_summary(payloads, title))
+    if store is not None:
+        print(f"cells stored under {store.root}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""On-disk JSON result store for the parallel experiment matrix.
+
+One matrix run owns one directory (``results/<matrix>/``); each finished
+(scenario × planner) cell streams into its own ``<cell>.json`` the moment
+its worker returns.  A re-invoked matrix skips every cell whose file is
+already present, so an interrupted grid resumes from where it died and
+deleting a single cell file recomputes exactly that cell.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a half-written cell that a resume would mistake for a finished one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ConfigurationError
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._=+-]+")
+
+
+def cell_filename(cell_id: str) -> str:
+    """Map a cell id to a safe, stable filename (without directory)."""
+    safe = _UNSAFE.sub("_", cell_id).strip("_")
+    if not safe:
+        raise ConfigurationError(f"cell id {cell_id!r} has no usable characters")
+    return f"{safe}.json"
+
+
+class ResultStore:
+    """A directory of per-cell JSON payloads, keyed by cell id."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, cell_id: str) -> Path:
+        """Where the given cell's payload lives."""
+        return self.root / cell_filename(cell_id)
+
+    def has(self, cell_id: str) -> bool:
+        """Whether the cell already finished in a previous run."""
+        return self.path(cell_id).is_file()
+
+    def load(self, cell_id: str) -> Dict[str, Any]:
+        """Read one cell's payload."""
+        with self.path(cell_id).open("r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def save(self, cell_id: str, payload: Dict[str, Any]) -> Path:
+        """Atomically write one cell's payload; returns its path."""
+        target = self.path(cell_id)
+        tmp = target.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, target)
+        return target
+
+    def delete(self, cell_id: str) -> None:
+        """Drop one cell (forces recomputation on the next run)."""
+        try:
+            self.path(cell_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def cell_files(self) -> Iterator[Path]:
+        """All finished cell files, sorted by name."""
+        return iter(sorted(self.root.glob("*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.root.glob("*.json"))
+
+
+def open_store(results_dir: Optional[os.PathLike],
+               matrix_name: str) -> Optional[ResultStore]:
+    """``ResultStore`` under ``results_dir/<matrix_name>``, or None."""
+    if results_dir is None:
+        return None
+    return ResultStore(Path(results_dir) / matrix_name)

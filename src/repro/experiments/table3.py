@@ -5,9 +5,13 @@ EATP on Syn-A, Syn-B, Real-Norm and Real-Large.  As in the paper, LEF and
 ILP are skipped on Real-Large (the paper reports them "too slow to
 execute" there; the dashes in Table III).
 
+The (dataset × planner) grid goes through :func:`run_matrix`, so ``--workers
+N`` fans the twenty cells over N processes and ``--results-dir`` makes the
+table resumable cell by cell.
+
 Run as a module for the report::
 
-    python -m repro.experiments.table3 [--scale S]
+    python -m repro.experiments.table3 [--scale S] [--workers N]
 """
 
 from __future__ import annotations
@@ -17,24 +21,31 @@ from typing import Dict, Optional
 
 from ..config import PlannerConfig
 from ..workloads.datasets import all_datasets
-from .harness import DEFAULT_PLANNERS, SLOW_PLANNERS, run_comparison
+from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
 from .reporting import format_table, percent_improvement
+from .store import open_store
 
 
 def run_table3(scale: float = 1.0,
                planner_config: Optional[PlannerConfig] = None,
-               include_slow_on_large: bool = False) -> Dict[str, Dict[str, int]]:
+               include_slow_on_large: bool = False,
+               workers: int = 0,
+               results_dir: Optional[str] = None) -> Dict[str, Dict[str, int]]:
     """Compute the Table III makespans.
 
     Returns ``{dataset: {planner: makespan}}`` with the paper's missing
     cells absent unless ``include_slow_on_large`` is set.
     """
-    table: Dict[str, Dict[str, int]] = {}
-    for name, scenario in all_datasets(scale).items():
-        skip = () if (name != "Real-Large" or include_slow_on_large) else SLOW_PLANNERS
-        comparison = run_comparison(scenario, DEFAULT_PLANNERS,
-                                    planner_config, skip=skip)
-        table[name] = comparison.makespans()
+    datasets = all_datasets(scale)
+    cells = plan_cells(datasets.values(), DEFAULT_PLANNERS, planner_config,
+                       skip_slow_on=() if include_slow_on_large
+                       else ("Real-Large",))
+    store = open_store(results_dir, f"table3-s{scale:g}")
+    payloads = run_matrix(cells, workers=workers, store=store)
+    table: Dict[str, Dict[str, int]] = {name: {} for name in datasets}
+    for payload in payloads.values():
+        table[payload["scenario"]][payload["planner"]] = (
+            payload["result"]["metrics"]["makespan"])
     return table
 
 
@@ -65,8 +76,13 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="dataset scale multiplier (1.0 = default)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial)")
+    parser.add_argument("--results-dir", default=None,
+                        help="per-cell JSON result root (enables resume)")
     args = parser.parse_args(argv)
-    print(render_table3(run_table3(scale=args.scale)))
+    print(render_table3(run_table3(scale=args.scale, workers=args.workers,
+                                   results_dir=args.results_dir)))
 
 
 if __name__ == "__main__":

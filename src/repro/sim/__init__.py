@@ -5,6 +5,9 @@ from .metrics import (CheckpointSample, MetricsRecorder, RunMetrics,
                       picker_processing_rate, robot_working_rate)
 from .missions import Mission, MissionStage
 from .queueing import ProcessingCompletion, enqueue_rack, process_picker_tick
+from .serialize import (deterministic_view, metrics_from_dict,
+                        metrics_to_dict, result_to_dict, trace_from_dict,
+                        trace_to_dict)
 from .trace import BottleneckSample, BottleneckTrace
 
 __all__ = [
@@ -18,8 +21,14 @@ __all__ = [
     "RunMetrics",
     "Simulation",
     "SimulationResult",
+    "deterministic_view",
     "enqueue_rack",
+    "metrics_from_dict",
+    "metrics_to_dict",
     "picker_processing_rate",
     "process_picker_tick",
+    "result_to_dict",
     "robot_working_rate",
+    "trace_from_dict",
+    "trace_to_dict",
 ]

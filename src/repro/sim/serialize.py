@@ -1,0 +1,118 @@
+"""Serialisation of :class:`~repro.sim.engine.SimulationResult` to JSON.
+
+Two consumers share this layer: the parallel experiment matrix (worker
+processes return plain dicts that the parent streams into per-cell JSON
+files) and the golden-trace regression suite (small results frozen under
+``tests/golden/`` and diffed field by field).
+
+Wall-clock fields (``selection_seconds`` / ``planning_seconds``) are
+*measurements*, not functions of the seed, so they can never be
+bit-identical across runs or processes.  :func:`deterministic_view` strips
+them recursively; everything else — makespan, rates, memory, the
+bottleneck trace, the mission order — is reproducible from a scenario
+spec's seeds and compares exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .engine import SimulationResult
+from .metrics import CheckpointSample, RunMetrics
+from .trace import BottleneckTrace
+
+#: Keys holding wall-clock measurements, excluded from exact comparisons.
+TIMING_KEYS = frozenset({"selection_seconds", "planning_seconds"})
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """Serialise final metrics plus the checkpoint series."""
+    return {
+        "makespan": metrics.makespan,
+        "items_processed": metrics.items_processed,
+        "missions_completed": metrics.missions_completed,
+        "ppr": metrics.ppr,
+        "rwr": metrics.rwr,
+        "selection_seconds": metrics.selection_seconds,
+        "planning_seconds": metrics.planning_seconds,
+        "peak_memory_bytes": metrics.peak_memory_bytes,
+        "checkpoints": [
+            {"items_processed": c.items_processed, "tick": c.tick,
+             "ppr": c.ppr, "rwr": c.rwr,
+             "selection_seconds": c.selection_seconds,
+             "planning_seconds": c.planning_seconds,
+             "memory_bytes": c.memory_bytes}
+            for c in metrics.checkpoints],
+    }
+
+
+def trace_to_dict(trace: Optional[BottleneckTrace]
+                  ) -> Optional[List[Dict[str, int]]]:
+    """Serialise the bottleneck trace as a list of per-tick samples."""
+    if trace is None:
+        return None
+    return [
+        {"tick": s.tick, "transporting": s.transporting,
+         "queuing": s.queuing, "processing": s.processing,
+         "cum_transport": s.cum_transport, "cum_queuing": s.cum_queuing,
+         "cum_processing": s.cum_processing}
+        for s in trace.samples]
+
+
+def trace_from_dict(samples: List[Dict[str, int]]) -> BottleneckTrace:
+    """Rebuild a :class:`BottleneckTrace` from its serialised samples."""
+    trace = BottleneckTrace()
+    for sample in samples:
+        trace.record(tick=sample["tick"],
+                     transporting=sample["transporting"],
+                     queuing=sample["queuing"],
+                     processing=sample["processing"])
+    return trace
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialise one run: metrics, trace, and the completed mission order.
+
+    Missions record the fields that make the run's *logic* auditable
+    (which robot fulfilled which rack with which items, and when) — not
+    the per-leg paths, which would dwarf the payload.
+    """
+    return {
+        "planner": result.planner_name,
+        "metrics": metrics_to_dict(result.metrics),
+        "trace": trace_to_dict(result.trace),
+        "missions": [
+            {"robot_id": m.robot_id, "rack_id": m.rack_id,
+             "item_ids": [item.item_id for item in m.batch],
+             "dispatched_at": m.dispatched_at}
+            for m in result.missions],
+    }
+
+
+def metrics_from_dict(payload: Dict[str, Any]) -> RunMetrics:
+    """Rebuild :class:`RunMetrics` from :func:`metrics_to_dict` output."""
+    return RunMetrics(
+        makespan=payload["makespan"],
+        items_processed=payload["items_processed"],
+        missions_completed=payload["missions_completed"],
+        ppr=payload["ppr"],
+        rwr=payload["rwr"],
+        selection_seconds=payload["selection_seconds"],
+        planning_seconds=payload["planning_seconds"],
+        peak_memory_bytes=payload["peak_memory_bytes"],
+        checkpoints=[CheckpointSample(**c) for c in payload["checkpoints"]])
+
+
+def deterministic_view(payload: Any) -> Any:
+    """Copy of ``payload`` with wall-clock keys removed, recursively.
+
+    Two runs of the same (scenario, planner, config) cell — serial or in a
+    worker process — produce identical deterministic views; only the
+    timing measurements differ.
+    """
+    if isinstance(payload, dict):
+        return {k: deterministic_view(v) for k, v in payload.items()
+                if k not in TIMING_KEYS}
+    if isinstance(payload, list):
+        return [deterministic_view(v) for v in payload]
+    return payload

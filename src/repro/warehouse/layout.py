@@ -13,8 +13,10 @@ locations.  Entity objects are materialised from it by
 
 from __future__ import annotations
 
+import random
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..errors import LayoutError
 from ..types import Cell
@@ -156,6 +158,75 @@ def _place_rack_blocks(width: int, height: int, n_racks: int,
             f"storage area of {width}x{height} grid fits only {len(homes)} "
             f"racks (requested {n_racks}); enlarge the grid or shrink blocks")
     return homes
+
+
+def obstruct_layout(layout: WarehouseLayout, n_pillars: int,
+                    seed: int = 0) -> WarehouseLayout:
+    """Scatter structural pillars over a layout's storage area.
+
+    Pillar cells are drawn deterministically from ``seed`` among passable
+    storage-area cells that host neither a rack home nor a picker.  A
+    candidate that would disconnect any rack home or picker from the rest
+    of the floor is skipped, so every scenario built on the obstructed
+    layout remains solvable; planners must detour around the pillars.
+
+    Raises
+    ------
+    LayoutError
+        If fewer than ``n_pillars`` cells can be blocked without breaking
+        reachability.
+    """
+    if n_pillars < 1:
+        raise LayoutError(f"n_pillars must be >= 1, got {n_pillars}")
+    grid = layout.grid
+    keep_free = set(layout.rack_homes) | set(layout.picker_locations)
+    storage_bottom = grid.height - PICKING_AREA_HEIGHT - 1
+    candidates = [(x, y)
+                  for y in range(storage_bottom + 1)
+                  for x in range(grid.width)
+                  if grid.passable((x, y)) and (x, y) not in keep_free]
+    random.Random(seed).shuffle(candidates)
+
+    blocked: Set[Cell] = set(grid.blocked_cells)
+    placed = 0
+    for cell in candidates:
+        if placed == n_pillars:
+            break
+        blocked.add(cell)
+        if _all_reachable(grid, blocked, keep_free):
+            placed += 1
+        else:
+            blocked.discard(cell)
+    if placed < n_pillars:
+        raise LayoutError(
+            f"could only place {placed} of {n_pillars} pillars without "
+            f"disconnecting racks or pickers")
+    obstructed = WarehouseLayout(grid=Grid(grid.width, grid.height,
+                                           blocked=blocked),
+                                 rack_homes=layout.rack_homes,
+                                 picker_locations=layout.picker_locations)
+    obstructed.validate()
+    return obstructed
+
+
+def _all_reachable(grid: Grid, blocked: Set[Cell],
+                   targets: Set[Cell]) -> bool:
+    """BFS over the grid minus ``blocked``: are all ``targets`` connected?"""
+    start = next(iter(targets))
+    seen = {start}
+    frontier = deque([start])
+    remaining = len(targets - {start})
+    while frontier and remaining:
+        x, y = frontier.popleft()
+        for cell in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+            if (cell in seen or not grid.in_bounds(cell)
+                    or cell in blocked or not grid.passable(cell)):
+                continue
+            seen.add(cell)
+            if cell in targets:
+                remaining -= 1
+            frontier.append(cell)
+    return remaining == 0
 
 
 def _place_pickers(width: int, height: int, n_pickers: int) -> List[Cell]:

@@ -1,23 +1,43 @@
-"""Workload generation: arrival processes, scenarios, Table II datasets."""
+"""Workload generation: arrival processes, scenario specs, the registry."""
 
-from .arrivals import (PROCESSING_TIME_RANGE, deterministic_arrivals,
-                       poisson_arrivals, surge_arrivals,
+from .arrivals import (GENERATORS, PROCESSING_TIME_RANGE,
+                       deterministic_arrivals, poisson_arrivals,
+                       register_generator, resolve_generator, surge_arrivals,
                        uniform_processing_time)
-from .datasets import (all_datasets, make_mini, make_real_large,
-                       make_real_norm, make_syn_a, make_syn_b)
-from .scenario import Scenario
+from .datasets import (FLEET_SIZES, PILLAR_COUNTS, SCENARIO_FAMILIES,
+                       SURGE_PEAKS, all_datasets, fleet_ladder, make_mini,
+                       make_real_large, make_real_norm, make_syn_a,
+                       make_syn_b, obstructed_floor, scenario_family,
+                       surge_sweep)
+from .scenario import (TAG_SKIP_SLOW_PLANNERS, ItemStreamSpec,
+                       ObstructionSpec, ScenarioSpec, workload_fingerprint)
 
 __all__ = [
+    "FLEET_SIZES",
+    "GENERATORS",
+    "ItemStreamSpec",
+    "ObstructionSpec",
+    "PILLAR_COUNTS",
     "PROCESSING_TIME_RANGE",
-    "Scenario",
+    "SCENARIO_FAMILIES",
+    "SURGE_PEAKS",
+    "ScenarioSpec",
+    "TAG_SKIP_SLOW_PLANNERS",
     "all_datasets",
     "deterministic_arrivals",
+    "fleet_ladder",
     "make_mini",
     "make_real_large",
     "make_real_norm",
     "make_syn_a",
     "make_syn_b",
+    "obstructed_floor",
     "poisson_arrivals",
+    "register_generator",
+    "resolve_generator",
+    "scenario_family",
     "surge_arrivals",
+    "surge_sweep",
     "uniform_processing_time",
+    "workload_fingerprint",
 ]

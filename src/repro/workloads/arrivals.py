@@ -128,3 +128,39 @@ def deterministic_arrivals(schedule: Sequence[tuple],
     return [Item(item_id=i, rack_id=rack_id, arrival=arrival,
                  processing_time=processing_time)
             for i, (arrival, rack_id) in enumerate(schedule)]
+
+
+# -- the named generator registry -------------------------------------------
+#
+# Scenario specs reference arrival processes *by name* so a spec is plain,
+# picklable data that any worker process can materialise (see
+# :mod:`repro.workloads.scenario`).  Third-party generators register here.
+
+GENERATORS: dict = {
+    "poisson": poisson_arrivals,
+    "surge": surge_arrivals,
+    "deterministic": deterministic_arrivals,
+}
+
+
+def register_generator(name: str,
+                       generator: Callable[..., List[Item]]) -> None:
+    """Add an arrival generator to the registry.
+
+    The generator must be a pure function of its keyword arguments
+    (deterministic for a fixed seed) so scenario builds stay reproducible
+    across processes.
+    """
+    if name in GENERATORS:
+        raise ConfigurationError(f"arrival generator {name!r} already registered")
+    GENERATORS[name] = generator
+
+
+def resolve_generator(name: str) -> Callable[..., List[Item]]:
+    """Look up a registered arrival generator by name."""
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arrival generator {name!r}; "
+            f"choose from {sorted(GENERATORS)}") from None

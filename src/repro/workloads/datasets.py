@@ -1,4 +1,4 @@
-"""The four Table II datasets, geometrically scaled for laptop execution.
+"""The scenario registry: Table II datasets plus the scaling families.
 
 Paper scale (Table II) versus the default scale here:
 
@@ -21,113 +21,125 @@ high-variance throughput on a larger floor, which the surge preserves.
 The per-dataset proportions mirror the paper: Syn-B has *fewer racks but
 far more items* than Syn-A (high per-rack throughput — batching country),
 while the real datasets have *many racks* (transport-heavy tails).
+
+Beyond the four paper datasets, :data:`SCENARIO_FAMILIES` registers the
+sweep families the experiment matrix fans out over:
+
+* ``surge-sweep`` — the Real-Norm floor under increasingly violent
+  arrival surges (peak-rate ladder);
+* ``fleet-ladder`` — the Real-Large floor with fleets from 10 to 200
+  robots (congestion scaling);
+* ``obstructed`` — the Syn-A floor with growing pillar counts
+  (detour-heavy transport).
+
+A family is one registry entry: ``name -> callable(scale) ->
+[ScenarioSpec, ...]``.  Adding a workload means registering one function
+that returns specs — no harness changes.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Callable, Dict, List, Sequence
 
-from .arrivals import poisson_arrivals, surge_arrivals
-from .scenario import Scenario
+from ..errors import ConfigurationError
+from .scenario import (TAG_SKIP_SLOW_PLANNERS, ItemStreamSpec,
+                       ObstructionSpec, ScenarioSpec)
 
 #: Seeds fixed per dataset so that all planners (and all reruns) see the
 #: identical workload.
-_SEEDS = {"Syn-A": 101, "Syn-B": 202, "Real-Norm": 303, "Real-Large": 404}
+_SEEDS = {"Syn-A": 101, "Syn-B": 202, "Real-Norm": 303, "Real-Large": 404,
+          "Surge": 505, "Fleet": 606, "Pillars": 707}
 
 
 def _scaled(value: int, scale: float, minimum: int = 1) -> int:
     return max(minimum, int(round(value * scale)))
 
 
-def make_syn_a(scale: float = 1.0) -> Scenario:
+def make_syn_a(scale: float = 1.0) -> ScenarioSpec:
     """Syn-A: moderate Poisson throughput on the smaller synthetic floor."""
     n_racks = _scaled(72, scale)
-    n_items = _scaled(1200, scale)
-    seed = _SEEDS["Syn-A"]
-    return Scenario(
+    return ScenarioSpec(
         name="Syn-A",
         width=_scaled(40, math.sqrt(scale), minimum=16),
         height=_scaled(26, math.sqrt(scale), minimum=12),
         n_racks=n_racks,
         n_pickers=_scaled(12, scale),
         n_robots=_scaled(10, scale),
-        items_factory=lambda: poisson_arrivals(
-            n_items=n_items, n_racks=n_racks, rate=0.5 * scale, seed=seed),
+        items=ItemStreamSpec.of(
+            "poisson", n_items=_scaled(1200, scale), n_racks=n_racks,
+            rate=0.5 * scale, seed=_SEEDS["Syn-A"]),
         description="synthetic, homogeneous Poisson arrivals",
     )
 
 
-def make_syn_b(scale: float = 1.0) -> Scenario:
+def make_syn_b(scale: float = 1.0) -> ScenarioSpec:
     """Syn-B: high per-rack throughput (few racks, many items)."""
     n_racks = _scaled(48, scale)
-    n_items = _scaled(2000, scale)
-    seed = _SEEDS["Syn-B"]
-    return Scenario(
+    return ScenarioSpec(
         name="Syn-B",
         width=_scaled(56, math.sqrt(scale), minimum=20),
         height=_scaled(30, math.sqrt(scale), minimum=14),
         n_racks=n_racks,
         n_pickers=_scaled(16, scale),
         n_robots=_scaled(14, scale),
-        items_factory=lambda: poisson_arrivals(
-            n_items=n_items, n_racks=n_racks, rate=0.8 * scale, seed=seed),
+        items=ItemStreamSpec.of(
+            "poisson", n_items=_scaled(2000, scale), n_racks=n_racks,
+            rate=0.8 * scale, seed=_SEEDS["Syn-B"]),
         description="synthetic, dense Poisson arrivals on few racks",
     )
 
 
-def make_real_norm(scale: float = 1.0) -> Scenario:
+def make_real_norm(scale: float = 1.0) -> ScenarioSpec:
     """Real-Norm: bursty surge arrivals standing in for the Geekplus trace."""
     n_racks = _scaled(120, scale)
-    n_items = _scaled(1600, scale)
-    seed = _SEEDS["Real-Norm"]
-    return Scenario(
+    return ScenarioSpec(
         name="Real-Norm",
         width=_scaled(48, math.sqrt(scale), minimum=20),
         height=_scaled(32, math.sqrt(scale), minimum=14),
         n_racks=n_racks,
         n_pickers=_scaled(12, scale),
         n_robots=_scaled(12, scale),
-        items_factory=lambda: surge_arrivals(
-            n_items=n_items, n_racks=n_racks, base_rate=0.3 * scale,
-            peak_rate=1.2 * scale, ramp_fraction=0.25, seed=seed),
+        items=ItemStreamSpec.of(
+            "surge", n_items=_scaled(1600, scale), n_racks=n_racks,
+            base_rate=0.3 * scale, peak_rate=1.2 * scale,
+            ramp_fraction=0.25, seed=_SEEDS["Real-Norm"]),
         description="surge trace substitute (ramp-peak-tail, Zipf racks)",
     )
 
 
-def make_real_large(scale: float = 1.0) -> Scenario:
+def make_real_large(scale: float = 1.0) -> ScenarioSpec:
     """Real-Large: the scalability dataset (largest floor and workload)."""
     n_racks = _scaled(200, scale)
-    n_items = _scaled(2600, scale)
-    seed = _SEEDS["Real-Large"]
-    return Scenario(
+    return ScenarioSpec(
         name="Real-Large",
         width=_scaled(64, math.sqrt(scale), minimum=24),
         height=_scaled(40, math.sqrt(scale), minimum=16),
         n_racks=n_racks,
         n_pickers=_scaled(16, scale),
         n_robots=_scaled(20, scale),
-        items_factory=lambda: surge_arrivals(
-            n_items=n_items, n_racks=n_racks, base_rate=0.4 * scale,
-            peak_rate=1.6 * scale, ramp_fraction=0.25, seed=seed),
+        items=ItemStreamSpec.of(
+            "surge", n_items=_scaled(2600, scale), n_racks=n_racks,
+            base_rate=0.4 * scale, peak_rate=1.6 * scale,
+            ramp_fraction=0.25, seed=_SEEDS["Real-Large"]),
         description="large surge trace substitute",
     )
 
 
-def make_mini(seed: int = 1, n_items: int = 60) -> Scenario:
+def make_mini(seed: int = 1, n_items: int = 60) -> ScenarioSpec:
     """A seconds-fast scenario for tests and micro-benchmarks."""
     n_racks = 12
-    return Scenario(
+    return ScenarioSpec(
         name="Mini",
         width=18, height=14, n_racks=n_racks, n_pickers=3, n_robots=3,
-        items_factory=lambda: poisson_arrivals(
-            n_items=n_items, n_racks=n_racks, rate=0.4, seed=seed,
-            processing_low=5, processing_high=12),
+        items=ItemStreamSpec.of(
+            "poisson", n_items=n_items, n_racks=n_racks, rate=0.4,
+            seed=seed, processing_low=5, processing_high=12),
         description="tiny smoke-test scenario",
     )
 
 
-def all_datasets(scale: float = 1.0) -> Dict[str, Scenario]:
+def all_datasets(scale: float = 1.0) -> Dict[str, ScenarioSpec]:
     """The four Table II datasets, in the paper's column order."""
     return {
         "Syn-A": make_syn_a(scale),
@@ -135,3 +147,101 @@ def all_datasets(scale: float = 1.0) -> Dict[str, Scenario]:
         "Real-Norm": make_real_norm(scale),
         "Real-Large": make_real_large(scale),
     }
+
+
+# -- sweep families beyond the paper ----------------------------------------
+
+#: Peak-rate multipliers of the surge sweep (1.2·scale is Real-Norm's peak).
+SURGE_PEAKS = (0.6, 1.2, 2.4, 4.8)
+
+#: Fleet sizes of the robot ladder (the paper runs 500–3 000 at full scale).
+FLEET_SIZES = (10, 25, 50, 100, 200)
+
+#: Pillar counts of the obstructed-floor ladder.
+PILLAR_COUNTS = (8, 24, 48)
+
+
+def surge_sweep(scale: float = 1.0,
+                peaks: Sequence[float] = SURGE_PEAKS) -> List[ScenarioSpec]:
+    """Bursty-arrival intensity ladder on the Real-Norm floor.
+
+    Each step keeps the floor, fleet and item budget fixed and multiplies
+    the surge's peak arrival rate, so the matrix isolates how each planner
+    degrades as the midnight-carnival spike sharpens.
+    """
+    base = make_real_norm(scale)
+    specs = []
+    for peak in peaks:
+        items = ItemStreamSpec.of(
+            "surge", n_items=base.items.kwargs()["n_items"],
+            n_racks=base.n_racks,
+            base_rate=0.3 * scale, peak_rate=max(1.2 * peak * scale,
+                                                 0.31 * scale),
+            ramp_fraction=0.25, seed=_SEEDS["Surge"])
+        specs.append(base.with_(
+            name=f"Surge-x{peak:g}", items=items,
+            description=f"Real-Norm floor, surge peak x{peak:g}"))
+    return specs
+
+
+def fleet_ladder(scale: float = 1.0,
+                 fleets: Sequence[int] = FLEET_SIZES) -> List[ScenarioSpec]:
+    """Robot-count ladder (10 → 200 at full scale) on the Real-Large floor.
+
+    Robot counts scale with ``scale`` but never collapse below 1; the rack
+    count bounds the fleet (robots park beneath racks), so oversized rungs
+    are rejected rather than silently clamped.  Every rung reuses the
+    Real-Large floor, where the paper reports LEF/ILP "too slow to
+    execute" — the rungs carry :data:`TAG_SKIP_SLOW_PLANNERS` so the
+    matrix honours the same exclusion.
+    """
+    base = make_real_large(scale)
+    specs = []
+    for fleet in fleets:
+        n_robots = _scaled(fleet, scale)
+        if n_robots > base.n_racks:
+            raise ConfigurationError(
+                f"fleet rung {fleet}: {n_robots} robots exceed "
+                f"{base.n_racks} racks at scale {scale}")
+        specs.append(base.with_(
+            name=f"Fleet-{fleet}", n_robots=n_robots,
+            description=f"Real-Large floor, {n_robots} robots",
+            tags=(TAG_SKIP_SLOW_PLANNERS,)))
+    return specs
+
+
+def obstructed_floor(scale: float = 1.0,
+                     pillar_counts: Sequence[int] = PILLAR_COUNTS
+                     ) -> List[ScenarioSpec]:
+    """Pillar-count ladder on the Syn-A floor (detour-heavy transport)."""
+    base = make_syn_a(scale)
+    specs = []
+    for count in pillar_counts:
+        n_pillars = _scaled(count, scale)
+        specs.append(base.with_(
+            name=f"Pillars-{count}",
+            obstructions=ObstructionSpec(n_pillars=n_pillars,
+                                         seed=_SEEDS["Pillars"]),
+            description=f"Syn-A floor with {n_pillars} pillars"))
+    return specs
+
+
+#: Registered scenario families: ``name -> callable(scale) -> [spec, ...]``.
+SCENARIO_FAMILIES: Dict[str, Callable[[float], List[ScenarioSpec]]] = {
+    "table2": lambda scale: list(all_datasets(scale).values()),
+    "surge-sweep": surge_sweep,
+    "fleet-ladder": fleet_ladder,
+    "obstructed": obstructed_floor,
+    "mini": lambda scale: [make_mini(n_items=max(20, int(60 * scale)))],
+}
+
+
+def scenario_family(name: str, scale: float = 1.0) -> List[ScenarioSpec]:
+    """Materialise a registered scenario family at ``scale``."""
+    try:
+        family = SCENARIO_FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario family {name!r}; "
+            f"choose from {sorted(SCENARIO_FAMILIES)}") from None
+    return family(scale)

@@ -4,6 +4,24 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden traces under tests/golden/ from the "
+             "current implementation instead of diffing against them")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: multi-second experiment regenerator runs")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should regenerate the golden files."""
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.config import PlannerConfig, QLearningConfig, SimulationConfig
 from repro.warehouse.grid import Grid
 from repro.warehouse.layout import build_layout

@@ -118,21 +118,37 @@ class TestDatasets:
         assert b.n_items / b.n_racks > a.n_items / a.n_racks
 
 
+class TestGeneratorRegistry:
+    def test_named_generators_resolve(self):
+        from repro.workloads.arrivals import resolve_generator
+        assert resolve_generator("poisson") is poisson_arrivals
+        assert resolve_generator("surge") is surge_arrivals
+
+    def test_unknown_generator_rejected(self):
+        from repro.workloads.arrivals import resolve_generator
+        with pytest.raises(ConfigurationError):
+            resolve_generator("lognormal")
+
+    def test_reregistration_rejected(self):
+        from repro.workloads.arrivals import register_generator
+        with pytest.raises(ConfigurationError):
+            register_generator("poisson", poisson_arrivals)
+
+
 class TestScenarioValidation:
     def test_rejects_item_referencing_missing_rack(self):
-        from repro.workloads.scenario import Scenario
-        from repro.warehouse.entities import Item
-        scenario = Scenario(
+        from repro.workloads.scenario import ItemStreamSpec, ScenarioSpec
+        scenario = ScenarioSpec(
             name="bad", width=16, height=12, n_racks=2, n_pickers=1,
             n_robots=1,
-            items_factory=lambda: [Item(0, 5, 0, 3)])
-        with pytest.raises(ValueError):
+            items=ItemStreamSpec.of("deterministic", schedule=[(0, 5)]))
+        with pytest.raises(ConfigurationError):
             scenario.build()
 
     def test_rejects_empty_workload(self):
-        from repro.workloads.scenario import Scenario
-        scenario = Scenario(
+        from repro.workloads.scenario import ItemStreamSpec, ScenarioSpec
+        scenario = ScenarioSpec(
             name="empty", width=16, height=12, n_racks=2, n_pickers=1,
-            n_robots=1, items_factory=list)
-        with pytest.raises(ValueError):
+            n_robots=1, items=ItemStreamSpec.of("deterministic", schedule=[]))
+        with pytest.raises(ConfigurationError):
             scenario.build()

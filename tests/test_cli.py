@@ -22,3 +22,18 @@ class TestDispatcher:
         assert main(["badcase", "--k", "3"]) == 0
         out = capsys.readouterr().out
         assert "Bad case k=3" in out
+
+    def test_help_lists_matrix(self, capsys):
+        main(["--help"])
+        assert "matrix" in capsys.readouterr().out
+
+    def test_matrix_runs_and_resumes(self, capsys, tmp_path):
+        argv = ["matrix", "--family", "mini", "--planners", "NTP",
+                "--scale", "0.5", "--results-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Matrix mini-s0.5" in first.out and "Mini" in first.out
+        # Second invocation resumes entirely from the stored cells.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "[cached] Mini--NTP" in second.err

@@ -108,15 +108,14 @@ class TestAdaptivePlannersCompetitive:
         # lose to greedy dispatch by any meaningful margin, and usually
         # wins.  (A strict win is asserted at dataset scale in the
         # benchmark harness; at mini scale we allow a small tolerance.)
-        from repro.workloads.arrivals import surge_arrivals
-        from repro.workloads.scenario import Scenario
-        scenario = Scenario(
+        from repro.workloads.scenario import ItemStreamSpec, ScenarioSpec
+        scenario = ScenarioSpec(
             name="burst", width=24, height=16, n_racks=16, n_pickers=3,
             n_robots=3,
-            items_factory=lambda: surge_arrivals(
-                n_items=150, n_racks=16, base_rate=0.2, peak_rate=1.2,
-                ramp_fraction=0.25, seed=5, processing_low=5,
-                processing_high=12))
+            items=ItemStreamSpec.of(
+                "surge", n_items=150, n_racks=16, base_rate=0.2,
+                peak_rate=1.2, ramp_fraction=0.25, seed=5,
+                processing_low=5, processing_high=12))
         makespans = {}
         for name in ("NTP", "ATP"):
             state, items = scenario.build()

@@ -98,3 +98,54 @@ class TestValidation:
         xs = sorted({x for x, _ in homes})
         # Column 5 is the first aisle (blocks start at x=1, width 4).
         assert 5 not in xs
+
+
+class TestObstructLayout:
+    def _base(self):
+        from repro.warehouse.layout import obstruct_layout
+        return obstruct_layout, build_layout(24, 16, n_racks=16, n_pickers=3)
+
+    def test_places_exact_pillar_count(self):
+        obstruct_layout, layout = self._base()
+        obstructed = obstruct_layout(layout, n_pillars=10, seed=3)
+        assert len(obstructed.grid.blocked_cells) == 10
+        obstructed.validate()
+
+    def test_deterministic_per_seed(self):
+        obstruct_layout, layout = self._base()
+        a = obstruct_layout(layout, n_pillars=8, seed=3)
+        b = obstruct_layout(layout, n_pillars=8, seed=3)
+        c = obstruct_layout(layout, n_pillars=8, seed=4)
+        assert a.grid.blocked_cells == b.grid.blocked_cells
+        assert a.grid.blocked_cells != c.grid.blocked_cells
+
+    def test_never_blocks_racks_or_pickers(self):
+        obstruct_layout, layout = self._base()
+        obstructed = obstruct_layout(layout, n_pillars=20, seed=1)
+        blocked = obstructed.grid.blocked_cells
+        assert not blocked & set(layout.rack_homes)
+        assert not blocked & set(layout.picker_locations)
+
+    def test_preserves_reachability(self):
+        obstruct_layout, layout = self._base()
+        obstructed = obstruct_layout(layout, n_pillars=25, seed=7)
+        picker = obstructed.picker_locations[0]
+        for home in obstructed.rack_homes:
+            assert obstructed.grid.connected(picker, home)
+
+    def test_pillars_stay_out_of_the_picking_area(self):
+        obstruct_layout, layout = self._base()
+        obstructed = obstruct_layout(layout, n_pillars=15, seed=2)
+        storage_bottom = 16 - PICKING_AREA_HEIGHT - 1
+        assert all(y <= storage_bottom
+                   for (_, y) in obstructed.grid.blocked_cells)
+
+    def test_impossible_pillar_count_rejected(self):
+        obstruct_layout, layout = self._base()
+        with pytest.raises(LayoutError):
+            obstruct_layout(layout, n_pillars=10_000, seed=0)
+
+    def test_zero_pillars_rejected(self):
+        obstruct_layout, layout = self._base()
+        with pytest.raises(LayoutError):
+            obstruct_layout(layout, n_pillars=0)

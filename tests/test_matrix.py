@@ -1,0 +1,196 @@
+"""Tests for the parallel experiment matrix: cells, store, resume, parity.
+
+The acceptance bar for the harness refactor: ``run_matrix`` over the
+Table III scenario set with several workers must produce per-cell JSON
+whose deterministic view is bit-identical to the serial harness, and a
+re-invocation after deleting one cell file must recompute exactly that
+cell.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import PlannerConfig, SimulationConfig
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (DEFAULT_PLANNERS, MatrixCell,
+                                       execute_cell, plan_cells,
+                                       run_comparison, run_matrix)
+from repro.experiments.matrix import render_matrix_summary
+from repro.experiments.store import ResultStore, cell_filename
+from repro.sim.serialize import deterministic_view
+from repro.workloads.datasets import all_datasets, fleet_ladder, make_mini
+
+#: Small but structurally faithful stand-in for the Table III grid.
+SCALE = 0.18
+
+
+def mini_cells(planners=("NTP", "ATP", "EATP"), n_items=30):
+    return plan_cells([make_mini(n_items=n_items)], planners)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "m")
+        payload = {"metrics": {"makespan": 42}}
+        store.save("Syn-A--NTP", payload)
+        assert store.has("Syn-A--NTP")
+        assert store.load("Syn-A--NTP") == payload
+        assert len(store) == 1
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("cell", {"a": 1})
+        assert [p.name for p in store.cell_files()] == ["cell.json"]
+
+    def test_delete_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("cell", {})
+        store.delete("cell")
+        store.delete("cell")
+        assert not store.has("cell")
+
+    def test_filenames_are_sanitised(self):
+        assert cell_filename("Syn-A--NTP") == "Syn-A--NTP.json"
+        assert "/" not in cell_filename("weird/../name")
+        with pytest.raises(ConfigurationError):
+            cell_filename("///")
+
+
+class TestRunComparison:
+    def test_all_planners_skipped_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison(make_mini(n_items=20), planners=("NTP", "LEF"),
+                           skip=("NTP", "LEF"))
+
+    def test_empty_planner_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison(make_mini(n_items=20), planners=())
+
+    def test_partial_skip_still_runs(self):
+        comparison = run_comparison(make_mini(n_items=30),
+                                    planners=("NTP", "LEF"), skip=("LEF",))
+        assert list(comparison.results) == ["NTP"]
+
+
+class TestCellPlanning:
+    def test_slow_planners_skipped_on_large(self):
+        cells = plan_cells(all_datasets(SCALE).values(), DEFAULT_PLANNERS)
+        ids = [c.cell_id for c in cells]
+        assert "Real-Large--NTP" in ids
+        assert "Real-Large--LEF" not in ids and "Real-Large--ILP" not in ids
+        assert len(cells) == 4 * 5 - 2
+
+    def test_fleet_ladder_tags_exclude_slow_planners(self):
+        # The ladder rebuilds the Real-Large floor under Fleet-N names;
+        # the paper's "too slow to execute" exclusion must follow it.
+        cells = plan_cells(fleet_ladder(SCALE), DEFAULT_PLANNERS)
+        planners = {c.planner for c in cells}
+        assert planners == {"NTP", "ATP", "EATP"}
+
+    def test_duplicate_cell_ids_rejected(self):
+        cells = mini_cells(planners=("NTP", "NTP"))
+        with pytest.raises(ConfigurationError):
+            run_matrix(cells)
+
+    def test_colliding_sanitised_filenames_rejected(self):
+        spec = make_mini(n_items=10)
+        cells = [MatrixCell(scenario=spec, planner="NTP", label="a b"),
+                 MatrixCell(scenario=spec, planner="NTP", label="a_b")]
+        with pytest.raises(ConfigurationError):
+            run_matrix(cells)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix(mini_cells(), workers=-1)
+
+
+class TestCellIds:
+    def test_default_config_keeps_plain_id(self):
+        cell = MatrixCell(scenario=make_mini(n_items=10), planner="NTP")
+        assert cell.cell_id == "Mini--NTP"
+
+    def test_non_default_config_changes_the_id(self):
+        # A stored cell must never be resumed under different knobs.
+        spec = make_mini(n_items=10)
+        plain = MatrixCell(scenario=spec, planner="EATP")
+        tuned = MatrixCell(scenario=spec, planner="EATP",
+                           planner_config=PlannerConfig(knn_k=3))
+        traced = MatrixCell(scenario=spec, planner="EATP",
+                            sim_config=SimulationConfig(
+                                record_bottleneck_trace=True))
+        ids = {plain.cell_id, tuned.cell_id, traced.cell_id}
+        assert len(ids) == 3
+        assert all(i.startswith("Mini--EATP") for i in ids)
+
+    def test_same_config_same_id(self):
+        spec = make_mini(n_items=10)
+        a = MatrixCell(scenario=spec, planner="EATP",
+                       planner_config=PlannerConfig(knn_k=3))
+        b = MatrixCell(scenario=spec, planner="EATP",
+                       planner_config=PlannerConfig(knn_k=3))
+        assert a.cell_id == b.cell_id
+
+
+class TestMatrixExecution:
+    def test_payload_carries_provenance(self):
+        cell = mini_cells(planners=("NTP",))[0]
+        payload = execute_cell(cell)
+        assert payload["scenario"] == "Mini" and payload["planner"] == "NTP"
+        assert payload["spec"]["items"]["generator"] == "poisson"
+        assert payload["result"]["metrics"]["items_processed"] == 30
+        json.dumps(payload)  # JSON-serialisable end to end
+
+    def test_store_streams_each_cell(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_matrix(mini_cells(), store=store)
+        assert sorted(p.stem for p in store.cell_files()) == [
+            "Mini--ATP", "Mini--EATP", "Mini--NTP"]
+
+    def test_custom_labels_key_results(self):
+        spec = make_mini(n_items=20)
+        cells = [MatrixCell(scenario=spec, planner="NTP", label="a"),
+                 MatrixCell(scenario=spec, planner="NTP", label="b")]
+        payloads = run_matrix(cells)
+        assert list(payloads) == ["a", "b"]
+
+    def test_summary_renders_makespans(self):
+        payloads = run_matrix(mini_cells(planners=("NTP", "EATP")))
+        out = render_matrix_summary(payloads, "T")
+        assert "Mini" in out and "NTP" in out and "EATP" in out
+
+
+@pytest.mark.slow
+class TestParallelParity:
+    """The acceptance criterion, on the Table III scenario set."""
+
+    def test_parallel_bit_identical_and_resume_recomputes_one_cell(
+            self, tmp_path):
+        cells = plan_cells(all_datasets(SCALE).values(), DEFAULT_PLANNERS)
+        serial = run_matrix(cells, workers=0)
+
+        store = ResultStore(tmp_path / "table3")
+        parallel = run_matrix(cells, workers=4, store=store)
+        assert list(parallel) == list(serial)
+        for cell_id in serial:
+            assert (deterministic_view(parallel[cell_id])
+                    == deterministic_view(serial[cell_id])), cell_id
+        # ... and the on-disk JSON round-trips to the same view.
+        for cell in cells:
+            on_disk = json.loads(store.path(cell.cell_id).read_text())
+            assert (deterministic_view(on_disk)
+                    == deterministic_view(serial[cell.cell_id]))
+
+        # Delete one cell; a re-run recomputes exactly that cell.
+        victim = "Syn-B--ATP"
+        store.delete(victim)
+        events = []
+        rerun = run_matrix(cells, workers=4, store=store,
+                           progress=lambda c, s: events.append((c, s)))
+        recomputed = [c for c, s in events if s == "done"]
+        assert recomputed == [victim]
+        assert sum(1 for c, s in events if s == "cached") == len(cells) - 1
+        assert (deterministic_view(rerun[victim])
+                == deterministic_view(serial[victim]))
