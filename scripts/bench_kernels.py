@@ -58,6 +58,20 @@ SEARCH_ENDPOINTS = [((0, 0), (60, 35)), ((63, 0), (2, 38)), ((5, 20), (58, 4))]
 #: for noisy shared runners).
 SMOKE_MIN_SEARCH_SPEEDUP = 1.5
 
+#: The recorded PR-3 event-engine speedup on the replayed Fleet-200 rung
+#: is ~12x at full scale, ~4-6x at the smoke scale; CI fails below this
+#: floor (relative to the in-process frozen engine, machine-independent).
+SMOKE_MIN_ENGINE_SPEEDUP = 2.0
+
+#: Absolute backstop for the event engine's throughput.  Deliberately an
+#: order of magnitude under the measured rate so only a catastrophic
+#: regression (or an accidentally quadratic calendar) trips it on a slow
+#: shared runner.
+SMOKE_MIN_ENGINE_EVENTS_PER_S = 5_000
+
+#: Fleet-ladder rungs of the engine benchmark (robot counts at scale 1).
+ENGINE_FLEETS = (10, 50, 100, 200)
+
 
 def _time_search(search_fn, make_table, rounds=30):
     """Total seconds and expansions for ``rounds`` sweeps of the endpoints."""
@@ -176,8 +190,149 @@ def bench_table3(scale):
     }
 
 
-def run_smoke():
-    """The CI regression gate: quick search benchmark, hard floor."""
+def _bench_engine_rung(spec, planner_name="NTP"):
+    """Record one live run, then replay it through both engines.
+
+    The replay isolates the engine: both generations execute the identical
+    mission stream with near-zero planner cost (see
+    :mod:`repro.sim.replay`), so the wall-clock ratio is the engine's own
+    speedup, not diluted by the spatiotemporal search the two stacks share
+    byte-for-byte.
+    """
+    from repro.planners import PLANNERS
+    from repro.sim._legacy_engine import LegacySimulation
+    from repro.sim.engine import Simulation
+    from repro.sim.replay import RecordingPlanner, ReplayPlanner
+    from repro.sim.serialize import deterministic_view, result_to_dict
+
+    state, items = spec.build()
+    recorder = RecordingPlanner(PLANNERS[planner_name](state))
+    started = time.perf_counter()
+    live_result = Simulation(state, recorder, items).run()
+    live_wall = time.perf_counter() - started
+
+    def replay(engine_cls):
+        replay_state, replay_items = spec.build()
+        planner = ReplayPlanner(replay_state, recorder.log)
+        simulation = engine_cls(replay_state, planner, replay_items)
+        begun = time.perf_counter()
+        result = simulation.run()
+        return time.perf_counter() - begun, result, simulation
+
+    legacy_s, legacy_result, __ = replay(LegacySimulation)
+    event_s, event_result, event_sim = replay(Simulation)
+    if (deterministic_view(result_to_dict(legacy_result))
+            != deterministic_view(result_to_dict(event_result))):
+        raise SystemExit(
+            f"engine replay diverged between legacy and event-driven "
+            f"stacks on {spec.name}")
+
+    def strip_memory(view):
+        # A replay has no reservation structure, so its memory metric is
+        # zero by construction; everything else must match the live run.
+        view["metrics"]["peak_memory_bytes"] = 0
+        for checkpoint in view["metrics"]["checkpoints"]:
+            checkpoint["memory_bytes"] = 0
+        return view
+
+    if (strip_memory(deterministic_view(result_to_dict(live_result)))
+            != strip_memory(deterministic_view(result_to_dict(event_result)))):
+        raise SystemExit(
+            f"replay diverged from the recorded live run on {spec.name}")
+
+    makespan = legacy_result.metrics.makespan
+    events = event_sim.events_processed
+    return {
+        "scenario": spec.name,
+        "planner": planner_name,
+        "n_robots": spec.n_robots,
+        "makespan_ticks": makespan,
+        "events": events,
+        "quiet_tick_fraction": 1.0 - events / max(makespan, 1),
+        "live_end_to_end_s": live_wall,
+        "legacy": {"wall_s": legacy_s, "ticks_per_s": makespan / legacy_s},
+        "event": {"wall_s": event_s, "ticks_per_s": makespan / event_s,
+                  "events_per_s": events / event_s},
+        "speedup": legacy_s / event_s,
+        "results_identical": True,
+    }
+
+
+def bench_engine(scale=1.0, fleets=ENGINE_FLEETS,
+                 planners=("NTP", "ATP")):
+    """The PR-3 engine kernel: fleet-ladder rungs, legacy vs event replay.
+
+    Each rung records with the first planner in ``planners`` that can
+    drain it — NTP's greedy dispatch exhausts the spatiotemporal search
+    on some mid-congestion rungs (a pre-existing planner-layer limit,
+    identical under both engines), in which case the rung falls back to
+    ATP and says so in its payload.
+    """
+    from repro.errors import PathNotFoundError
+    from repro.workloads.datasets import fleet_ladder
+
+    specs = fleet_ladder(scale=scale, fleets=fleets)
+    rungs = []
+    for spec in specs:
+        last_error = None
+        for planner_name in planners:
+            try:
+                rungs.append(_bench_engine_rung(spec, planner_name))
+                break
+            except PathNotFoundError as error:
+                last_error = error
+        else:
+            rungs.append({"scenario": spec.name, "n_robots": spec.n_robots,
+                          "error": str(last_error)})
+    return {
+        "workload": f"fleet-ladder replay kernel at scale {scale:g}, "
+                    f"planners {'/'.join(planners)}",
+        "scale": scale,
+        "rungs": rungs,
+    }
+
+
+def write_engine_report(engine, out_path):
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engine": engine,
+    }
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def report_engine(engine, out_path):
+    """Write the engine report and print one line per rung.
+
+    Rungs that no recording planner could drain carry an ``error`` key
+    instead of timings; they are reported, not crashed on.
+    """
+    write_engine_report(engine, out_path)
+    for rung in engine["rungs"]:
+        if "error" in rung:
+            print(f"engine   : {rung['scenario']:>10} "
+                  f"({rung['n_robots']:>3} robots) FAILED to record — "
+                  f"{rung['error']}")
+            continue
+        print(f"engine   : {rung['scenario']:>10} ({rung['n_robots']:>3} "
+              f"robots) {rung['legacy']['wall_s']:.3f}s -> "
+              f"{rung['event']['wall_s']:.3f}s "
+              f"({rung['speedup']:.1f}x, "
+              f"{rung['event']['events_per_s']:,.0f} events/s, "
+              f"{rung['quiet_tick_fraction']:.0%} quiet ticks)")
+    print(f"wrote {out_path}")
+
+
+def run_smoke(engine_out="BENCH_PR3.json"):
+    """The CI regression gate: quick benchmarks, hard floors.
+
+    Two gates: the PR-1 packed-search speedup over the in-process seed,
+    and the PR-3 event-engine speedup over the in-process frozen per-tick
+    engine on a reduced-scale 200-robot fleet-ladder rung (plus an
+    absolute ``events_per_s`` backstop).  The engine numbers are written
+    to ``engine_out`` so CI can upload them as a workflow artifact.
+    """
     st = bench_st_astar(rounds=8)
     print(f"smoke st_astar: {st['packed']['expansions_per_s']:,.0f} exp/s "
           f"(seed {st['seed']['expansions_per_s']:,.0f}) — "
@@ -187,7 +342,30 @@ def run_smoke():
         raise SystemExit(
             f"st_astar.packed.expansions_per_s regressed: speedup "
             f"{st['speedup']:.2f}x < {SMOKE_MIN_SEARCH_SPEEDUP}x floor")
-    print("smoke gate passed")
+
+    engine = bench_engine(scale=0.35, fleets=(200,))
+    engine["smoke"] = True
+    write_engine_report(engine, engine_out)
+    rung = engine["rungs"][0]
+    if "error" in rung:
+        raise SystemExit(
+            f"engine smoke could not record {rung['scenario']}: "
+            f"{rung['error']}")
+    events_per_s = rung["event"]["events_per_s"]
+    print(f"smoke engine  : {events_per_s:,.0f} events/s, "
+          f"{rung['speedup']:.2f}x vs in-process frozen engine on "
+          f"{rung['scenario']} ({rung['n_robots']} robots) — floors "
+          f"{SMOKE_MIN_ENGINE_SPEEDUP}x / "
+          f"{SMOKE_MIN_ENGINE_EVENTS_PER_S:,} events/s; wrote {engine_out}")
+    if rung["speedup"] < SMOKE_MIN_ENGINE_SPEEDUP:
+        raise SystemExit(
+            f"engine regressed: replay speedup {rung['speedup']:.2f}x < "
+            f"{SMOKE_MIN_ENGINE_SPEEDUP}x floor")
+    if events_per_s < SMOKE_MIN_ENGINE_EVENTS_PER_S:
+        raise SystemExit(
+            f"engine.events_per_s regressed: {events_per_s:,.0f} < "
+            f"{SMOKE_MIN_ENGINE_EVENTS_PER_S:,} floor")
+    print("smoke gates passed")
 
 
 def main(argv=None):
@@ -197,14 +375,31 @@ def main(argv=None):
                              "benchmark harness scale)")
     parser.add_argument("--out", default="BENCH_PR1.json",
                         help="output path (default BENCH_PR1.json)")
+    parser.add_argument("--engine-out", default="BENCH_PR3.json",
+                        help="output path of the engine kernel report "
+                             "(default BENCH_PR3.json)")
+    parser.add_argument("--engine-scale", type=float, default=1.0,
+                        help="fleet-ladder scale of the full engine "
+                             "benchmark (default 1.0, the paper-scale "
+                             "floor; --smoke always uses 0.35)")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-fast CI gate: fail if the packed "
                              "search speedup drops below "
-                             f"{SMOKE_MIN_SEARCH_SPEEDUP}x; writes no file")
+                             f"{SMOKE_MIN_SEARCH_SPEEDUP}x or the engine "
+                             f"speedup below {SMOKE_MIN_ENGINE_SPEEDUP}x; "
+                             "writes only the engine report")
+    parser.add_argument("--engine-only", action="store_true",
+                        help="run only the engine kernel and write "
+                             "BENCH_PR3.json (leaves BENCH_PR1.json "
+                             "untouched)")
     args = parser.parse_args(argv)
 
     if args.smoke:
-        run_smoke()
+        run_smoke(args.engine_out)
+        return
+
+    if args.engine_only:
+        report_engine(bench_engine(scale=args.engine_scale), args.engine_out)
         return
 
     report = {
@@ -215,6 +410,8 @@ def main(argv=None):
         "table3": bench_table3(args.scale),
     }
     FsPath(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    report_engine(bench_engine(scale=args.engine_scale), args.engine_out)
 
     st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
     print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "

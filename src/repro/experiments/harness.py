@@ -20,6 +20,7 @@ Only the wall-clock timing fields differ.
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence)
@@ -165,9 +166,11 @@ def execute_cell(cell: MatrixCell) -> Dict[str, Any]:
 
     Module-level (not a closure) so ``ProcessPoolExecutor`` can pickle it
     under any start method.  Returns a JSON-serialisable payload carrying
-    the cell's identity, the scenario spec for provenance, and the
-    serialised result.
+    the cell's identity, the scenario spec for provenance, the serialised
+    result, and the cell's wall-clock (``wall_s`` — a measurement, so it
+    sits outside ``result`` and the deterministic view).
     """
+    started = time.perf_counter()
     result = run_planner(cell.scenario, cell.planner,
                          cell.planner_config, cell.sim_config)
     return {
@@ -176,6 +179,7 @@ def execute_cell(cell: MatrixCell) -> Dict[str, Any]:
         "planner": cell.planner,
         "spec": cell.scenario.spec_dict(),
         "result": result_to_dict(result),
+        "wall_s": time.perf_counter() - started,
     }
 
 

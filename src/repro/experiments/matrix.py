@@ -46,6 +46,26 @@ def render_matrix_summary(payloads: Dict[str, dict], title: str) -> str:
     return format_table(["Scenario"] + planners, rows, title=title)
 
 
+def render_slowest_cells(payloads: Dict[str, dict], top: int = 5) -> str:
+    """The ``top`` slowest cells by wall-clock — the engine-regression
+    tripwire a sweep prints without anyone opening the results dir.
+
+    Cells stored by releases that predate per-cell timing (no ``wall_s``)
+    are skipped; cached cells report the wall-clock of the run that
+    produced them.
+    """
+    timed = [(payload["wall_s"], cell_id)
+             for cell_id, payload in payloads.items()
+             if payload.get("wall_s") is not None]
+    if not timed:
+        return "(no per-cell wall-clock recorded)"
+    timed.sort(reverse=True)
+    rows = [[cell_id, f"{wall:.2f}s"] for wall, cell_id in timed[:top]]
+    return format_table(["Slowest cells", "Wall"], rows,
+                        title=f"Per-cell wall-clock (top {min(top, len(timed))} "
+                              f"of {len(timed)})")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--family", default="table2",
@@ -84,6 +104,7 @@ def main(argv=None) -> None:
     title = (f"Matrix {matrix_name}: {len(cells)} cells, "
              f"{args.workers or 1} worker(s), {elapsed:.1f}s")
     print(render_matrix_summary(payloads, title))
+    print(render_slowest_cells(payloads))
     if store is not None:
         print(f"cells stored under {store.root}/")
 

@@ -101,6 +101,31 @@ class Path:
         __, x, y = self.steps[t - self.start_time]
         return (x, y)
 
+    def cells_between(self, t_from: Tick, t_to: Tick) -> List[Cell]:
+        """The cells occupied over ``[t_from, t_to]`` inclusive, clamped.
+
+        One vectorised slice instead of a ``cell_at`` call per tick: the
+        event-driven simulator materialises a robot's motion per *leg*
+        (or per processed span), so consumers that still need the
+        tick-by-tick trail — renderers, conflict audits, tests — expand
+        it here in one call.  Ticks outside the path clamp to the
+        endpoints, mirroring :meth:`cell_at`.
+        """
+        if t_to < t_from:
+            raise ConflictError(
+                f"cells_between span [{t_from}, {t_to}] is empty")
+        start, end = self.start_time, self.end_time
+        cells: List[Cell] = []
+        if t_from < start:
+            cells.extend([self.source] * (min(start, t_to + 1) - t_from))
+        lo, hi = max(t_from, start), min(t_to, end)
+        if lo <= hi:
+            cells.extend((x, y) for __, x, y in
+                         self.steps[lo - start:hi - start + 1])
+        if t_to > end:
+            cells.extend([self.goal] * (t_to - max(end, t_from - 1)))
+        return cells
+
     def __len__(self) -> int:
         return len(self.steps)
 

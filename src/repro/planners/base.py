@@ -146,18 +146,40 @@ class Planner(abc.ABC):
     #: CDT update "periodically"; every tick would dominate small runs).
     PURGE_CADENCE = 32
 
-    def end_of_tick(self, t: Tick) -> None:
-        """Housekeeping after the simulator advances past ``t``.
+    def advance(self, t_from: Tick, t_to: Tick) -> None:
+        """Housekeeping for the span ``[t_from, t_to]`` of elapsed ticks.
 
-        Periodically purges reservations older than the configured horizon
+        The simulator's wake contract: :meth:`plan` is invoked only at
+        ticks where an idle robot and a selectable rack coexist (at every
+        other tick it would return an empty scheme without touching the
+        learner, the RNG, or the stats), and the per-tick ``end_of_tick``
+        housekeeping hook is folded into this span-aware call — the
+        event-driven engine jumps over quiet spans and hands the whole
+        span to the planner at once.
+
+        The base implementation performs the periodic reservation purge
         (the CDT "update" operation / the ST-graph layer eviction the
-        paper calls eliminating passed timestamps).
+        paper calls eliminating passed timestamps) exactly as the
+        per-tick loop did: purges fire at every multiple of
+        :data:`PURGE_CADENCE` inside the span, and since
+        ``purge_before`` with the latest floor subsumes the earlier
+        floors, one call at the span's last cadence tick is equivalent.
+
+        Subclasses that need genuinely per-tick state (none of the
+        paper's five planners do — ATP's per-tick WAIT updates live in
+        :meth:`plan`, which still runs at every tick where they can have
+        an effect) must expand the span themselves.
         """
-        if t % self.PURGE_CADENCE:
+        last_cadence = (t_to // self.PURGE_CADENCE) * self.PURGE_CADENCE
+        if last_cadence < t_from:
             return
-        floor = t - self.config.reservation_horizon
+        floor = last_cadence - self.config.reservation_horizon
         if floor > 0:
             self.reservation.purge_before(floor)
+
+    def end_of_tick(self, t: Tick) -> None:
+        """Single-tick :meth:`advance` (kept for external callers)."""
+        self.advance(t, t)
 
     def memory_bytes(self) -> int:
         """Total live structure footprint — the Fig. 12 MC sample."""

@@ -1,18 +1,39 @@
-"""The validation system: a discrete-time warehouse simulator (Sec. VII-A).
+"""The validation system: an event-driven warehouse simulator (Sec. VII-A).
 
-Drives one planner over one workload: injects item arrivals, invokes the
-planner every timestamp, converts planning schemes into missions, advances
-robot motion along the conflict-free paths, runs the FCFS pickers, and
-records every metric the paper reports.
+Drives one planner over one workload: injects item arrivals, wakes the
+planner whenever a dispatch is possible, converts planning schemes into
+missions, materialises robot motion per conflict-free leg, runs the FCFS
+pickers, and records every metric the paper reports.
 
-Tick ``t`` covers the interval ``[t, t + 1)``:
+Tick ``t`` covers the interval ``[t, t + 1)`` and keeps the frozen
+per-tick semantics (see :mod:`repro.sim._legacy_engine`):
 
 1. items with ``arrival == t`` emerge on their racks;
 2. the planner emits ``U_t`` (selection + pickup legs starting at ``t``);
-3. robots move one step (their position at ``t + 1``); completed legs
-   trigger the next mission stage, whose path starts at ``t + 1``;
-4. pickers process one tick; completed batches trigger return legs;
+3. robots move along their legs; completed legs trigger the next mission
+   stage, whose path starts at ``t + 1``;
+4. pickers process; completed batches trigger return legs;
 5. busy counters, the bottleneck trace, and metric checkpoints update.
+
+The difference is *which* ticks execute.  A heapq calendar holds every
+tick at which the world can change — the next item arrival, each moving
+leg's completion trigger, each picker's batch pop/completion, and a
+planner wake whenever an idle robot and a selectable rack coexist — and
+the engine jumps straight from one such tick to the next.  The skipped
+span is accounted analytically: busy-tick counters become lazy intervals
+flushed at stage transitions and checkpoints, the bottleneck trace grows
+one run-length segment per span (:meth:`BottleneckTrace.record_run`),
+pickers fast-forward via :func:`advance_picker_span`, and the planner
+receives the whole span at once through its span-aware
+:meth:`~repro.planners.base.Planner.advance` hook.  Behaviour is
+bit-identical to the frozen per-tick engine (the golden traces and the
+``mini``-family equivalence suite enforce it); only wall-clock changes.
+
+Robot motion is materialised per-leg: a moving robot's ``location`` is
+written at its leg-completion event (and refreshed for all moving robots
+at planner-wake ticks), not every tick.  Consumers needing the
+tick-by-tick trail expand a leg with
+:meth:`~repro.pathfinding.paths.Path.cells_between`.
 
 The makespan is the tick at which the last rack lands back on its home
 cell (Eq. 1).
@@ -21,15 +42,19 @@ cell (Eq. 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SimulationConfig
 from ..errors import SimulationError
+from ..pathfinding.paths import Path
 from ..planners.base import Planner
 from ..sim.metrics import (MetricsRecorder, RunMetrics,
                            picker_processing_rate, robot_working_rate)
 from ..sim.missions import Mission, MissionStage
-from ..sim.queueing import enqueue_rack, process_picker_tick
+from ..sim.queueing import (advance_picker_span, enqueue_rack,
+                            process_picker_tick,
+                            ticks_until_next_picker_event)
 from ..sim.trace import BottleneckTrace
 from ..types import Tick
 from ..warehouse.entities import Item, RackPhase, RobotState
@@ -46,19 +71,19 @@ class SimulationResult:
     #: Completed missions, in completion order (for per-cycle analyses).
     missions: List[Mission] = field(default_factory=list)
     #: Every planned leg, when ``collect_paths`` was enabled.
-    paths: List = field(default_factory=list)
+    paths: List[Path] = field(default_factory=list)
     #: Robot id owning each entry of ``paths`` (parallel list).
     path_owners: List[int] = field(default_factory=list)
 
 
 class Simulation:
-    """One planner × one workload, run to completion.
+    """One planner × one workload, run to completion on an event calendar.
 
     Parameters
     ----------
     state:
         The warehouse world (must be the same object the planner is bound
-        to — re-planning every timestamp mutates it in place).
+        to — re-planning every wake tick mutates it in place).
     planner:
         Any :class:`~repro.planners.base.Planner`.
     items:
@@ -88,9 +113,35 @@ class Simulation:
                                          self.config.metrics_checkpoints)
         self._trace = (BottleneckTrace()
                        if self.config.record_bottleneck_trace else None)
-        self._paths: List = []
+        self._paths: List[Path] = []
         self._path_owners: List[int] = []
         self._last_return: Tick = 0
+
+        # -- event calendar + analytic span accounting ----------------------
+        #: (trigger tick, mission dispatch seq, mission) — the seq keeps
+        #: same-tick completions in legacy ``_active`` iteration order.
+        self._motion_events: List[Tuple[Tick, int, Mission]] = []
+        #: (trigger tick, picker id) — ties processed in picker-id order,
+        #: matching the legacy per-tick picker sweep.
+        self._picker_events: List[Tuple[Tick, int]] = []
+        self._mission_seq = 0
+        #: Dispatch sequence number of each robot's *current* mission —
+        #: same-tick leg completions replay in dispatch order, exactly the
+        #: frozen engine's ``_active`` insertion-order sweep.
+        self._seq_of_robot: Dict[int, int] = {}
+        #: Last tick each picker has processed (exact state as-of its end).
+        self._picker_synced: List[Tick] = [-1] * len(state.pickers)
+        #: Tick from which each busy robot's current busy interval runs.
+        self._busy_since: Dict[int, Tick] = {}
+        #: Items emerged but not yet batched (== state.total_pending_items()).
+        self._n_pending = state.total_pending_items()
+        #: Racks STORED with pending items (== len(state.selectable_racks())).
+        self._n_selectable = len(state.selectable_racks())
+        # Instantaneous mission-stage decomposition (the Fig. 13 counts).
+        self._n_transporting = 0
+        self._n_queuing = 0
+        self._n_processing = 0
+        self._events_processed = 0
 
     # -- the main loop -----------------------------------------------------
 
@@ -106,28 +157,95 @@ class Simulation:
                     f"simulation exceeded max_ticks={self.config.max_ticks} "
                     f"({self.state.total_pending_items()} items pending, "
                     f"{len(self._active)} missions active)")
-            self._dispatch(t)
-            self._advance_motion(t)
-            self._advance_pickers(t)
+            if self._can_dispatch():
+                self._sync_world(t)
+                self._dispatch(t)
+            self._run_motion_events(t)
+            self._run_picker_events(t)
             self._account(t)
-            self.planner.end_of_tick(t)
-            t += 1
+            next_t = self._next_active_tick(t)
+            self.planner.advance(t, next_t - 1)
+            if self._trace is not None and next_t > t + 1:
+                self._trace.record_run(t + 1, next_t - 1,
+                                       self._n_transporting, self._n_queuing,
+                                       self._n_processing)
+            self._events_processed += 1
+            t = next_t
         return self._result(t)
 
     def _finished(self) -> bool:
         return (self._next_item >= len(self._items)
-                and self.state.total_pending_items() == 0
+                and self._n_pending == 0
                 and not self._active)
+
+    def _can_dispatch(self) -> bool:
+        """Whether an idle robot and a selectable rack coexist right now.
+
+        The planner-wake condition: exactly the ticks at which the frozen
+        per-tick engine's ``plan`` call did *not* take its side-effect-free
+        early return.
+        """
+        return (self._n_selectable > 0
+                and len(self._active) < len(self.state.robots))
+
+    @property
+    def events_processed(self) -> int:
+        """Active ticks executed so far (the bench_engine events/s base)."""
+        return self._events_processed
+
+    def _next_active_tick(self, t: Tick) -> Tick:
+        """The earliest tick after ``t`` at which anything can change."""
+        if self._finished():
+            return t + 1
+        nxt = self.config.max_ticks
+        if self._next_item < len(self._items):
+            nxt = min(nxt, self._items[self._next_item].arrival)
+        if self._motion_events:
+            nxt = min(nxt, self._motion_events[0][0])
+        if self._picker_events:
+            nxt = min(nxt, self._picker_events[0][0])
+        if self._can_dispatch():
+            nxt = t + 1
+        if nxt <= t:
+            raise SimulationError(
+                f"event calendar stalled at tick {t} (next event {nxt})")
+        return nxt
 
     # -- stage 1: arrivals ----------------------------------------------------
 
     def _inject_arrivals(self, t: Tick) -> None:
-        while (self._next_item < len(self._items)
-               and self._items[self._next_item].arrival <= t):
-            self.state.deliver_item(self._items[self._next_item])
+        items, racks = self._items, self.state.racks
+        while (self._next_item < len(items)
+               and items[self._next_item].arrival <= t):
+            item = items[self._next_item]
+            rack = racks[item.rack_id]
+            if rack.phase is RackPhase.STORED and not rack.pending_items:
+                self._n_selectable += 1
+            self.state.deliver_item(item)
+            self._n_pending += 1
             self._next_item += 1
 
     # -- stage 2: planning ------------------------------------------------------
+
+    def _sync_world(self, t: Tick) -> None:
+        """Bring the planner-visible world exactly to the top of tick ``t``.
+
+        Pickers fast-forward to the end of tick ``t - 1`` (their
+        ``finish_time_estimate`` and accumulated-processing counters feed
+        every selector), and moving robots materialise their current leg
+        position — the state the frozen engine maintained tick by tick.
+        """
+        synced = self._picker_synced
+        racks = self.state.racks
+        for picker in self.state.pickers:
+            pid = picker.picker_id
+            if picker.current_rack is not None and synced[pid] < t - 1:
+                advance_picker_span(picker, racks, (t - 1) - synced[pid])
+                synced[pid] = t - 1
+        robots = self.state.robots
+        for mission in self._active.values():
+            if mission.stage.moving:
+                robots[mission.robot_id].location = mission.path.cell_at(t)
 
     def _dispatch(self, t: Tick) -> None:
         scheme = self.planner.plan(t)
@@ -141,9 +259,7 @@ class Simulation:
                 raise SimulationError(
                     f"planner selected unavailable rack {rack.rack_id}")
             batch = rack.take_batch()
-            if self.config.collect_paths:
-                self._paths.append(assignment.pickup_path)
-                self._path_owners.append(robot.robot_id)
+            self._record_path(robot.robot_id, assignment.pickup_path)
             mission = Mission(robot_id=robot.robot_id, rack_id=rack.rack_id,
                               batch=batch, path=assignment.pickup_path,
                               dispatched_at=t, stage_entered_at=t)
@@ -153,45 +269,73 @@ class Simulation:
             self._active[robot.robot_id] = mission
             self._mission_of_rack[rack.rack_id] = mission
             self._batch_time_of[rack.rack_id] = mission.batch_processing_time
+            self._n_pending -= len(batch)
+            self._n_selectable -= 1
+            self._n_transporting += 1
+            self._busy_since[robot.robot_id] = t
+            self._mission_seq += 1
+            self._seq_of_robot[robot.robot_id] = self._mission_seq
             # A robot already parked beneath the rack completes its pickup
             # leg instantly.
             if assignment.pickup_path.end_time <= t:
-                self._complete_leg(mission, t)
+                self._complete_leg(mission, t, t)
+            else:
+                self._schedule_leg(mission)
+
+    def _record_path(self, robot_id: int, path: Path) -> None:
+        """Keep one planned leg in the result, when collection is on."""
+        if self.config.collect_paths:
+            self._paths.append(path)
+            self._path_owners.append(robot_id)
 
     # -- stage 3: motion -----------------------------------------------------------
 
-    def _advance_motion(self, t: Tick) -> None:
-        for mission in list(self._active.values()):
-            if not mission.stage.moving:
-                continue
+    def _run_motion_events(self, t: Tick) -> None:
+        events = self._motion_events
+        while events and events[0][0] <= t:
+            trigger, seq, mission = heappop(events)
+            if trigger < t or not mission.stage.moving:
+                raise SimulationError(
+                    f"stale motion event (tick {trigger}, mission of rack "
+                    f"{mission.rack_id} in stage {mission.stage.value}) "
+                    f"popped at tick {t}")
             path = mission.path
             if path is None:
                 raise SimulationError(
                     f"moving mission (rack {mission.rack_id}) has no path")
-            robot = self.state.robots[mission.robot_id]
-            robot.location = path.cell_at(t + 1)
-            if t + 1 >= path.end_time:
-                self._complete_leg(mission, t + 1)
+            self.state.robots[mission.robot_id].location = path.cell_at(t + 1)
+            self._complete_leg(mission, t + 1, t)
 
-    def _complete_leg(self, mission: Mission, now: Tick) -> None:
+    def _schedule_leg(self, mission: Mission) -> None:
+        """Register the completion trigger of the mission's current leg."""
+        heappush(self._motion_events,
+                 (mission.path.end_time - 1,
+                  self._seq_of_robot[mission.robot_id], mission))
+
+    def _complete_leg(self, mission: Mission, now: Tick, tick: Tick) -> None:
         robot = self.state.robots[mission.robot_id]
         rack = self.state.racks[mission.rack_id]
         picker = self.state.pickers[rack.picker_id]
 
         if mission.stage is MissionStage.TO_RACK:
             path = self.planner.plan_leg(now, rack.home, picker.location)
-            if self.config.collect_paths:
-                self._paths.append(path)
-                self._path_owners.append(mission.robot_id)
+            self._record_path(mission.robot_id, path)
             mission.enter(MissionStage.TO_PICKER, now, path)
             robot.state = RobotState.TO_PICKER
             if path.end_time <= now:  # degenerate: rack home == picker cell
-                self._complete_leg(mission, now)
+                self._complete_leg(mission, now, tick)
+            else:
+                self._schedule_leg(mission)
         elif mission.stage is MissionStage.TO_PICKER:
             mission.enter(MissionStage.QUEUING, now)
             robot.state = RobotState.QUEUING
+            self._n_transporting -= 1
+            self._n_queuing += 1
             enqueue_rack(picker, rack.rack_id,
                          self._batch_time_of[rack.rack_id])
+            # The picker must still take its turn *this* tick (a free
+            # station pops the rack in the same tick it is delivered).
+            heappush(self._picker_events, (tick, picker.picker_id))
         elif mission.stage is MissionStage.RETURNING:
             mission.enter(MissionStage.DONE, now)
             robot.state = RobotState.IDLE
@@ -200,6 +344,11 @@ class Simulation:
             rack.phase = RackPhase.STORED
             rack.last_return = now
             self._last_return = max(self._last_return, now)
+            self._n_transporting -= 1
+            if rack.has_pending:
+                self._n_selectable += 1
+            robot.busy_ticks += (now - 1) - self._busy_since.pop(robot.robot_id)
+            del self._seq_of_robot[mission.robot_id]
             del self._active[mission.robot_id]
             del self._mission_of_rack[mission.rack_id]
             del self._batch_time_of[mission.rack_id]
@@ -210,72 +359,106 @@ class Simulation:
 
     # -- stage 4: pickers --------------------------------------------------------------
 
-    def _advance_pickers(self, t: Tick) -> None:
-        for picker in self.state.pickers:
+    def _run_picker_events(self, t: Tick) -> None:
+        events = self._picker_events
+        synced = self._picker_synced
+        racks = self.state.racks
+        while events and events[0][0] <= t:
+            trigger, picker_id = heappop(events)
+            if trigger < t:
+                raise SimulationError(
+                    f"stale picker event (picker {picker_id}, tick "
+                    f"{trigger}) popped at tick {t}")
+            if synced[picker_id] >= t:
+                continue  # duplicate trigger for a tick already processed
+            picker = self.state.pickers[picker_id]
+            if picker.current_rack is not None:
+                advance_picker_span(picker, racks, (t - 1) - synced[picker_id])
+            synced[picker_id] = t
             started: List[int] = []
             completion = process_picker_tick(picker, t, self._batch_time_of,
-                                             self.state.racks, started)
+                                             racks, started)
             for rack_id in started:
                 mission = self._mission_of_rack[rack_id]
                 mission.enter(MissionStage.PROCESSING, t)
                 self.state.robots[mission.robot_id].state = RobotState.PROCESSING
+                self._n_queuing -= 1
+                self._n_processing += 1
             if completion is not None:
                 mission = self._mission_of_rack[completion.rack_id]
                 self._recorder.note_items_processed(mission.n_items)
-                rack = self.state.racks[completion.rack_id]
+                rack = racks[completion.rack_id]
                 path = self.planner.plan_leg(completion.completed_at,
                                              picker.location, rack.home)
-                if self.config.collect_paths:
-                    self._paths.append(path)
-                    self._path_owners.append(mission.robot_id)
+                self._record_path(mission.robot_id, path)
                 mission.enter(MissionStage.RETURNING,
                               completion.completed_at, path)
                 self.state.robots[mission.robot_id].state = RobotState.RETURNING
+                self._n_processing -= 1
+                self._n_transporting += 1
                 if path.end_time <= completion.completed_at:
-                    self._complete_leg(mission, completion.completed_at)
+                    self._complete_leg(mission, completion.completed_at, t)
+                else:
+                    self._schedule_leg(mission)
+            delay = ticks_until_next_picker_event(picker)
+            if delay is not None:
+                heappush(events, (t + delay, picker_id))
 
     # -- stage 5: accounting ------------------------------------------------------------
 
     def _account(self, t: Tick) -> None:
-        transporting = queuing = processing = 0
-        for mission in self._active.values():
-            if mission.stage.moving:
-                transporting += 1
-            elif mission.stage is MissionStage.QUEUING:
-                queuing += 1
-            elif mission.stage is MissionStage.PROCESSING:
-                processing += 1
-        for robot in self.state.robots:
-            if robot.state.busy:
-                robot.busy_ticks += 1
+        memory = self.planner.memory_bytes()
+        self._recorder.note_memory(memory)
+        if self._recorder.would_checkpoint():
+            self._flush_busy_counters(t)
+            elapsed = t + 1
+            self._recorder.maybe_checkpoint(
+                tick=t,
+                ppr=picker_processing_rate(
+                    [p.busy_ticks for p in self.state.pickers], elapsed),
+                rwr=robot_working_rate(
+                    [r.busy_ticks for r in self.state.robots], elapsed),
+                selection_seconds=self.planner.stats.selection_seconds,
+                planning_seconds=self.planner.stats.planning_seconds,
+                memory_bytes=memory)
         if self._trace is not None:
-            self._trace.record(t, transporting, queuing, processing)
+            self._trace.record(t, self._n_transporting, self._n_queuing,
+                               self._n_processing)
 
-        elapsed = t + 1
-        self._recorder.maybe_checkpoint(
-            tick=t,
-            ppr=picker_processing_rate(
-                [p.busy_ticks for p in self.state.pickers], elapsed),
-            rwr=robot_working_rate(
-                [r.busy_ticks for r in self.state.robots], elapsed),
-            selection_seconds=self.planner.stats.selection_seconds,
-            planning_seconds=self.planner.stats.planning_seconds,
-            memory_bytes=self.planner.memory_bytes())
+    def _flush_busy_counters(self, t: Tick) -> None:
+        """Realise every lazy busy interval through the end of tick ``t``."""
+        robots = self.state.robots
+        for robot_id, since in self._busy_since.items():
+            robots[robot_id].busy_ticks += (t + 1) - since
+            self._busy_since[robot_id] = t + 1
+        synced = self._picker_synced
+        racks = self.state.racks
+        for picker in self.state.pickers:
+            pid = picker.picker_id
+            if picker.current_rack is not None and synced[pid] < t:
+                advance_picker_span(picker, racks, t - synced[pid])
+                synced[pid] = t
 
     # -- result assembly -----------------------------------------------------------------
 
     def _result(self, final_tick: Tick) -> SimulationResult:
         makespan = self._last_return
+        if makespan != final_tick:
+            raise SimulationError(
+                f"drained run ended at tick {final_tick} but the last rack "
+                f"returned at {makespan} — elapsed-time accounting bug")
+        # The same denominator rule the checkpoints use (elapsed ticks at
+        # sample time, here the full run), so the final PPR/RWR and a
+        # checkpoint landing on the final accounted tick agree exactly.
+        elapsed = max(final_tick, 1)
         metrics = RunMetrics(
             makespan=makespan,
             items_processed=self._recorder.items_processed,
             missions_completed=len(self._completed),
             ppr=picker_processing_rate(
-                [p.busy_ticks for p in self.state.pickers],
-                max(makespan, 1)),
+                [p.busy_ticks for p in self.state.pickers], elapsed),
             rwr=robot_working_rate(
-                [r.busy_ticks for r in self.state.robots],
-                max(makespan, 1)),
+                [r.busy_ticks for r in self.state.robots], elapsed),
             selection_seconds=self.planner.stats.selection_seconds,
             planning_seconds=self.planner.stats.planning_seconds,
             peak_memory_bytes=self._recorder.peak_memory,

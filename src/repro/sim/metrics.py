@@ -79,6 +79,27 @@ class MetricsRecorder:
         """Record that ``count`` more items finished processing."""
         self.items_processed += count
 
+    def note_memory(self, memory_bytes: int) -> None:
+        """Fold one memory sample into the running peak.
+
+        The event-driven engine samples memory only at ticks where a
+        planner structure can have grown (every tick would be wasted
+        work: between events reservations only shrink), so peak tracking
+        is decoupled from checkpoint emission.
+        """
+        if memory_bytes > self.peak_memory:
+            self.peak_memory = memory_bytes
+
+    def would_checkpoint(self) -> bool:
+        """Whether the item count has crossed the next pending threshold.
+
+        Lets the engine skip computing the (comparatively expensive)
+        rate inputs of :meth:`maybe_checkpoint` on the vast majority of
+        ticks where no checkpoint can be emitted.
+        """
+        return (self._next_checkpoint < len(self._thresholds)
+                and self.items_processed >= self._thresholds[self._next_checkpoint])
+
     def maybe_checkpoint(self, tick: Tick, ppr: float, rwr: float,
                          selection_seconds: float, planning_seconds: float,
                          memory_bytes: int) -> Optional[CheckpointSample]:
@@ -88,7 +109,7 @@ class MetricsRecorder:
         the highest crossed threshold (the intermediate values would be
         identical anyway).
         """
-        self.peak_memory = max(self.peak_memory, memory_bytes)
+        self.note_memory(memory_bytes)
         crossed = False
         while (self._next_checkpoint < len(self._thresholds)
                and self.items_processed >= self._thresholds[self._next_checkpoint]):

@@ -95,3 +95,50 @@ def process_picker_tick(picker: Picker, t: Tick,
     picker.current_rack = None
     picker.remaining_current = 0
     return completed
+
+
+def ticks_until_next_picker_event(picker: Picker) -> Optional[int]:
+    """How many ticks until this picker's state can next change.
+
+    The event-driven engine's calendar query: a picker mid-batch next
+    changes when the batch completes (``remaining_current`` ticks away); a
+    free picker with a queued rack pops it on the very next tick; a free
+    picker with an empty queue is inert until an enqueue re-arms it
+    (``None``).  Between those ticks the picker's evolution is linear —
+    one tick of processing per tick — which is exactly what
+    :func:`advance_picker_span` accounts analytically.
+    """
+    if picker.current_rack is not None:
+        return picker.remaining_current
+    if picker.queue:
+        return 1
+    return None
+
+
+def advance_picker_span(picker: Picker, racks: List[Rack], n: int) -> None:
+    """Fast-forward ``n`` quiet ticks of processing in O(1).
+
+    Equivalent to ``n`` calls of :func:`process_picker_tick` under the
+    guarantee (enforced here) that none of them would pop or complete a
+    batch: the current batch must outlast the span, or the picker must be
+    idle with an empty queue (in which case nothing accrues).
+    """
+    if n < 0:
+        raise SimulationError(f"cannot advance a picker by {n} ticks")
+    if n == 0:
+        return
+    if picker.current_rack is None:
+        if picker.queue:
+            raise SimulationError(
+                f"picker {picker.picker_id} fast-forwarded {n} ticks past "
+                f"a pending pop (queue length {len(picker.queue)})")
+        return
+    if picker.remaining_current <= n:
+        raise SimulationError(
+            f"picker {picker.picker_id} fast-forwarded {n} ticks past the "
+            f"completion of rack {picker.current_rack} "
+            f"(remaining {picker.remaining_current})")
+    picker.remaining_current -= n
+    picker.busy_ticks += n
+    picker.accumulated_processing += n
+    racks[picker.current_rack].accumulated_processing += n

@@ -1,0 +1,137 @@
+"""Record/replay planners: drive the engine on a pre-computed decision log.
+
+The engine benchmarks (``bench_engine`` in ``scripts/bench_kernels.py``)
+need to time the *simulation core* — calendar management, motion, FCFS
+queueing, span accounting — without the planner's selection and search
+cost drowning the measurement: on the fleet-ladder floors spatiotemporal
+A* is ~3/4 of end-to-end wall-clock and is byte-identical work in both
+engine generations.  The harness here runs one live planner once through
+:class:`RecordingPlanner`, freezing every scheme and leg it emitted, then
+replays that log through :class:`ReplayPlanner` against fresh worlds — so
+a legacy-vs-event comparison is two engines executing the *identical*
+mission stream with near-zero planner cost.
+
+Replay is also a determinism witness: a replayed run must reproduce the
+recorded run's deterministic view exactly (modulo the memory metric,
+which a replay reports as zero), and the test suite holds it to that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Tuple
+
+from ..errors import SimulationError
+from ..pathfinding.paths import Path
+from ..planners.base import Planner, PlannerStats
+from ..planners.scheme import PlanningScheme
+from ..types import Cell, Tick
+from ..warehouse.state import WarehouseState
+
+#: One leg-planning call site: (start tick, source, goal).
+LegKey = Tuple[Tick, Cell, Cell]
+
+
+@dataclass
+class ReplayLog:
+    """Every decision a planner made during one recorded run."""
+
+    planner_name: str = "replay"
+    #: Planning scheme emitted at each tick ``plan`` was invoked.
+    schemes: Dict[Tick, PlanningScheme] = field(default_factory=dict)
+    #: Legs planned per call site, in call order (FIFO within a key).
+    legs: Dict[LegKey, List[Path]] = field(default_factory=dict)
+
+    @property
+    def n_legs(self) -> int:
+        return sum(len(paths) for paths in self.legs.values())
+
+
+class RecordingPlanner:
+    """Transparent proxy that logs an inner planner's emissions.
+
+    Satisfies the engine's planner contract by delegation; the inner
+    planner behaves exactly as if driven directly.
+    """
+
+    def __init__(self, inner: Planner) -> None:
+        self._inner = inner
+        self.log = ReplayLog(planner_name=inner.name)
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def state(self) -> WarehouseState:
+        return self._inner.state
+
+    @property
+    def stats(self) -> PlannerStats:
+        return self._inner.stats
+
+    def memory_bytes(self) -> int:
+        return self._inner.memory_bytes()
+
+    def plan(self, t: Tick) -> PlanningScheme:
+        scheme = self._inner.plan(t)
+        self.log.schemes[t] = scheme
+        return scheme
+
+    def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        path = self._inner.plan_leg(t, source, goal)
+        self.log.legs.setdefault((t, source, goal), []).append(path)
+        return path
+
+    def advance(self, t_from: Tick, t_to: Tick) -> None:
+        self._inner.advance(t_from, t_to)
+
+    def end_of_tick(self, t: Tick) -> None:
+        self._inner.end_of_tick(t)
+
+
+class ReplayPlanner:
+    """Replays a :class:`ReplayLog` against a fresh world.
+
+    Single-use: each leg is consumed as it is requested, so construct one
+    replay planner per run.  A request the log cannot answer means the
+    replayed world diverged from the recorded one — that raises
+    immediately rather than silently desynchronising.
+    """
+
+    def __init__(self, state: WarehouseState, log: ReplayLog) -> None:
+        self.state = state
+        self.log = log
+        self.name = log.planner_name
+        self.stats = PlannerStats()
+        self._legs: Dict[LegKey, Deque[Path]] = {
+            key: deque(paths) for key, paths in log.legs.items()}
+
+    def memory_bytes(self) -> int:
+        return 0
+
+    def plan(self, t: Tick) -> PlanningScheme:
+        scheme = self.log.schemes.get(t)
+        if scheme is None:
+            # The recorded run had nothing to dispatch at this tick (the
+            # live planner's side-effect-free early return).
+            return PlanningScheme(timestamp=t)
+        self.stats.schemes_emitted += 1
+        self.stats.assignments_emitted += len(scheme)
+        return scheme
+
+    def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        queue = self._legs.get((t, source, goal))
+        if not queue:
+            raise SimulationError(
+                f"replay diverged: no recorded leg for t={t} "
+                f"{source} -> {goal}")
+        self.stats.legs_planned += 1
+        return queue.popleft()
+
+    def advance(self, t_from: Tick, t_to: Tick) -> None:
+        """No reservation structure to purge during replay."""
+
+    def end_of_tick(self, t: Tick) -> None:
+        self.advance(t, t)

@@ -22,7 +22,7 @@ from .metrics import CheckpointSample, RunMetrics
 from .trace import BottleneckTrace
 
 #: Keys holding wall-clock measurements, excluded from exact comparisons.
-TIMING_KEYS = frozenset({"selection_seconds", "planning_seconds"})
+TIMING_KEYS = frozenset({"selection_seconds", "planning_seconds", "wall_s"})
 
 
 def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:

@@ -7,13 +7,22 @@ missions sit in each step and accumulates those counts — one
 mission-tick of a step is one unit of that step's cost.  The dominant
 accumulating component at any moment is the current bottleneck, and the
 case study checks it migrates transport → queuing as a surge builds.
+
+Storage is run-length encoded: the event-driven simulator fast-forwards
+spans during which no mission changes stage, so the decomposition is
+constant across each span and one :meth:`BottleneckTrace.record_run`
+call records the whole span in O(1).  Consumers still see the exact
+per-tick sample sequence through :attr:`BottleneckTrace.samples`, which
+expands the runs (lazily, cached) into the same
+:class:`BottleneckSample` list the per-tick recorder produced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Tuple
 
+from ..errors import SimulationError
 from ..types import Tick
 
 
@@ -37,32 +46,96 @@ class BottleneckSample:
         return max(costs, key=lambda k: (costs[k], k))
 
 
-@dataclass
 class BottleneckTrace:
-    """Per-tick record of the fulfilment-step cost decomposition."""
+    """Run-length record of the fulfilment-step cost decomposition.
 
-    samples: List[BottleneckSample] = field(default_factory=list)
-    _cum_transport: int = 0
-    _cum_queuing: int = 0
-    _cum_processing: int = 0
+    ``record`` appends one tick; ``record_run`` appends a whole span of
+    ticks sharing one decomposition.  Adjacent runs with identical counts
+    merge, so a simulation dominated by long quiet spans stores a handful
+    of runs instead of one object per tick.
+    """
+
+    def __init__(self) -> None:
+        #: (start_tick, n_ticks, transporting, queuing, processing)
+        self._runs: List[Tuple[Tick, int, int, int, int]] = []
+        self._n_ticks = 0
+        self._samples: List[BottleneckSample] = []
+        #: How many runs ``_samples`` has already expanded.
+        self._expanded_runs = 0
 
     def record(self, tick: Tick, transporting: int, queuing: int,
                processing: int) -> None:
         """Append one tick's decomposition (counts of missions per step)."""
-        self._cum_transport += transporting
-        self._cum_queuing += queuing
-        self._cum_processing += processing
-        self.samples.append(BottleneckSample(
-            tick=tick, transporting=transporting, queuing=queuing,
-            processing=processing, cum_transport=self._cum_transport,
-            cum_queuing=self._cum_queuing,
-            cum_processing=self._cum_processing))
+        self.record_run(tick, tick, transporting, queuing, processing)
+
+    def record_run(self, t_from: Tick, t_to: Tick, transporting: int,
+                   queuing: int, processing: int) -> None:
+        """Append the span ``[t_from, t_to]`` (inclusive) in O(1).
+
+        The span must start right after the last recorded tick; the trace
+        is a gapless per-tick series no matter how it was recorded.
+        """
+        if t_to < t_from:
+            raise SimulationError(
+                f"trace run [{t_from}, {t_to}] is empty")
+        n = t_to - t_from + 1
+        if self._runs:
+            start, length, tr, qu, pr = self._runs[-1]
+            if t_from != start + length:
+                raise SimulationError(
+                    f"trace run starts at {t_from}, expected "
+                    f"{start + length} (gapless per-tick series)")
+            if (tr, qu, pr) == (transporting, queuing, processing):
+                if self._expanded_runs == len(self._runs):
+                    # The cached expansion covered this run; re-expand it.
+                    self._expanded_runs -= 1
+                    del self._samples[start:]
+                self._runs[-1] = (start, length + n, tr, qu, pr)
+                self._n_ticks += n
+                return
+        elif t_from != 0:
+            raise SimulationError(
+                f"trace must start at tick 0, got {t_from}")
+        self._runs.append((t_from, n, transporting, queuing, processing))
+        self._n_ticks += n
+
+    @property
+    def samples(self) -> List[BottleneckSample]:
+        """The exact per-tick sample sequence (runs expanded, cached)."""
+        if self._expanded_runs < len(self._runs):
+            self._expand()
+        return self._samples
+
+    def _expand(self) -> None:
+        out = self._samples
+        if out:
+            last = out[-1]
+            cum_tr, cum_qu, cum_pr = (last.cum_transport, last.cum_queuing,
+                                      last.cum_processing)
+        else:
+            cum_tr = cum_qu = cum_pr = 0
+        for start, length, tr, qu, pr in self._runs[self._expanded_runs:]:
+            for i in range(length):
+                cum_tr += tr
+                cum_qu += qu
+                cum_pr += pr
+                out.append(BottleneckSample(
+                    tick=start + i, transporting=tr, queuing=qu,
+                    processing=pr, cum_transport=cum_tr,
+                    cum_queuing=cum_qu, cum_processing=cum_pr))
+        self._expanded_runs = len(self._runs)
+
+    @property
+    def runs(self) -> List[Tuple[Tick, int, int, int, int]]:
+        """The raw run-length segments (start, n_ticks, tr, qu, pr)."""
+        return list(self._runs)
 
     def bottleneck_timeline(self, window: int = 100) -> List[str]:
         """Dominant step per ``window``-tick bucket (smooths tick noise)."""
         timeline: List[str] = []
-        for start in range(0, len(self.samples), window):
-            bucket = self.samples[start:start + window]
+        samples = self.samples
+        for start in range(0, len(samples), window):
+            bucket = samples[start:start + window]
             totals = {"transport": 0, "queuing": 0, "processing": 0}
             for sample in bucket:
                 totals["transport"] += sample.transporting
@@ -72,4 +145,4 @@ class BottleneckTrace:
         return timeline
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._n_ticks

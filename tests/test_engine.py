@@ -147,3 +147,46 @@ class TestGuards:
                  Item(1, 2, arrival=300, processing_time=3)]
         result = Simulation(state, NaiveTaskPlanner(state), items).run()
         assert result.metrics.items_processed == 2
+
+
+class TestElapsedDenominator:
+    """PPR/RWR checkpoints and the final metrics share one denominator
+    rule: rate = busy ticks / elapsed accounted ticks.  On drained runs
+    the final elapsed tick count provably equals the makespan (the run
+    ends the tick after the last rack returns), and the engine asserts
+    that instead of silently mixing two clocks."""
+
+    def test_final_rates_use_elapsed_equals_makespan(self):
+        state = make_two_picker_state(n_racks=6, n_robots=2)
+        items = [Item(i, i % 6, arrival=i * 3, processing_time=3)
+                 for i in range(12)]
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+        makespan = result.metrics.makespan
+        picker_rates = [p.busy_ticks / makespan for p in state.pickers]
+        robot_rates = [r.busy_ticks / makespan for r in state.robots]
+        assert result.metrics.ppr == sum(picker_rates) / len(picker_rates)
+        assert result.metrics.rwr == sum(robot_rates) / len(robot_rates)
+
+    def test_checkpoint_on_final_tick_agrees_with_final_metrics(self):
+        """With an instant return leg (rack home == picker cell) the last
+        checkpoint lands on the final accounted tick, where the old
+        ``elapsed = t + 1`` vs ``makespan`` skew would make it disagree
+        with the final PPR/RWR.  Both now use the same denominator."""
+        from repro.warehouse.entities import Picker, Rack, Robot
+        from repro.warehouse.grid import Grid
+
+        cell = (2, 2)
+        state = WarehouseState(
+            grid=Grid(6, 6),
+            racks=[Rack(rack_id=0, home=cell, picker_id=0)],
+            pickers=[Picker(picker_id=0, location=cell)],
+            robots=[Robot(robot_id=0, location=cell)])
+        state._rebuild_indexes()
+        items = [Item(0, 0, arrival=0, processing_time=4)]
+        result = Simulation(state, NaiveTaskPlanner(state), items).run()
+
+        assert result.metrics.makespan == 4
+        last = result.metrics.checkpoints[-1]
+        assert last.tick + 1 == result.metrics.makespan
+        assert last.ppr == result.metrics.ppr
+        assert last.rwr == result.metrics.rwr

@@ -92,3 +92,43 @@ class TestIteration:
 
     def test_len(self):
         assert len(Path.waiting((0, 0), 0, 9)) == 10
+
+
+class TestCellsBetween:
+    def path(self):
+        return Path.from_cells([(0, 0), (1, 0), (1, 1), (2, 1)], start_time=10)
+
+    def test_full_span(self):
+        assert self.path().cells_between(10, 13) == [(0, 0), (1, 0), (1, 1),
+                                                     (2, 1)]
+
+    def test_interior_slice(self):
+        assert self.path().cells_between(11, 12) == [(1, 0), (1, 1)]
+
+    def test_clamps_before_start(self):
+        assert self.path().cells_between(8, 11) == [(0, 0), (0, 0), (0, 0),
+                                                    (1, 0)]
+
+    def test_clamps_after_end(self):
+        assert self.path().cells_between(12, 15) == [(1, 1), (2, 1), (2, 1),
+                                                     (2, 1)]
+
+    def test_entirely_outside(self):
+        assert self.path().cells_between(0, 2) == [(0, 0)] * 3
+        assert self.path().cells_between(20, 21) == [(2, 1)] * 2
+
+    def test_single_tick_equals_cell_at(self):
+        path = self.path()
+        for t in range(5, 20):
+            assert path.cells_between(t, t) == [path.cell_at(t)]
+
+    def test_matches_per_tick_cell_at(self):
+        path = self.path()
+        for t0 in range(6, 18):
+            for t1 in range(t0, 18):
+                assert path.cells_between(t0, t1) == [
+                    path.cell_at(t) for t in range(t0, t1 + 1)]
+
+    def test_rejects_empty_span(self):
+        with pytest.raises(ConflictError):
+            self.path().cells_between(12, 11)

@@ -265,6 +265,36 @@ class TestPlannerBookkeeping:
         planner.end_of_tick(t)
         assert planner.reservation.is_free(0, state.racks[5].home)
 
+    def test_advance_span_purges_like_the_tick_loop(self):
+        """One span-aware advance() call must leave the reservation in
+        the exact state the per-tick end_of_tick sweep produced."""
+        def loaded_planner():
+            state = make_two_picker_state(n_robots=1)
+            give_items(state, 5)
+            planner = NaiveTaskPlanner(state)
+            planner.plan(0)
+            return planner
+
+        horizon_end = 400
+        ticked = loaded_planner()
+        for t in range(horizon_end + 1):
+            ticked.end_of_tick(t)
+        spanned = loaded_planner()
+        spanned.advance(0, horizon_end)
+        assert (spanned.reservation.memory_bytes()
+                == ticked.reservation.memory_bytes())
+        assert spanned.reservation.is_free(0, spanned.state.racks[5].home)
+
+    def test_advance_span_without_cadence_tick_is_a_noop(self):
+        state = make_two_picker_state(n_robots=1)
+        give_items(state, 5)
+        planner = NaiveTaskPlanner(state)
+        planner.plan(0)
+        before = planner.reservation.memory_bytes()
+        cadence = planner.PURGE_CADENCE
+        planner.advance(cadence * 20 + 1, cadence * 21 - 1)
+        assert planner.reservation.memory_bytes() == before
+
     def test_memory_bytes_positive(self):
         state = make_two_picker_state()
         assert NaiveTaskPlanner(state).memory_bytes() >= 0

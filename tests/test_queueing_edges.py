@@ -1,0 +1,155 @@
+"""FCFS queueing edge cases and the event-calendar picker queries.
+
+Satellites of the event-driven engine PR: same-tick multi-rack enqueue
+ordering at one picker, a batch completing on the exact tick another
+starts, ``queued_processing`` conservation across a full run, and the
+span-advance/next-event helpers the calendar is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.planners import PLANNERS
+from repro.sim.engine import Simulation
+from repro.sim.missions import MissionStage
+from repro.sim.queueing import (advance_picker_span, enqueue_rack,
+                                process_picker_tick,
+                                ticks_until_next_picker_event)
+from repro.warehouse.entities import Item, Picker, Rack
+from repro.warehouse.layout import build_layout
+from repro.warehouse.state import WarehouseState
+
+
+def picker():
+    return Picker(picker_id=0, location=(5, 9))
+
+
+def racks(n=4):
+    return [Rack(rack_id=i, home=(i, 0), picker_id=0) for i in range(n)]
+
+
+class TestSameTickEnqueueOrdering:
+    def test_same_tick_enqueues_process_in_arrival_order(self):
+        """Racks delivered within one tick keep their delivery order."""
+        p, rs = picker(), racks()
+        batch_times = {2: 3, 0: 2, 1: 4}
+        for rack_id in (2, 0, 1):  # delivery order within the tick
+            enqueue_rack(p, rack_id, batch_times[rack_id])
+        assert list(p.queue) == [2, 0, 1]
+        assert p.queued_processing == 9
+
+        processed = []
+        t = 0
+        while p.current_rack is not None or p.queue:
+            started = []
+            process_picker_tick(p, t, batch_times, rs, started)
+            processed.extend(started)
+            t += 1
+        assert processed == [2, 0, 1]
+        assert t == 9  # FCFS: total occupancy is the sum of batch times
+
+    def test_completion_tick_equals_next_start_tick(self):
+        """A batch completing at tick t frees the station; the next rack
+        starts on tick t+1 — never the same tick, never later."""
+        p, rs = picker(), racks()
+        batch_times = {0: 2, 1: 3}
+        enqueue_rack(p, 0, 2)
+        enqueue_rack(p, 1, 3)
+        process_picker_tick(p, 0, batch_times, rs)          # rack 0 starts
+        completion = process_picker_tick(p, 1, batch_times, rs)
+        assert completion is not None and completion.rack_id == 0
+        assert completion.completed_at == 2
+        assert p.current_rack is None
+        started = []
+        process_picker_tick(p, 2, batch_times, rs, started)
+        assert started == [1]                                # exact next tick
+        assert p.current_rack == 1
+
+    def test_one_tick_batch_starts_and_completes_together(self):
+        p, rs = picker(), racks()
+        enqueue_rack(p, 3, 1)
+        started = []
+        completion = process_picker_tick(p, 5, {3: 1}, rs, started)
+        assert started == [3]
+        assert completion is not None
+        assert completion.rack_id == 3 and completion.completed_at == 6
+
+
+class TestCalendarQueries:
+    def test_busy_picker_reports_remaining(self):
+        p, rs = picker(), racks()
+        enqueue_rack(p, 0, 5)
+        process_picker_tick(p, 0, {0: 5}, rs)
+        assert ticks_until_next_picker_event(p) == 4
+
+    def test_free_picker_with_queue_pops_next_tick(self):
+        p = picker()
+        enqueue_rack(p, 0, 5)
+        assert ticks_until_next_picker_event(p) == 1
+
+    def test_inert_picker_has_no_event(self):
+        assert ticks_until_next_picker_event(picker()) is None
+
+    def test_span_advance_matches_tick_loop(self):
+        batch_times = {0: 10}
+        spanned, ticked = picker(), picker()
+        rs_a, rs_b = racks(), racks()
+        for p, rs in ((spanned, rs_a), (ticked, rs_b)):
+            enqueue_rack(p, 0, 10)
+            process_picker_tick(p, 0, batch_times, rs)
+        advance_picker_span(spanned, rs_a, 6)
+        for t in range(1, 7):
+            process_picker_tick(ticked, t, batch_times, rs_b)
+        assert spanned.remaining_current == ticked.remaining_current
+        assert spanned.busy_ticks == ticked.busy_ticks
+        assert spanned.accumulated_processing == ticked.accumulated_processing
+        assert (rs_a[0].accumulated_processing
+                == rs_b[0].accumulated_processing)
+
+    def test_span_refuses_to_skip_a_completion(self):
+        p, rs = picker(), racks()
+        enqueue_rack(p, 0, 3)
+        process_picker_tick(p, 0, {0: 3}, rs)
+        with pytest.raises(SimulationError):
+            advance_picker_span(p, rs, 2)  # tick 2 would complete the batch
+
+    def test_span_refuses_to_skip_a_pop(self):
+        p, rs = picker(), racks()
+        enqueue_rack(p, 0, 3)
+        with pytest.raises(SimulationError):
+            advance_picker_span(p, rs, 1)
+
+    def test_idle_span_is_free(self):
+        p, rs = picker(), racks()
+        advance_picker_span(p, rs, 1000)
+        assert p.busy_ticks == 0 and p.accumulated_processing == 0
+
+
+class TestQueuedProcessingConservation:
+    def test_conservation_across_a_full_run(self):
+        """Σ enqueued batch time == Σ started batch time == Σ busy ticks,
+        and ``queued_processing`` returns to zero when the run drains."""
+        layout = build_layout(16, 12, n_racks=6, n_pickers=2)
+        state = WarehouseState.from_layout(layout, n_robots=3,
+                                           rack_to_picker=[0] * 6)
+        items = [Item(i, i % 6, arrival=(i // 6) * 9, processing_time=7)
+                 for i in range(18)]
+        planner = PLANNERS["NTP"](state)
+        result = Simulation(state, planner, items,
+                            SimulationConfig()).run()
+
+        total_batch_time = sum(m.batch_processing_time
+                               for m in result.missions)
+        assert total_batch_time == 18 * 7
+        assert state.pickers[0].busy_ticks == total_batch_time
+        assert state.pickers[0].accumulated_processing == total_batch_time
+        for p in state.pickers:
+            assert p.queued_processing == 0
+            assert p.remaining_current == 0
+            assert p.current_rack is None
+            assert not p.queue
+        # Every mission ran the full pipeline.
+        assert all(m.stage is MissionStage.DONE for m in result.missions)

@@ -1,5 +1,8 @@
 """Unit tests for the bottleneck decomposition trace (Fig. 13 instrument)."""
 
+import pytest
+
+from repro.errors import SimulationError
 from repro.sim.trace import BottleneckTrace
 
 
@@ -43,3 +46,61 @@ class TestTimeline:
 
     def test_empty_trace(self):
         assert BottleneckTrace().bottleneck_timeline() == []
+
+
+class TestRunLengthRecording:
+    def test_run_expands_to_per_tick_samples(self):
+        run_length = BottleneckTrace()
+        run_length.record_run(0, 4, transporting=3, queuing=1, processing=0)
+        per_tick = BottleneckTrace()
+        for t in range(5):
+            per_tick.record(t, transporting=3, queuing=1, processing=0)
+        assert run_length.samples == per_tick.samples
+        assert len(run_length) == 5
+
+    def test_mixed_recording_matches_per_tick(self):
+        mixed = BottleneckTrace()
+        mixed.record(0, 2, 0, 1)
+        mixed.record_run(1, 6, 2, 0, 1)     # same counts: merges
+        mixed.record_run(7, 9, 0, 4, 1)
+        mixed.record(10, 0, 4, 1)           # merges with the previous run
+        reference = BottleneckTrace()
+        for t in range(7):
+            reference.record(t, 2, 0, 1)
+        for t in range(7, 11):
+            reference.record(t, 0, 4, 1)
+        assert mixed.samples == reference.samples
+        assert len(mixed._runs) == 2        # merged storage, expanded view
+
+    def test_samples_refresh_after_tail_merge(self):
+        trace = BottleneckTrace()
+        trace.record(0, 1, 0, 0)
+        assert len(trace.samples) == 1      # expand early...
+        trace.record_run(1, 3, 1, 0, 0)     # ...then grow the tail run
+        trace.record(4, 0, 2, 0)
+        samples = trace.samples
+        assert [s.tick for s in samples] == [0, 1, 2, 3, 4]
+        assert samples[3].cum_transport == 4
+        assert samples[4].cum_queuing == 2
+
+    def test_rejects_gaps(self):
+        trace = BottleneckTrace()
+        trace.record(0, 1, 0, 0)
+        with pytest.raises(SimulationError):
+            trace.record_run(2, 5, 1, 0, 0)
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(SimulationError):
+            BottleneckTrace().record(3, 1, 0, 0)
+
+    def test_rejects_empty_run(self):
+        trace = BottleneckTrace()
+        with pytest.raises(SimulationError):
+            trace.record_run(5, 4, 1, 0, 0)
+
+    def test_timeline_over_runs(self):
+        trace = BottleneckTrace()
+        trace.record_run(0, 99, 5, 0, 1)
+        trace.record_run(100, 199, 1, 8, 2)
+        assert trace.bottleneck_timeline(window=100) == ["transport",
+                                                         "queuing"]
