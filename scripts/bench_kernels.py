@@ -24,9 +24,13 @@ keep ``st_astar.packed.expansions_per_s`` from regressing.
 ``--smoke`` is the CI gate: a seconds-fast subset (reduced rounds, no
 end-to-end Table III timing) that fails the build when the packed search
 core's speedup over the in-process seed implementation falls below
-``SMOKE_MIN_SEARCH_SPEEDUP``.  Comparing against the seed *in the same
-process* keeps the gate machine-independent — absolute expansions/sec
-vary across runners, the relative speedup does not.
+``SMOKE_MIN_SEARCH_SPEEDUP``, when the event engine's replay speedup or
+events/s floor regresses, or when any of the five planners fails to
+drain the 200-robot fleet-ladder rung through the windowed planning
+pipeline (the PR-4 completion gate, written to ``BENCH_PR4.json``).
+Comparing against the seed *in the same process* keeps the relative
+gates machine-independent — absolute expansions/sec vary across runners,
+the relative speedup does not.
 """
 
 from __future__ import annotations
@@ -71,6 +75,12 @@ SMOKE_MIN_ENGINE_EVENTS_PER_S = 5_000
 
 #: Fleet-ladder rungs of the engine benchmark (robot counts at scale 1).
 ENGINE_FLEETS = (10, 50, 100, 200)
+
+#: The paper's evaluation order — the planner axis of the ladder kernel.
+LADDER_PLANNERS = ("NTP", "LEF", "ILP", "ATP", "EATP")
+
+#: Fleet-ladder rungs of the planner-layer benchmark (PR 4).
+LADDER_FLEETS = (10, 25, 50, 100, 200)
 
 
 def _time_search(search_fn, make_table, rounds=30):
@@ -190,6 +200,10 @@ def bench_table3(scale):
     }
 
 
+class _RecordingUnusable(Exception):
+    """A live recording the frozen per-tick engine cannot replay."""
+
+
 def _bench_engine_rung(spec, planner_name="NTP"):
     """Record one live run, then replay it through both engines.
 
@@ -198,6 +212,12 @@ def _bench_engine_rung(spec, planner_name="NTP"):
     :mod:`repro.sim.replay`), so the wall-clock ratio is the engine's own
     speedup, not diluted by the spatiotemporal search the two stacks share
     byte-for-byte.
+
+    Recordings that needed the windowed pipeline's fallback tiers are
+    rejected (:class:`_RecordingUnusable`): partial legs and horizon
+    replans postdate the frozen per-tick engine, which cannot execute
+    them — and the kernel exists to compare the two engines on identical
+    work, so the next planner in line records instead.
     """
     from repro.planners import PLANNERS
     from repro.sim._legacy_engine import LegacySimulation
@@ -210,6 +230,13 @@ def _bench_engine_rung(spec, planner_name="NTP"):
     started = time.perf_counter()
     live_result = Simulation(state, recorder, items).run()
     live_wall = time.perf_counter() - started
+
+    fallback_legs = (recorder.stats.legs_windowed + recorder.stats.legs_wait)
+    if fallback_legs:
+        raise _RecordingUnusable(
+            f"{planner_name} planned {fallback_legs} fallback leg(s) on "
+            f"{spec.name}; the frozen per-tick engine cannot replay "
+            f"partial legs")
 
     def replay(engine_cls):
         replay_state, replay_items = spec.build()
@@ -262,11 +289,12 @@ def bench_engine(scale=1.0, fleets=ENGINE_FLEETS,
                  planners=("NTP", "ATP")):
     """The PR-3 engine kernel: fleet-ladder rungs, legacy vs event replay.
 
-    Each rung records with the first planner in ``planners`` that can
-    drain it — NTP's greedy dispatch exhausts the spatiotemporal search
-    on some mid-congestion rungs (a pre-existing planner-layer limit,
-    identical under both engines), in which case the rung falls back to
-    ATP and says so in its payload.
+    Each rung records with the first planner in ``planners`` whose live
+    run stays entirely on the full-search tier — a run that needed the
+    windowed pipeline's fallback legs (NTP's greedy dispatch boxes robots
+    in on some mid-congestion rungs) produces partial legs the frozen
+    per-tick engine cannot replay, so the rung falls back to the next
+    planner and says so in its payload.
     """
     from repro.errors import PathNotFoundError
     from repro.workloads.datasets import fleet_ladder
@@ -279,7 +307,7 @@ def bench_engine(scale=1.0, fleets=ENGINE_FLEETS,
             try:
                 rungs.append(_bench_engine_rung(spec, planner_name))
                 break
-            except PathNotFoundError as error:
+            except (PathNotFoundError, _RecordingUnusable) as error:
                 last_error = error
         else:
             rungs.append({"scenario": spec.name, "n_robots": spec.n_robots,
@@ -290,6 +318,88 @@ def bench_engine(scale=1.0, fleets=ENGINE_FLEETS,
         "scale": scale,
         "rungs": rungs,
     }
+
+
+def _ladder_cell(spec, planner_name):
+    """One live (rung × planner) run with full planner-layer accounting."""
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+
+    state, items = spec.build()
+    planner = PLANNERS[planner_name](state)
+    cell = {"scenario": spec.name, "planner": planner_name,
+            "n_robots": spec.n_robots}
+    started = time.perf_counter()
+    try:
+        result = Simulation(state, planner, items).run()
+    except Exception as error:  # the gate reports, the caller decides
+        cell["error"] = f"{type(error).__name__}: {error}"
+        cell["wall_s"] = time.perf_counter() - started
+        return cell
+    stats = planner.stats
+    cell.update({
+        "wall_s": time.perf_counter() - started,
+        "makespan_ticks": result.metrics.makespan,
+        "selection_s": stats.selection_seconds,
+        "planning_s": stats.planning_seconds,
+        "legs": {"planned": stats.legs_planned, "full": stats.legs_full,
+                 "windowed": stats.legs_windowed, "wait": stats.legs_wait},
+        "horizon_replans": stats.horizon_replans,
+        "search_expansions": stats.search_expansions,
+    })
+    return cell
+
+
+def bench_fleet_ladder(scale=1.0, fleets=LADDER_FLEETS,
+                       planners=LADDER_PLANNERS):
+    """The PR-4 planner-layer kernel: every planner up the fleet ladder.
+
+    Runs each (rung × planner) cell *live* — planner and search included,
+    unlike the replay-isolated engine kernel — and records per-cell
+    selection/planning seconds plus the fallback-tier histogram of the
+    windowed planning pipeline.  Before PR 4 this sweep was impossible:
+    NTP died on Fleet-50 and EATP on Fleet-200 with
+    ``PathNotFoundError``, and LEF/ILP were excluded outright.
+    """
+    from repro.workloads.datasets import fleet_ladder
+
+    specs = fleet_ladder(scale=scale, fleets=fleets)
+    cells = [_ladder_cell(spec, planner_name)
+             for spec in specs for planner_name in planners]
+    return {
+        "workload": f"fleet-ladder live planner kernel at scale {scale:g}, "
+                    f"planners {'/'.join(planners)}",
+        "scale": scale,
+        "cells": cells,
+    }
+
+
+def report_ladder(ladder, out_path):
+    """Write the ladder report and print one line per cell."""
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "fleet_ladder": ladder,
+    }
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    failed = []
+    for cell in ladder["cells"]:
+        label = f"{cell['scenario']:>10} {cell['planner']:>4}"
+        if "error" in cell:
+            failed.append(cell)
+            print(f"ladder   : {label} FAILED — {cell['error']}")
+            continue
+        legs = cell["legs"]
+        fallbacks = legs["windowed"] + legs["wait"]
+        print(f"ladder   : {label} makespan={cell['makespan_ticks']:>6,} "
+              f"wall={cell['wall_s']:6.2f}s "
+              f"select={cell['selection_s']:6.2f}s "
+              f"plan={cell['planning_s']:6.2f}s "
+              f"fallback legs={fallbacks} "
+              f"(windowed {legs['windowed']}, wait {legs['wait']}, "
+              f"replans {cell['horizon_replans']})")
+    print(f"wrote {out_path}")
+    return failed
 
 
 def write_engine_report(engine, out_path):
@@ -324,14 +434,17 @@ def report_engine(engine, out_path):
     print(f"wrote {out_path}")
 
 
-def run_smoke(engine_out="BENCH_PR3.json"):
+def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
-    Two gates: the PR-1 packed-search speedup over the in-process seed,
-    and the PR-3 event-engine speedup over the in-process frozen per-tick
+    Three gates: the PR-1 packed-search speedup over the in-process seed,
+    the PR-3 event-engine speedup over the in-process frozen per-tick
     engine on a reduced-scale 200-robot fleet-ladder rung (plus an
-    absolute ``events_per_s`` backstop).  The engine numbers are written
-    to ``engine_out`` so CI can upload them as a workflow artifact.
+    absolute ``events_per_s`` backstop), and the PR-4 full-fleet-ladder
+    completion gate — all five planners must drain the 200-robot rung
+    with no ``PathNotFoundError`` escaping the windowed pipeline.  The
+    engine and ladder numbers are written to ``engine_out`` /
+    ``ladder_out`` so CI can upload them as workflow artifacts.
     """
     st = bench_st_astar(rounds=8)
     print(f"smoke st_astar: {st['packed']['expansions_per_s']:,.0f} exp/s "
@@ -365,6 +478,15 @@ def run_smoke(engine_out="BENCH_PR3.json"):
         raise SystemExit(
             f"engine.events_per_s regressed: {events_per_s:,.0f} < "
             f"{SMOKE_MIN_ENGINE_EVENTS_PER_S:,} floor")
+
+    ladder = bench_fleet_ladder(scale=0.35, fleets=(200,))
+    ladder["smoke"] = True
+    failed = report_ladder(ladder, ladder_out)
+    if failed:
+        names = [f"{cell['scenario']}/{cell['planner']}" for cell in failed]
+        raise SystemExit(
+            f"fleet-ladder completion gate failed: {names} did not drain "
+            f"the 200-robot rung")
     print("smoke gates passed")
 
 
@@ -378,10 +500,16 @@ def main(argv=None):
     parser.add_argument("--engine-out", default="BENCH_PR3.json",
                         help="output path of the engine kernel report "
                              "(default BENCH_PR3.json)")
+    parser.add_argument("--ladder-out", default="BENCH_PR4.json",
+                        help="output path of the planner-layer fleet-"
+                             "ladder report (default BENCH_PR4.json)")
     parser.add_argument("--engine-scale", type=float, default=1.0,
                         help="fleet-ladder scale of the full engine "
                              "benchmark (default 1.0, the paper-scale "
                              "floor; --smoke always uses 0.35)")
+    parser.add_argument("--ladder-only", action="store_true",
+                        help="run only the planner-layer fleet ladder "
+                             "and write BENCH_PR4.json")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-fast CI gate: fail if the packed "
                              "search speedup drops below "
@@ -395,11 +523,16 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.smoke:
-        run_smoke(args.engine_out)
+        run_smoke(args.engine_out, args.ladder_out)
         return
 
     if args.engine_only:
         report_engine(bench_engine(scale=args.engine_scale), args.engine_out)
+        return
+
+    if args.ladder_only:
+        report_ladder(bench_fleet_ladder(scale=args.engine_scale),
+                      args.ladder_out)
         return
 
     report = {
@@ -412,6 +545,8 @@ def main(argv=None):
     FsPath(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
     report_engine(bench_engine(scale=args.engine_scale), args.engine_out)
+    report_ladder(bench_fleet_ladder(scale=args.engine_scale),
+                  args.ladder_out)
 
     st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
     print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "

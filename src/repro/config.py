@@ -87,6 +87,16 @@ class PlannerConfig:
     max_search_expansions:
         Safety valve for a single spatiotemporal A* run; prevents an
         accidentally unreachable goal from hanging an experiment.
+    search_horizon:
+        ``W`` of the windowed fallback tier: how many ticks of
+        conflict-aware lookahead the windowed search plans (and the
+        reservation structure commits) before the simulator replans at
+        the horizon.  Only reached when the full search exhausts — the
+        windowed tier changes nothing on runs the full search handles.
+    fallback_wait_ticks:
+        Replan backoff of the wait-in-place tier: how many ticks a boxed
+        robot holds position before the pipeline retries, when no
+        earlier free tick of its cell suggests a better moment.
     reservation_horizon:
         How many ticks into the past the reservation structure keeps before
         its periodic purge (the CDT "update" operation, Sec. VI-B).
@@ -100,6 +110,8 @@ class PlannerConfig:
     knn_k: int = 8
     cache_threshold: int = 12
     max_search_expansions: int = 200_000
+    search_horizon: int = 64
+    fallback_wait_ticks: int = 8
     reservation_horizon: int = 64
     qlearning: QLearningConfig = field(default_factory=QLearningConfig)
     seed: int = 7
@@ -110,6 +122,11 @@ class PlannerConfig:
                  f"cache_threshold must be >= 0, got {self.cache_threshold}")
         _require(self.max_search_expansions > 0,
                  f"max_search_expansions must be > 0, got {self.max_search_expansions}")
+        _require(self.search_horizon >= 1,
+                 f"search_horizon must be >= 1, got {self.search_horizon}")
+        _require(self.fallback_wait_ticks >= 1,
+                 f"fallback_wait_ticks must be >= 1, "
+                 f"got {self.fallback_wait_ticks}")
         _require(self.reservation_horizon > 0,
                  f"reservation_horizon must be > 0, got {self.reservation_horizon}")
 

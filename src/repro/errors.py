@@ -33,12 +33,26 @@ class PathNotFoundError(ReproError):
     ----------
     source, goal:
         The endpoints of the failed search, kept for diagnostics.
+    stats:
+        The :class:`~repro.pathfinding.st_astar.SearchStats` of the failed
+        search when the raiser had them (the packed core always attaches
+        them; the frozen seed core predates the field and leaves ``None``).
+        Carrying the counters on the exception means exhaustion
+        diagnostics — expansions spent, peak open size, the budget in
+        force — survive into logs and test failures instead of being lost
+        at raise time.
     """
 
-    def __init__(self, source, goal, reason: str = "") -> None:
+    def __init__(self, source, goal, reason: str = "", stats=None) -> None:
         self.source = source
         self.goal = goal
+        self.stats = stats
         detail = f" ({reason})" if reason else ""
+        if stats is not None:
+            detail += (f" [expansions={stats.expansions}, "
+                       f"generated={stats.generated}, "
+                       f"peak_open={stats.peak_open}, "
+                       f"budget={stats.budget}]")
         super().__init__(f"no path from {source} to {goal}{detail}")
 
 

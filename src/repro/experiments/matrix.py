@@ -17,10 +17,41 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from ..errors import ConfigurationError
+from ..planners import PLANNERS
 from ..workloads.datasets import SCENARIO_FAMILIES, scenario_family
 from .harness import DEFAULT_PLANNERS, plan_cells, run_matrix
 from .reporting import format_table
 from .store import ResultStore, open_store
+
+
+def parse_planners(raw: str) -> tuple:
+    """``--planners`` parser: split, canonicalise, validate *early*.
+
+    Names are matched case-insensitively against the planner registry and
+    returned in canonical casing; an unknown name fails here with the
+    valid choices listed, instead of as a ``KeyError`` minutes later
+    inside a worker process (possibly after the known-good cells already
+    ran).
+    """
+    canonical = {name.upper(): name for name in PLANNERS}
+    chosen = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name = canonical.get(token.upper())
+        if name is None:
+            raise ConfigurationError(
+                f"unknown planner {token!r} in --planners; "
+                f"choose from {sorted(PLANNERS)}")
+        if name not in chosen:
+            chosen.append(name)
+    if not chosen:
+        raise ConfigurationError(
+            f"--planners selected nothing (got {raw!r}); "
+            f"choose from {sorted(PLANNERS)}")
+    return tuple(chosen)
 
 
 def render_matrix_summary(payloads: Dict[str, dict], title: str) -> str:
@@ -66,13 +97,39 @@ def render_slowest_cells(payloads: Dict[str, dict], top: int = 5) -> str:
                               f"of {len(timed)})")
 
 
+def render_fallback_summary(payloads: Dict[str, dict]) -> str:
+    """Aggregate fallback-tier counts — the windowed pipeline's pulse.
+
+    Shows at a glance whether (and how often) any cell of the sweep left
+    the full-search tier; all-zero means the run was byte-identical to
+    the pre-pipeline planner behaviour.
+    """
+    totals = {"windowed_legs": 0, "wait_legs": 0, "horizon_replans": 0}
+    cells_with = 0
+    for payload in payloads.values():
+        fallback = payload["result"]["metrics"].get("fallback", {})
+        if any(fallback.get(key, 0) for key in totals):
+            cells_with += 1
+        for key in totals:
+            totals[key] += fallback.get(key, 0)
+    if not cells_with:
+        return "fallback tiers: none (every search completed at the full tier)"
+    return (f"fallback tiers: {totals['windowed_legs']} windowed legs, "
+            f"{totals['wait_legs']} wait legs, "
+            f"{totals['horizon_replans']} horizon replans "
+            f"across {cells_with} cell(s)")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--family", default="table2",
                         choices=sorted(SCENARIO_FAMILIES),
                         help="scenario family to sweep (registry name)")
     parser.add_argument("--planners", default=",".join(DEFAULT_PLANNERS),
-                        help="comma-separated planner names")
+                        help="comma-separated planner names "
+                             "(case-insensitive; validated before any "
+                             "cell runs) — rerun a single-planner slice "
+                             "with e.g. --planners EATP")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="scenario scale multiplier")
     parser.add_argument("--workers", type=int, default=0,
@@ -85,7 +142,7 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
 
     scenarios = scenario_family(args.family, scale=args.scale)
-    planners = tuple(p.strip() for p in args.planners.split(",") if p.strip())
+    planners = parse_planners(args.planners)
     cells = plan_cells(scenarios, planners)
     matrix_name = f"{args.family}-s{args.scale:g}"
     store: Optional[ResultStore] = open_store(args.results_dir, matrix_name)
@@ -105,6 +162,7 @@ def main(argv=None) -> None:
              f"{args.workers or 1} worker(s), {elapsed:.1f}s")
     print(render_matrix_summary(payloads, title))
     print(render_slowest_cells(payloads))
+    print(render_fallback_summary(payloads))
     if store is not None:
         print(f"cells stored under {store.root}/")
 

@@ -8,23 +8,39 @@ from .conflicts import (Conflict, ConflictKind, find_conflicts,
 from .heuristics import (HeuristicField, HeuristicFieldCache,
                          manhattan_heuristic, true_distance_heuristic)
 from .paths import Path
+from .pipeline import (TIER_FULL, TIER_WAIT, TIER_WINDOWED, TIERS,
+                       FallbackChain, LegPlan)
 from .reservation import ReservationTable
 from .spatiotemporal_graph import SpatiotemporalGraph
-from .st_astar import SearchStats, find_path
+from .st_astar import (SEARCH_BUDGET, SEARCH_COMPLETE, SEARCH_EXHAUSTED,
+                       SearchOutcome, SearchRequest, SearchStats, find_path,
+                       search)
 
 __all__ = [
     "Conflict",
     "ConflictDetectionTable",
     "ConflictKind",
+    "FallbackChain",
     "HeuristicField",
     "HeuristicFieldCache",
+    "LegPlan",
     "Path",
     "ReservationTable",
+    "SEARCH_BUDGET",
+    "SEARCH_COMPLETE",
+    "SEARCH_EXHAUSTED",
+    "SearchOutcome",
+    "SearchRequest",
     "SearchStats",
     "ShortestPathCache",
     "SpatiotemporalGraph",
+    "TIERS",
+    "TIER_FULL",
+    "TIER_WAIT",
+    "TIER_WINDOWED",
     "find_conflicts",
     "find_path",
+    "search",
     "follow_with_waits",
     "is_conflict_free",
     "make_wait_finisher",

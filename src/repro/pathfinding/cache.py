@@ -85,27 +85,44 @@ class ShortestPathCache:
 
 def follow_with_waits(reservation: ReservationTable, cells: Tuple[Cell, ...],
                       start_time: Tick,
-                      max_wait_per_step: int = 64) -> Optional[List[Tuple[int, int, int]]]:
+                      max_wait_per_step: int = 64,
+                      max_total_wait: Optional[int] = None
+                      ) -> Optional[List[Tuple[int, int, int]]]:
     """Walk ``cells`` starting at ``start_time``, waiting out conflicts.
 
     Returns the timed steps (including the initial ``(start_time, *cells[0])``)
-    or ``None`` when some step would require waiting longer than
-    ``max_wait_per_step`` ticks or the waiting cell itself gets reserved —
-    the caller then falls back to plain spatiotemporal A*.
+    or ``None`` when the tail cannot be derived cheaply — some step would
+    require waiting longer than ``max_wait_per_step`` ticks, the waits
+    accumulated across the whole tail would exceed ``max_total_wait``
+    (default: ``max_wait_per_step``), or the waiting cell itself gets
+    reserved.  The caller then falls back to plain spatiotemporal A*.
+
+    The total-wait cap is the dense-traffic livelock guard: on a congested
+    floor every step of the cached path can individually stay under the
+    per-step cap while the tail as a whole degenerates into hundreds of
+    ticks of waiting — a "path" that parks the robot on a contested cell
+    for ages, invites further conflicts, and starves the very search the
+    cache was meant to shortcut.  Past the cap the tail is not a shortcut
+    any more, so the finisher declines and the search (or its fallback
+    chain) decides.
     """
+    if max_total_wait is None:
+        max_total_wait = max_wait_per_step
     t = start_time
     steps: List[Tuple[int, int, int]] = [(t, cells[0][0], cells[0][1])]
     current = cells[0]
+    total_waited = 0
     for nxt in cells[1:]:
         waited = 0
         while not reservation.move_allowed(t, current, nxt):
-            if waited >= max_wait_per_step:
+            if waited >= max_wait_per_step or total_waited >= max_total_wait:
                 return None
             if not reservation.is_free(t + 1, current):
                 # Cannot even hold position: bail out to full search.
                 return None
             t += 1
             waited += 1
+            total_waited += 1
             steps.append((t, current[0], current[1]))
         t += 1
         steps.append((t, nxt[0], nxt[1]))
@@ -115,7 +132,8 @@ def follow_with_waits(reservation: ReservationTable, cells: Tuple[Cell, ...],
 
 def make_wait_finisher(cache: ShortestPathCache, goal: Cell,
                        reservation: ReservationTable,
-                       max_wait_per_step: int = 64):
+                       max_wait_per_step: int = 64,
+                       max_total_wait: Optional[int] = None):
     """Build the Sec. VI-B finisher hook for one spatiotemporal search.
 
     The returned callable matches the ``finisher(cell, t)`` contract of
@@ -128,6 +146,7 @@ def make_wait_finisher(cache: ShortestPathCache, goal: Cell,
         cells = cache.lookup(cell, goal)
         if cells is None:
             return None
-        return follow_with_waits(reservation, cells, t, max_wait_per_step)
+        return follow_with_waits(reservation, cells, t, max_wait_per_step,
+                                 max_total_wait)
 
     return finisher

@@ -20,7 +20,7 @@ that deletes passed timestamps (``purge_before``).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from ..types import CELL_KEY_SHIFT, Cell, Tick
 from .paths import Path
@@ -55,16 +55,19 @@ class ConflictDetectionTable(_EdgeMixin, ReservationTable):
     def packed_buckets(self):
         return self._buckets, self._edge_buckets
 
-    def reserve_path(self, path: Path) -> None:
+    def reserve_path(self, path: Path,
+                     horizon: Optional[Tick] = None) -> None:
         buckets = self._buckets
         floor = self._floor
         for (t, x, y) in path.steps:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
             if t >= floor:
                 bucket = buckets.get(t)
                 if bucket is None:
                     bucket = buckets[t] = set()
                 bucket.add((x << CELL_KEY_SHIFT) | y)
-        self._reserve_edges(path)
+        self._reserve_edges(path, horizon)
 
     def purge_before(self, t: Tick) -> None:
         """The periodic *update* operation: delete all passed timestamps."""

@@ -1,0 +1,215 @@
+"""The windowed-horizon leg-planning pipeline: a recoverable fallback chain.
+
+Every planner's path-finding step used to be one unbounded spatiotemporal
+A* call that could *throw* mid-run — on the paper-scale fleet ladder a
+robot dispatched from a cell that other robots' committed paths sweep
+through is boxed in (its own cell is reserved at ``t + 1`` and every
+neighbouring move is a vertex or swap conflict), the open set dies, and
+the whole experiment fell over with ``PathNotFoundError``.  This module
+turns the single call into a chain of bounded, recoverable tiers:
+
+1. **Full ST-A*** — the classic conflict-aware search to the goal,
+   unchanged (and bit-identical to the seed) whenever it succeeds, which
+   on uncongested floors is always.
+2. **Windowed ST-A*** — conflict-aware only up to a rolling horizon of
+   ``W = config.search_horizon`` ticks, conflict-oblivious (guided by the
+   exact cached heuristic field) beyond it.  Only the conflict-checked
+   prefix is committed to the reservation structure (a *windowed commit*,
+   see :meth:`~repro.pathfinding.reservation.ReservationTable.reserve_path`)
+   and executed; the simulator replans when the robot reaches the horizon.
+3. **Reservation-aware wait in place** — when even the window is
+   unreachable (the robot is boxed in), hold position: wait out the free
+   run of the current cell (committed), or — when traffic is planned
+   straight through the cell — sit tight uncommitted until the first tick
+   the cell is probe-free, exactly as an *idle* robot (which is never
+   reserved) already does, then let the replan try again.
+
+Exhaustion therefore becomes a :class:`LegPlan` that says which tier
+answered, never an exception escaping a run.  Tier-1 results are
+byte-identical to the pre-pipeline behaviour, so runs that never needed a
+fallback (the golden traces, the engine-equivalence suites) are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import PathNotFoundError
+from ..types import Cell, Tick
+from ..warehouse.grid import Grid
+from .heuristics import HeuristicFieldCache
+from .paths import Path
+from .reservation import ReservationTable
+from .st_astar import SearchRequest, SearchStats, search
+
+#: Fallback-chain tiers, in attempt order.
+TIER_FULL = "full"
+TIER_WINDOWED = "windowed"
+TIER_WAIT = "wait"
+TIERS = (TIER_FULL, TIER_WINDOWED, TIER_WAIT)
+
+
+@dataclass
+class LegPlan:
+    """One leg's plan: the executable path plus its commit instructions.
+
+    Attributes
+    ----------
+    path:
+        The timed path the mission executes.  ``complete`` tells whether
+        it reaches the requested goal; a partial path (windowed prefix or
+        a wait) ends early and the simulator replans from its last step
+        (the *horizon replan*).
+    tier:
+        Which chain tier produced the plan (:data:`TIER_FULL`,
+        :data:`TIER_WINDOWED` or :data:`TIER_WAIT`).
+    complete:
+        Whether ``path`` ends on the requested goal.
+    commit_path:
+        What to insert into the reservation structure.  For a windowed
+        plan this is the full search result, committed only up to
+        ``commit_until`` — reserving through the structure's windowed
+        commit keeps the two representations (executed prefix, reserved
+        prefix) provably in lockstep.
+    commit_until:
+        Absolute windowed-commit bound for ``commit_path`` (``None``
+        commits the whole path).
+    search_stats:
+        Stats of the chain's *fallback* searches (tier 1 absorbs its own
+        on success), for the caller to fold into its counters.
+    """
+
+    path: Path
+    tier: str
+    complete: bool
+    commit_path: Path
+    commit_until: Optional[Tick] = None
+    search_stats: Tuple[SearchStats, ...] = ()
+
+
+class FallbackChain:
+    """The three-tier leg planner shared by every planner subclass.
+
+    Parameters
+    ----------
+    grid, reservation, heuristics, config:
+        The owning planner's world, conflict structure, per-goal exact
+        heuristic-field cache and :class:`~repro.config.PlannerConfig`.
+    full_search:
+        Tier 1 as a callable ``(t, source, goal) -> Path`` raising
+        :class:`~repro.errors.PathNotFoundError` on exhaustion.  Passed
+        as a callable (not inlined) because it is the planner's historic
+        ``_find_leg`` extension point — EATP's cache-aided variant and
+        the frozen-seed benchmark patches all hook it.
+    finisher_factory:
+        ``goal -> (finisher, trigger)`` supplying the cache-aided
+        finisher for the windowed tier (EATP); ``(None, 0)`` disables.
+    """
+
+    def __init__(self, grid: Grid, reservation: ReservationTable,
+                 heuristics: HeuristicFieldCache, config,
+                 full_search: Callable[[Tick, Cell, Cell], Path],
+                 finisher_factory: Callable[[Cell], tuple]) -> None:
+        self.grid = grid
+        self.reservation = reservation
+        self.heuristics = heuristics
+        self.config = config
+        self.full_search = full_search
+        self.finisher_factory = finisher_factory
+
+    def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> LegPlan:
+        """Plan one leg through the chain.
+
+        Always returns a plan when the goal is spatially reachable at
+        all; a goal no path can *ever* reach (disconnected floor) still
+        raises :class:`~repro.errors.PathNotFoundError` immediately —
+        waiting and replanning cannot conjure a corridor, and looping
+        until the simulator's ``max_ticks`` guard would bury the real
+        error.
+        """
+        try:
+            path = self.full_search(t, source, goal)
+            return LegPlan(path=path, tier=TIER_FULL, complete=True,
+                           commit_path=path)
+        except PathNotFoundError as error:
+            if self.heuristics.distance(source, goal) > self.grid.n_cells:
+                raise  # unreachable regardless of reservations: fail fast
+            collected = (error.stats,) if error.stats is not None else ()
+        leg, collected = self._windowed_leg(t, source, goal, collected)
+        if leg is None:
+            leg = self._wait_leg(t, source, goal, collected)
+        return leg
+
+    # -- tier 2: windowed ST-A* -------------------------------------------------
+
+    def _windowed_leg(self, t: Tick, source: Cell, goal: Cell,
+                      collected: Tuple[SearchStats, ...]):
+        window = self.config.search_horizon
+        finisher, trigger = self.finisher_factory(goal)
+        stats = SearchStats()
+        request = SearchRequest(
+            source=source, goal=goal, start_time=t, horizon=window,
+            max_expansions=self.config.max_search_expansions,
+            finisher=finisher, finisher_trigger=trigger)
+        outcome = search(self.grid, self.reservation, request,
+                         heuristic=self.heuristics.field(goal), stats=stats)
+        collected = collected + (stats,)
+        if not outcome.ok:
+            # Boxed in even within the window (or the bounded search blew
+            # its budget): the wait tier takes over, stats ride along.
+            return None, collected
+        boundary = t + window
+        prefix = outcome.path.truncate_at(boundary)
+        leg = LegPlan(path=prefix, tier=TIER_WINDOWED,
+                      complete=prefix.goal == goal
+                      and prefix.end_time == outcome.path.end_time,
+                      commit_path=outcome.path, commit_until=boundary,
+                      search_stats=collected)
+        return leg, collected
+
+    # -- tier 3: reservation-aware wait in place ------------------------------
+
+    def _wait_leg(self, t: Tick, source: Cell, goal: Cell,
+                  collected: Tuple[SearchStats, ...]) -> LegPlan:
+        free_run = self._free_run(source, t)
+        if free_run > 0:
+            # Hold the cell for its conflict-free run (bounded by the
+            # replan backoff) and commit the wait like any other path.
+            duration = free_run
+            commit_until = None
+        else:
+            # Boxed: committed traffic is planned straight through this
+            # cell.  That overlap is a pre-existing modelling hole —
+            # reservations never see parked robots, so the other robot's
+            # plan already swept through this physically occupied cell
+            # at planning time.  The robot stays put (it has nowhere
+            # legal to go); commit only the start step and replan at the
+            # first tick the cell is free — the soonest a legal plan can
+            # exist.  Note the recorded wait path makes the pre-existing
+            # overlap *visible* to path audits (`find_conflicts`), which
+            # is deliberate: an idle robot hides the same co-occupancy
+            # only because it records no path at all.
+            duration = self._first_free_wait(source, t)
+            commit_until = t
+        path = Path.waiting(source, t, duration)
+        return LegPlan(path=path, tier=TIER_WAIT, complete=False,
+                       commit_path=path, commit_until=commit_until,
+                       search_stats=collected)
+
+    def _free_run(self, source: Cell, t: Tick) -> int:
+        """Ticks the robot can legally hold ``source`` starting at t+1."""
+        cap = self.config.fallback_wait_ticks
+        is_free = self.reservation.is_free
+        run = 0
+        while run < cap and is_free(t + run + 1, source):
+            run += 1
+        return run
+
+    def _first_free_wait(self, source: Cell, t: Tick) -> int:
+        """Wait duration until ``source`` is first probe-free again."""
+        is_free = self.reservation.is_free
+        for delta in range(1, self.config.search_horizon + 1):
+            if is_free(t + delta, source):
+                return delta
+        return self.config.fallback_wait_ticks

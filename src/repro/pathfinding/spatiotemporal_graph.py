@@ -15,7 +15,7 @@ CDT (``cdt.py``) keeps only the occupied entries and is the paper's fix.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
 from ..warehouse.grid import Grid
@@ -82,12 +82,15 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
 
     edge_free_packed = _EdgeMixin._edge_free_packed
 
-    def reserve_path(self, path: Path) -> None:
+    def reserve_path(self, path: Path,
+                     horizon: Optional[Tick] = None) -> None:
         height = self._grid.height
         for (t, x, y) in path:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
             if t >= self._floor:
                 self._layer(t)[x * height + y] = 1
-        self._reserve_edges(path)
+        self._reserve_edges(path, horizon)
 
     def purge_before(self, t: Tick) -> None:
         self._floor = max(self._floor, t)

@@ -21,13 +21,36 @@ tuple-based seed implementation (kept in ``_legacy.py`` as the
 equivalence reference).  An inconsistent custom heuristic may re-expand
 states the seed's closed set would have frozen; the seed's answer there
 was arbitrary, not better.
+
+Two calling conventions coexist:
+
+* :func:`search` is the bounded, recoverable API the planning pipeline
+  uses: a :class:`SearchRequest` in, a :class:`SearchOutcome` out.  A
+  search that exhausts its budget or its open set *returns* an outcome
+  carrying the failure status and the full :class:`SearchStats` — it
+  never raises — so callers can fall back (windowed search, wait in
+  place) instead of dying mid-run.
+* :func:`find_path` is the historical raising wrapper (same signature as
+  the seed): failure raises :class:`~repro.errors.PathNotFoundError`
+  with the search stats attached.
+
+**Windowed mode** (``horizon=W``): conflict probes are applied only to
+moves that arrive within ``W`` ticks of the start — beyond the window the
+search sees an empty reservation table and, guided by the exact cached
+heuristic field, marches conflict-obliviously to the goal.  This bounds
+the conflict-aware state space to ``W`` time layers (the WHCA* idea) while
+keeping the search *bit-identical* to the full search whenever no
+reservation is probed — on an empty table the two modes run the same
+instructions.  The caller is responsible for only *committing* (reserving
+and executing) the conflict-checked prefix and replanning at the horizon;
+see :mod:`repro.pathfinding.pipeline`.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import PathNotFoundError
 from ..types import Cell, Tick
@@ -35,6 +58,9 @@ from ..warehouse.grid import Grid
 from .heuristics import Heuristic
 from .paths import Path
 from .reservation import ReservationTable
+
+#: Sentinel "probe everything" horizon — any tick comparison loses to it.
+_NO_HORIZON = 1 << 62
 
 
 @dataclass
@@ -53,76 +79,132 @@ class SearchStats:
     peak_open:
         Largest size reached by the open set, the quantity the paper says
         the cache "notably reduces".
+    budget:
+        The expansion budget that was in force (diagnostic; set by the
+        packed core, left 0 by the frozen seed core).
     """
 
     expansions: int = 0
     generated: int = 0
     cache_finished: bool = False
     peak_open: int = 0
+    budget: int = 0
 
 
-def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
-              goal: Cell, start_time: Tick,
-              heuristic: Optional[Heuristic] = None,
-              max_expansions: int = 200_000,
-              finisher=None,
-              finisher_trigger: int = 0,
-              stats: Optional[SearchStats] = None) -> Path:
-    """Find a conflict-free timed path from ``source`` (at ``start_time``).
+#: Outcome statuses of one spatiotemporal search.
+SEARCH_COMPLETE = "complete"      #: goal reached; path attached
+SEARCH_BUDGET = "budget"          #: expansion budget exhausted
+SEARCH_EXHAUSTED = "exhausted"    #: open set died (start is boxed in)
 
-    Parameters
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One bounded path-finding problem, as plain data plus hooks.
+
+    Attributes
     ----------
-    grid:
-        Spatial passability.
-    reservation:
-        Already-planned paths to avoid (single-grid + swap conflicts).
     source, goal:
         Spatial endpoints.
     start_time:
         Tick at which the robot sits on ``source``.
-    heuristic:
-        Admissible remaining-distance bound (default: Manhattan).  A
-        :class:`~repro.pathfinding.heuristics.HeuristicField` (or any
-        object with a ``flat`` list of length W·H) is consumed directly;
-        a plain callable is evaluated lazily — once per cell the search
-        touches, memoised for the duration of the call.
+    horizon:
+        ``None`` runs the classic full search.  An integer ``W`` enables
+        windowed mode: conflict probes apply only to moves arriving at or
+        before ``start_time + W``; beyond that the search is
+        conflict-oblivious and the caller must replan at the horizon.
     max_expansions:
-        Abort threshold; exceeded means livelock, reported as
-        :class:`~repro.errors.PathNotFoundError`.
-    finisher:
-        Optional cache-aided finisher (Sec. VI-B): called as
-        ``finisher(cell, t)`` once the popped node's h-value is
-        ``<= finisher_trigger``; if it returns timed steps, the search
-        short-circuits and appends them.
-    finisher_trigger:
-        The L threshold of Sec. VI-B (``0`` disables the finisher).
-    stats:
-        Optional mutable counters filled during the search.
-
-    Returns
-    -------
-    Path
-        Timed path starting at ``(start_time, *source)`` and ending on
-        ``goal``; conflict-free w.r.t. ``reservation``.
-
-    Raises
-    ------
-    PathNotFoundError
-        If the search budget is exhausted.
+        Abort threshold; exceeding it yields a :data:`SEARCH_BUDGET`
+        outcome rather than livelocking.
+    finisher, finisher_trigger:
+        The cache-aided finisher hook (Sec. VI-B), as in
+        :func:`find_path`; ``finisher_trigger=0`` disables it.
     """
+
+    source: Cell
+    goal: Cell
+    start_time: Tick
+    horizon: Optional[int] = None
+    max_expansions: int = 200_000
+    finisher: Optional[Callable] = None
+    finisher_trigger: int = 0
+
+    @property
+    def probe_limit(self) -> Tick:
+        """Last tick at which arrivals are conflict-probed."""
+        if self.horizon is None:
+            return _NO_HORIZON
+        return self.start_time + self.horizon
+
+
+@dataclass
+class SearchOutcome:
+    """What one search produced — success or a *recoverable* failure.
+
+    Attributes
+    ----------
+    request:
+        The request this outcome answers.
+    status:
+        :data:`SEARCH_COMPLETE`, :data:`SEARCH_BUDGET` or
+        :data:`SEARCH_EXHAUSTED`.
+    path:
+        The timed path (only for :data:`SEARCH_COMPLETE`).  In windowed
+        mode its tail beyond ``request.probe_limit`` is conflict-oblivious
+        and must not be committed without replanning.
+    stats:
+        The search's counters, present on every outcome — failures keep
+        their diagnostics.
+    """
+
+    request: SearchRequest
+    status: str
+    path: Optional[Path]
+    stats: SearchStats
+
+    @property
+    def ok(self) -> bool:
+        return self.status == SEARCH_COMPLETE
+
+    def error(self) -> PathNotFoundError:
+        """The exception the raising wrapper surfaces for this failure."""
+        reason = ("search budget {} exhausted".format(self.stats.budget)
+                  if self.status == SEARCH_BUDGET else "open set exhausted")
+        return PathNotFoundError(self.request.source, self.request.goal,
+                                 reason, stats=self.stats)
+
+
+def search(grid: Grid, reservation: ReservationTable,
+           request: SearchRequest,
+           heuristic: Optional[Heuristic] = None,
+           stats: Optional[SearchStats] = None) -> SearchOutcome:
+    """Run one spatiotemporal search to a :class:`SearchOutcome`.
+
+    Never raises for exhaustion: a failed search returns an outcome whose
+    ``status`` names the failure and whose ``stats`` carry the counters.
+    See the module docstring for the windowed-mode contract.
+    """
+    source, goal = request.source, request.goal
+    start_time = request.start_time
     grid.require_passable(source)
     grid.require_passable(goal)
     if stats is None:
         stats = SearchStats()
+    stats.budget = request.max_expansions
 
     if source == goal:
-        return Path(((start_time, source[0], source[1]),))
+        return SearchOutcome(request, SEARCH_COMPLETE,
+                             Path(((start_time, source[0], source[1]),)),
+                             stats)
 
     height = grid.height
     n_cells = grid.width * height
     adjacency = grid.adjacency
     cell_keys = grid.cell_keys
     hfield = _heuristic_field(grid, goal, heuristic)
+    max_expansions = request.max_expansions
+    finisher = request.finisher
+    finisher_trigger = request.finisher_trigger
+    probe_limit = request.probe_limit
 
     vertex_free = reservation.is_free_packed
     edge_free = reservation.edge_free_packed
@@ -157,13 +239,14 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
                 continue  # dominated by a later, cheaper push
             expansions += 1
             if expansions > max_expansions:
-                raise PathNotFoundError(
-                    source, goal, f"search budget {max_expansions} exhausted")
+                return SearchOutcome(request, SEARCH_BUDGET, None, stats)
             t, ci = divmod(state, n_cells)
 
             if ci == goal_ci:
-                return _reconstruct(parent, state, n_cells, height,
-                                    start_time)
+                return SearchOutcome(
+                    request, SEARCH_COMPLETE,
+                    _reconstruct(parent, state, n_cells, height, start_time),
+                    stats)
 
             if finisher is not None:
                 h = hfield[ci]
@@ -173,21 +256,26 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
                         stats.cache_finished = True
                         head = _reconstruct(parent, state, n_cells, height,
                                             start_time)
-                        return head.concat(Path(tuple(tail)))
+                        return SearchOutcome(request, SEARCH_COMPLETE,
+                                             head.concat(Path(tuple(tail))),
+                                             stats)
 
             g_next = g + 1
             t1 = t + 1
             next_base = t1 * n_cells
             source_key = cell_keys[ci]
+            guarded = t1 <= probe_limit
 
             # Successor generation, wait first then the adjacency row —
             # the same order as the seed.  Two probe styles: when the
             # reservation structure is tick-bucketed (CDT), fetch this
             # tick's vertex/edge sets once and test membership with bare
             # ``in``; otherwise go through the packed probe methods.
+            # Past the windowed-mode probe limit both styles degrade to
+            # "everything free" without touching the reservation.
             if buckets is not None:
-                occupied = vertex_buckets.get(t1)
-                swaps = edge_buckets.get(t)
+                occupied = vertex_buckets.get(t1) if guarded else None
+                swaps = edge_buckets.get(t) if guarded else None
                 if occupied is None or source_key not in occupied:
                     nxt_state = next_base + ci
                     best = g_score.get(nxt_state)
@@ -215,7 +303,7 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
                         tie += 1
             else:
                 # Wait in place (the fifth action) — vertex check only.
-                if vertex_free(t1, source_key):
+                if not guarded or vertex_free(t1, source_key):
                     nxt_state = next_base + ci
                     best = g_score.get(nxt_state)
                     if best is None or g_next < best:
@@ -227,8 +315,9 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
                         tie += 1
 
                 for nci, nkey in adjacency[ci]:
-                    if (vertex_free(t1, nkey)
-                            and edge_free(t, source_key, nkey)):
+                    if (not guarded
+                            or (vertex_free(t1, nkey)
+                                and edge_free(t, source_key, nkey))):
                         nxt_state = next_base + nci
                         best = g_score.get(nxt_state)
                         if best is None or g_next < best:
@@ -239,11 +328,79 @@ def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
                                  (g_next + hfield[nci], tie, g_next,
                                   nxt_state))
                             tie += 1
-        raise PathNotFoundError(source, goal, "open set exhausted")
+        return SearchOutcome(request, SEARCH_EXHAUSTED, None, stats)
     finally:
         stats.expansions = expansions
         stats.generated += generated
         stats.peak_open = peak_open
+
+
+def find_path(grid: Grid, reservation: ReservationTable, source: Cell,
+              goal: Cell, start_time: Tick,
+              heuristic: Optional[Heuristic] = None,
+              max_expansions: int = 200_000,
+              finisher=None,
+              finisher_trigger: int = 0,
+              stats: Optional[SearchStats] = None,
+              horizon: Optional[int] = None) -> Path:
+    """Find a conflict-free timed path from ``source`` (at ``start_time``).
+
+    The historical raising convention over :func:`search` (the seed's
+    signature, plus the optional ``horizon``).
+
+    Parameters
+    ----------
+    grid:
+        Spatial passability.
+    reservation:
+        Already-planned paths to avoid (single-grid + swap conflicts).
+    source, goal:
+        Spatial endpoints.
+    start_time:
+        Tick at which the robot sits on ``source``.
+    heuristic:
+        Admissible remaining-distance bound (default: Manhattan).  A
+        :class:`~repro.pathfinding.heuristics.HeuristicField` (or any
+        object with a ``flat`` list of length W·H) is consumed directly;
+        a plain callable is evaluated lazily — once per cell the search
+        touches, memoised for the duration of the call.
+    max_expansions:
+        Abort threshold; exceeded means livelock, reported as
+        :class:`~repro.errors.PathNotFoundError`.
+    finisher:
+        Optional cache-aided finisher (Sec. VI-B): called as
+        ``finisher(cell, t)`` once the popped node's h-value is
+        ``<= finisher_trigger``; if it returns timed steps, the search
+        short-circuits and appends them.
+    finisher_trigger:
+        The L threshold of Sec. VI-B (``0`` disables the finisher).
+    stats:
+        Optional mutable counters filled during the search.
+    horizon:
+        Optional windowed-mode horizon ``W`` (see :func:`search`).
+
+    Returns
+    -------
+    Path
+        Timed path starting at ``(start_time, *source)`` and ending on
+        ``goal``; conflict-free w.r.t. ``reservation`` wherever probes
+        were in force (everywhere, unless ``horizon`` was given).
+
+    Raises
+    ------
+    PathNotFoundError
+        If the search budget or the open set is exhausted; the search
+        stats ride along on the exception.
+    """
+    request = SearchRequest(source=source, goal=goal, start_time=start_time,
+                            horizon=horizon, max_expansions=max_expansions,
+                            finisher=finisher,
+                            finisher_trigger=finisher_trigger)
+    outcome = search(grid, reservation, request, heuristic=heuristic,
+                     stats=stats)
+    if not outcome.ok:
+        raise outcome.error()
+    return outcome.path
 
 
 def _heuristic_field(grid: Grid, goal: Cell,

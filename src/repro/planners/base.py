@@ -25,6 +25,8 @@ from ..config import PlannerConfig
 from ..errors import PlanningError
 from ..pathfinding.heuristics import HeuristicFieldCache
 from ..pathfinding.paths import Path
+from ..pathfinding.pipeline import (TIER_FULL, TIER_WINDOWED, FallbackChain,
+                                    LegPlan)
 from ..pathfinding.reservation import ReservationTable
 from ..pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from ..pathfinding.st_astar import SearchStats, find_path
@@ -36,13 +38,24 @@ from .scheme import Assignment, PlanningScheme
 
 @dataclass
 class PlannerStats:
-    """Accumulated efficiency counters (the paper's STC / PTC inputs)."""
+    """Accumulated efficiency counters (the paper's STC / PTC inputs).
+
+    The ``legs_*`` trio is the fallback-tier histogram of the windowed
+    planning pipeline: every planned leg lands in exactly one bucket
+    (``legs_full + legs_windowed + legs_wait == legs_planned``), and
+    ``horizon_replans`` counts the continuation legs the simulator
+    requested when a partial (windowed or wait) leg ran out.
+    """
 
     selection_seconds: float = 0.0
     planning_seconds: float = 0.0
     schemes_emitted: int = 0
     assignments_emitted: int = 0
     legs_planned: int = 0
+    legs_full: int = 0
+    legs_windowed: int = 0
+    legs_wait: int = 0
+    horizon_replans: int = 0
     search_expansions: int = 0
     search_peak_open: int = 0
     cache_finished_legs: int = 0
@@ -77,6 +90,16 @@ class Planner(abc.ABC):
         #: same picker / rack home (one BFS per distinct goal, ever).
         self.heuristics = HeuristicFieldCache(self.grid)
         self.stats = PlannerStats()
+        #: The windowed-horizon fallback chain every leg routes through.
+        #: Tier 1 goes through ``self._find_leg`` *lazily* (a lambda, not
+        #: a bound method) so the historical monkeypatch points — EATP in
+        #: the seed-benchmark patches, tests — keep working.
+        self.pipeline = FallbackChain(
+            grid=self.grid, reservation=self.reservation,
+            heuristics=self.heuristics, config=self.config,
+            full_search=lambda t, source, goal: self._find_leg(t, source,
+                                                               goal),
+            finisher_factory=lambda goal: self._make_finisher(goal))
 
     # -- extension points ------------------------------------------------------
 
@@ -138,8 +161,23 @@ class Planner(abc.ABC):
         """Plan a later mission leg (delivery or return) starting at ``t``.
 
         Reserved against — and inserted into — the planner's reservation
-        structure like any pickup leg; counted in PTC.
+        structure like any pickup leg; counted in PTC.  The returned path
+        may be *partial* (a windowed prefix or a wait-in-place, see
+        :mod:`repro.pathfinding.pipeline`): it then ends short of
+        ``goal`` and the simulator must call :meth:`continue_leg` from
+        its last step when the robot gets there.
         """
+        return self._plan_leg_timed(t, source, goal)
+
+    def continue_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        """Plan the continuation of a partial leg (a horizon replan).
+
+        Identical to :meth:`plan_leg` except that it is counted as a
+        horizon replan in the planner stats — the simulator calls it when
+        a windowed prefix or a wait-out ends with the robot short of the
+        leg's target.
+        """
+        self.stats.horizon_replans += 1
         return self._plan_leg_timed(t, source, goal)
 
     #: How many ticks between reservation purges (the paper executes the
@@ -209,28 +247,60 @@ class Planner(abc.ABC):
     def _plan_leg_timed(self, t: Tick, source: Cell, goal: Cell) -> Path:
         started = time.perf_counter()
         try:
-            path = self._find_leg(t, source, goal)
+            leg = self.pipeline.plan_leg(t, source, goal)
         finally:
             self.stats.planning_seconds += time.perf_counter() - started
-        self.reservation.reserve_path(path)
+        self._commit_leg(leg)
+        return leg.path
+
+    def _commit_leg(self, leg: LegPlan) -> None:
+        """Reserve a leg plan and fold it into the planner counters."""
+        for search_stats in leg.search_stats:
+            self._absorb_search_stats(search_stats)
+        if leg.commit_until is None:
+            # The classic full-path commit — positional call, so the
+            # frozen seed reservation structures (which predate windowed
+            # commits) stay drop-in compatible for the benchmarks.
+            self.reservation.reserve_path(leg.commit_path)
+        else:
+            self.reservation.reserve_path(leg.commit_path, leg.commit_until)
         self.stats.legs_planned += 1
-        return path
+        if leg.tier == TIER_FULL:
+            self.stats.legs_full += 1
+        elif leg.tier == TIER_WINDOWED:
+            self.stats.legs_windowed += 1
+        else:
+            self.stats.legs_wait += 1
 
     def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
-        """Single-leg search; EATP overrides to add the cache finisher.
+        """Tier-1 single-leg search (the chain's full ST-A*).
 
         Uses the cached exact heuristic field, which equals the paper's
         Manhattan h-value (Sec. V-C) on the open rack-to-picker layouts
         and stays admissible (tighter) on obstructed floors — with no
-        per-leg closure allocation.
+        per-leg closure allocation.  The finisher hook comes from
+        :meth:`_make_finisher` (EATP's cache-aided tail; disabled in the
+        base).  Raises :class:`~repro.errors.PathNotFoundError` (stats
+        attached) on exhaustion; the fallback chain recovers.
         """
         search_stats = SearchStats()
+        finisher, trigger = self._make_finisher(goal)
         path = find_path(self.grid, self.reservation, source, goal, t,
                          heuristic=self.heuristics.field(goal),
                          max_expansions=self.config.max_search_expansions,
+                         finisher=finisher, finisher_trigger=trigger,
                          stats=search_stats)
         self._absorb_search_stats(search_stats)
         return path
+
+    def _make_finisher(self, goal: Cell):
+        """``(finisher, trigger)`` for searches toward ``goal``.
+
+        The base planners run without the Sec. VI-B cache; EATP overrides
+        this to supply its wait-following finisher, which both the tier-1
+        full search and the windowed fallback then use.
+        """
+        return None, 0
 
     def _absorb_search_stats(self, search_stats: SearchStats) -> None:
         self.stats.search_expansions += search_stats.expansions

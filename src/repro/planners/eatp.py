@@ -26,9 +26,7 @@ from typing import List, Optional, Set
 from ..config import PlannerConfig
 from ..pathfinding.cache import ShortestPathCache, make_wait_finisher
 from ..pathfinding.cdt import ConflictDetectionTable
-from ..pathfinding.paths import Path
 from ..pathfinding.reservation import ReservationTable
-from ..pathfinding.st_astar import SearchStats, find_path
 from ..rl.mdp import ACTION_REQUEST, ACTION_WAIT
 from ..types import Cell, Tick
 from ..warehouse.entities import Rack, RackPhase, Robot
@@ -109,20 +107,19 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
 
     # -- Alg. 3 path finding: CDT + cache-aided A* --------------------------------
 
-    def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
-        search_stats = SearchStats()
-        finisher = None
-        trigger = 0
+    def _make_finisher(self, goal: Cell):
+        """The Sec. VI-B cache-aided finisher, for every search tier.
+
+        Hooked through the base extension point so the tier-1 full search
+        *and* the windowed fallback both finish through the cache; the
+        wait-following tail is total-wait-capped (see
+        :func:`~repro.pathfinding.cache.follow_with_waits`) so it cannot
+        livelock against the dense Fleet-200 reservation traffic.
+        """
         if self.cache.threshold > 0:
-            finisher = make_wait_finisher(self.cache, goal, self.reservation)
-            trigger = self.cache.threshold
-        path = find_path(self.grid, self.reservation, source, goal, t,
-                         heuristic=self.heuristics.field(goal),
-                         max_expansions=self.config.max_search_expansions,
-                         finisher=finisher, finisher_trigger=trigger,
-                         stats=search_stats)
-        self._absorb_search_stats(search_stats)
-        return path
+            return (make_wait_finisher(self.cache, goal, self.reservation),
+                    self.cache.threshold)
+        return None, 0
 
     # -- memory ---------------------------------------------------------------------
 

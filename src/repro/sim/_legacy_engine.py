@@ -149,6 +149,24 @@ class LegacySimulation:
         rack = self.state.racks[mission.rack_id]
         picker = self.state.pickers[rack.picker_id]
 
+        # Fail-fast guard (the one post-freeze addition besides the
+        # ``advance`` adaptation): the windowed planning pipeline can
+        # emit *partial* legs ending short of the stage target, which
+        # only the event-driven engine knows how to continue.  Before
+        # the pipeline this situation raised ``PathNotFoundError`` in
+        # the planner; silently transitioning the stage here would
+        # teleport the robot instead.
+        if mission.stage.moving and mission.path is not None:
+            target = (picker.location
+                      if mission.stage is MissionStage.TO_PICKER
+                      else rack.home)
+            if mission.path.goal != target:
+                raise SimulationError(
+                    f"the frozen per-tick engine cannot execute partial "
+                    f"legs (leg for rack {mission.rack_id} ends at "
+                    f"{mission.path.goal}, stage target {target}); "
+                    f"use repro.sim.engine.Simulation")
+
         if mission.stage is MissionStage.TO_RACK:
             path = self.planner.plan_leg(now, rack.home, picker.location)
             if self.config.collect_paths:

@@ -35,6 +35,17 @@ at planner-wake ticks), not every tick.  Consumers needing the
 tick-by-tick trail expand a leg with
 :meth:`~repro.pathfinding.paths.Path.cells_between`.
 
+Since the windowed planning pipeline (PR 4) a leg may be *partial*: a
+windowed search commits only ``W`` ticks of conflict-checked path, and a
+boxed-in robot plans a wait-in-place.  The completion trigger of such a
+leg is a **horizon-replan event**: instead of a stage transition, the
+engine asks the planner (``continue_leg``) for the continuation from the
+robot's current cell and re-enters the new leg's trigger into the
+calendar — the mission stays in its stage throughout.  Runs in which
+every search succeeds at the full tier (all golden and equivalence
+workloads) never produce such events and are bit-identical to the frozen
+per-tick engine.
+
 The makespan is the tick at which the last rack lands back on its home
 cell (Eq. 1).
 """
@@ -312,10 +323,33 @@ class Simulation:
                  (mission.path.end_time - 1,
                   self._seq_of_robot[mission.robot_id], mission))
 
+    def _stage_target(self, mission: Mission) -> Tuple[int, int]:
+        """Where the current moving stage is headed."""
+        rack = self.state.racks[mission.rack_id]
+        if mission.stage is MissionStage.TO_PICKER:
+            return self.state.pickers[rack.picker_id].location
+        return rack.home  # TO_RACK and RETURNING both end at the home cell
+
     def _complete_leg(self, mission: Mission, now: Tick, tick: Tick) -> None:
         robot = self.state.robots[mission.robot_id]
         rack = self.state.racks[mission.rack_id]
         picker = self.state.pickers[rack.picker_id]
+
+        if mission.stage.moving and mission.path is not None:
+            target = self._stage_target(mission)
+            if mission.path.goal != target:
+                # Horizon-replan event: the finished leg was partial — a
+                # windowed prefix whose commit ran out, or a wait-out of a
+                # boxed-in cell (see repro.pathfinding.pipeline).  The
+                # mission stays in its stage; the planner supplies the
+                # continuation from where the robot stands and the new
+                # leg's completion trigger re-enters the calendar.
+                continuation = self.planner.continue_leg(
+                    now, mission.path.goal, target)
+                self._record_path(mission.robot_id, continuation)
+                mission.resume(now, continuation)
+                self._schedule_leg(mission)
+                return
 
         if mission.stage is MissionStage.TO_RACK:
             path = self.planner.plan_leg(now, rack.home, picker.location)
@@ -463,6 +497,11 @@ class Simulation:
             planning_seconds=self.planner.stats.planning_seconds,
             peak_memory_bytes=self._recorder.peak_memory,
             checkpoints=list(self._recorder.samples),
+            fallback={
+                "windowed_legs": self.planner.stats.legs_windowed,
+                "wait_legs": self.planner.stats.legs_wait,
+                "horizon_replans": self.planner.stats.horizon_replans,
+            },
         )
         if metrics.items_processed != len(self._items):
             raise SimulationError(

@@ -12,9 +12,15 @@ the moment the cumulative processed-item count crosses a checkpoint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..types import Tick
+
+#: Keys of the fallback-tier accounting attached to run metrics; a
+#: missing dict (results produced by the frozen legacy engine, or stored
+#: before PR 4) normalises to all-zero, which is also what any run that
+#: never needed a fallback reports.
+FALLBACK_KEYS = ("windowed_legs", "wait_legs", "horizon_replans")
 
 
 @dataclass(frozen=True)
@@ -32,7 +38,14 @@ class CheckpointSample:
 
 @dataclass
 class RunMetrics:
-    """Final metrics of one simulation run plus the checkpoint series."""
+    """Final metrics of one simulation run plus the checkpoint series.
+
+    ``fallback`` is the windowed-pipeline tier accounting
+    (:data:`FALLBACK_KEYS`): how many legs fell back to the windowed
+    search or to wait-in-place, and how many horizon replans the engine
+    issued for the resulting partial legs.  All-zero on any run the full
+    search handled end to end.
+    """
 
     makespan: Tick = 0
     items_processed: int = 0
@@ -43,6 +56,11 @@ class RunMetrics:
     planning_seconds: float = 0.0
     peak_memory_bytes: int = 0
     checkpoints: List[CheckpointSample] = field(default_factory=list)
+    fallback: Dict[str, int] = field(default_factory=dict)
+
+    def fallback_view(self) -> Dict[str, int]:
+        """``fallback`` with every key present (missing keys read 0)."""
+        return {key: self.fallback.get(key, 0) for key in FALLBACK_KEYS}
 
     @property
     def total_planner_seconds(self) -> float:

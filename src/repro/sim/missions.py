@@ -92,6 +92,30 @@ class Mission:
         self.stage_entered_at = t
         self.path = path
 
+    def resume(self, t: Tick, path: Path) -> None:
+        """Continue the *current* moving stage on a fresh leg.
+
+        The horizon-replan case: the previous leg was partial (a windowed
+        prefix or a wait-in-place) and ended short of the stage's target,
+        so the planner supplied a continuation from where the robot
+        stands.  The stage — and ``stage_entered_at``, which feeds the
+        Fig. 13 stage-duration accounting — is deliberately unchanged:
+        the robot never left the stage, it just swapped legs.
+        """
+        if not self.stage.moving:
+            raise SimulationError(
+                f"cannot resume non-moving stage {self.stage.value} "
+                f"(rack {self.rack_id})")
+        if self.path is None or path.source != self.path.goal \
+                or path.start_time != t:
+            raise SimulationError(
+                f"continuation leg mismatch for rack {self.rack_id}: "
+                f"previous leg ends {self.path.goal if self.path else None}"
+                f"@{self.path.end_time if self.path else None}, "
+                f"continuation starts {path.source}@{path.start_time} "
+                f"(expected t={t})")
+        self.path = path
+
 
 _LEGAL = {
     MissionStage.TO_RACK: (MissionStage.TO_PICKER,),

@@ -84,6 +84,11 @@ class RecordingPlanner:
         self.log.legs.setdefault((t, source, goal), []).append(path)
         return path
 
+    def continue_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        path = self._inner.continue_leg(t, source, goal)
+        self.log.legs.setdefault((t, source, goal), []).append(path)
+        return path
+
     def advance(self, t_from: Tick, t_to: Tick) -> None:
         self._inner.advance(t_from, t_to)
 
@@ -129,6 +134,11 @@ class ReplayPlanner:
                 f"{source} -> {goal}")
         self.stats.legs_planned += 1
         return queue.popleft()
+
+    def continue_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
+        """Horizon replans replay from the same recorded leg queues."""
+        self.stats.horizon_replans += 1
+        return self.plan_leg(t, source, goal)
 
     def advance(self, t_from: Tick, t_to: Tick) -> None:
         """No reservation structure to purge during replay."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from .engine import SimulationResult
-from .metrics import CheckpointSample, RunMetrics
+from .metrics import FALLBACK_KEYS, CheckpointSample, RunMetrics
 from .trace import BottleneckTrace
 
 #: Keys holding wall-clock measurements, excluded from exact comparisons.
@@ -36,6 +36,11 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         "selection_seconds": metrics.selection_seconds,
         "planning_seconds": metrics.planning_seconds,
         "peak_memory_bytes": metrics.peak_memory_bytes,
+        # Normalised (every key present, absent dict reads all-zero) so
+        # payloads from the frozen legacy engine — which predates the
+        # windowed pipeline and never sets the counters — compare equal
+        # to an event-engine run that needed no fallbacks.
+        "fallback": metrics.fallback_view(),
         "checkpoints": [
             {"items_processed": c.items_processed, "tick": c.tick,
              "ppr": c.ppr, "rwr": c.rwr,
@@ -100,7 +105,9 @@ def metrics_from_dict(payload: Dict[str, Any]) -> RunMetrics:
         selection_seconds=payload["selection_seconds"],
         planning_seconds=payload["planning_seconds"],
         peak_memory_bytes=payload["peak_memory_bytes"],
-        checkpoints=[CheckpointSample(**c) for c in payload["checkpoints"]])
+        checkpoints=[CheckpointSample(**c) for c in payload["checkpoints"]],
+        fallback={key: payload.get("fallback", {}).get(key, 0)
+                  for key in FALLBACK_KEYS})
 
 
 def deterministic_view(payload: Any) -> Any:

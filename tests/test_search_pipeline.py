@@ -1,0 +1,436 @@
+"""The windowed-horizon planning pipeline: search tiers, commits, replans.
+
+Covers the PR-4 contract end to end:
+
+* ``search()`` returns :class:`SearchOutcome` failures instead of raising,
+  and the raising wrapper attaches the search stats to
+  :class:`PathNotFoundError`;
+* windowed search is bit-identical to the full search on uncongested
+  grids and escapes congestion the full search cannot afford;
+* the fallback chain answers every request with exactly one tier, with
+  crafted dense-corridor fixtures exercising each tier;
+* reservation structures honour windowed commits;
+* the event engine finishes partial legs through horizon replans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PlannerConfig, SimulationConfig
+from repro.errors import ConfigurationError, ConflictError, PathNotFoundError
+from repro.pathfinding.cache import follow_with_waits
+from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.conflicts import find_conflicts
+from repro.pathfinding.heuristics import HeuristicFieldCache
+from repro.pathfinding.paths import Path
+from repro.pathfinding.pipeline import (TIER_FULL, TIER_WAIT, TIER_WINDOWED,
+                                        FallbackChain)
+from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from repro.pathfinding.st_astar import (SEARCH_BUDGET, SEARCH_COMPLETE,
+                                        SEARCH_EXHAUSTED, SearchRequest,
+                                        SearchStats, find_path, search)
+from repro.planners.ntp import NaiveTaskPlanner
+from repro.sim.engine import Simulation
+from repro.sim.missions import Mission, MissionStage
+from repro.warehouse.grid import Grid
+from repro.workloads.datasets import make_mini
+
+
+def corridor(length: int) -> Grid:
+    """A single-file corridor of ``length`` cells along y=0."""
+    return Grid(length, 1)
+
+
+def blockade(table, cell, until: int) -> None:
+    """Park a reservation on ``cell`` for every tick in [0, until]."""
+    table.reserve_path(Path.waiting(cell, 0, until))
+
+
+def make_chain(grid: Grid, reservation, config: PlannerConfig,
+               heuristics: HeuristicFieldCache = None) -> FallbackChain:
+    """A fallback chain wired exactly as the planner base wires it."""
+    if heuristics is None:
+        heuristics = HeuristicFieldCache(grid)
+
+    def full(t, source, goal):
+        stats = SearchStats()
+        return find_path(grid, reservation, source, goal, t,
+                         heuristic=heuristics.field(goal),
+                         max_expansions=config.max_search_expansions,
+                         stats=stats)
+
+    return FallbackChain(grid=grid, reservation=reservation,
+                         heuristics=heuristics, config=config,
+                         full_search=full,
+                         finisher_factory=lambda goal: (None, 0))
+
+
+class TestSearchOutcomes:
+    def test_complete_outcome(self):
+        grid = Grid(12, 10)
+        outcome = search(grid, ConflictDetectionTable(),
+                         SearchRequest(source=(0, 0), goal=(6, 4),
+                                       start_time=0))
+        assert outcome.ok and outcome.status == SEARCH_COMPLETE
+        assert outcome.path.goal == (6, 4)
+        assert outcome.stats.budget == 200_000
+
+    def test_budget_outcome_returned_not_raised(self):
+        grid = Grid(12, 10)
+        outcome = search(grid, ConflictDetectionTable(),
+                         SearchRequest(source=(0, 0), goal=(11, 9),
+                                       start_time=0, max_expansions=3))
+        assert not outcome.ok
+        assert outcome.status == SEARCH_BUDGET
+        assert outcome.path is None
+        assert outcome.stats.expansions > 0
+        assert outcome.stats.budget == 3
+
+    def test_exhausted_outcome_when_boxed_in(self):
+        grid = corridor(5)
+        cdt = ConflictDetectionTable()
+        for cell in [(1, 0), (2, 0), (3, 0)]:
+            blockade(cdt, cell, until=6)
+        outcome = search(grid, cdt,
+                         SearchRequest(source=(2, 0), goal=(4, 0),
+                                       start_time=0))
+        assert outcome.status == SEARCH_EXHAUSTED
+        assert outcome.stats.expansions == 1  # the start pops, nothing else
+
+    def test_find_path_attaches_stats_to_error(self):
+        grid = Grid(12, 10)
+        with pytest.raises(PathNotFoundError) as excinfo:
+            find_path(grid, ConflictDetectionTable(), (0, 0), (11, 9), 0,
+                      max_expansions=3)
+        error = excinfo.value
+        assert error.stats is not None
+        assert error.stats.expansions == 4  # the pop that broke the budget
+        assert error.stats.budget == 3
+        assert error.stats.peak_open > 0
+        # The diagnostics survive into the rendered message too.
+        assert "expansions=4" in str(error)
+        assert "budget=3" in str(error)
+
+
+class TestWindowedEquivalence:
+    ENDPOINTS = [((0, 0), (9, 7)), ((11, 0), (0, 9)), ((3, 8), (10, 1))]
+
+    @pytest.mark.parametrize("horizon", [1, 3, 8])
+    def test_bit_identical_to_full_when_uncongested(self, horizon):
+        grid = Grid(12, 10)
+        fields = HeuristicFieldCache(grid)
+        for source, goal in self.ENDPOINTS:
+            full_stats, win_stats = SearchStats(), SearchStats()
+            full = find_path(grid, ConflictDetectionTable(), source, goal, 0,
+                             heuristic=fields.field(goal), stats=full_stats)
+            windowed = find_path(grid, ConflictDetectionTable(), source,
+                                 goal, 0, heuristic=fields.field(goal),
+                                 stats=win_stats, horizon=horizon)
+            assert windowed.steps == full.steps
+            assert win_stats == full_stats
+
+    def test_windowed_tail_ignores_reservations_beyond_horizon(self):
+        # A corridor blocked far beyond the window: the windowed search
+        # must walk straight through the (future, unprobed) blockade.
+        grid = corridor(30)
+        cdt = ConflictDetectionTable()
+        blockade(cdt, (20, 0), until=300)
+        outcome = search(grid, cdt,
+                         SearchRequest(source=(0, 0), goal=(29, 0),
+                                       start_time=0, horizon=8),
+                         heuristic=HeuristicFieldCache(grid).field((29, 0)))
+        assert outcome.ok
+        assert outcome.path.duration == 29  # conflict-oblivious optimum
+        # ... while the full search cannot (it must out-wait the blockade).
+        full = find_path(grid, cdt, (0, 0), (29, 0), 0)
+        assert full.duration > 290
+
+
+class TestFallbackChain:
+    def test_tier_full_on_open_floor(self):
+        grid = Grid(12, 10)
+        cdt = ConflictDetectionTable()
+        leg = make_chain(grid, cdt, PlannerConfig()).plan_leg(0, (0, 0),
+                                                              (9, 7))
+        assert leg.tier == TIER_FULL
+        assert leg.complete
+        assert leg.commit_until is None
+        assert leg.path.goal == (9, 7)
+
+    def test_tier_windowed_when_full_blows_budget(self):
+        grid = corridor(30)
+        cdt = ConflictDetectionTable()
+        blockade(cdt, (20, 0), until=300)
+        config = PlannerConfig(max_search_expansions=500, search_horizon=8)
+        leg = make_chain(grid, cdt, config).plan_leg(0, (0, 0), (29, 0))
+        assert leg.tier == TIER_WINDOWED
+        assert not leg.complete
+        # Executed prefix: exactly the window, fully conflict-checked.
+        assert leg.path.start_time == 0 and leg.path.end_time == 8
+        assert leg.path.goal == (8, 0)
+        assert leg.commit_until == 8
+        # The chain reports both searches' stats for absorption.
+        assert len(leg.search_stats) == 2
+
+    def test_tier_windowed_completes_within_window(self):
+        # The full tier fails but the goal sits inside the window: the
+        # windowed plan is complete, no replan needed.
+        grid = corridor(30)
+        cdt = ConflictDetectionTable()
+        heuristics = HeuristicFieldCache(grid)
+
+        def always_fails(t, source, goal):
+            raise PathNotFoundError(source, goal, "forced fallback")
+
+        chain = FallbackChain(grid=grid, reservation=cdt,
+                              heuristics=heuristics,
+                              config=PlannerConfig(search_horizon=12),
+                              full_search=always_fails,
+                              finisher_factory=lambda goal: (None, 0))
+        leg = chain.plan_leg(0, (0, 0), (10, 0))
+        assert leg.tier == TIER_WINDOWED
+        assert leg.complete
+        assert leg.path.goal == (10, 0)
+        assert leg.path.end_time == 10
+
+    def test_tier_wait_boxed_commits_only_start(self):
+        grid = corridor(5)
+        cdt = ConflictDetectionTable()
+        for cell in [(1, 0), (2, 0), (3, 0)]:
+            blockade(cdt, cell, until=6)
+        before = cdt.n_reservations
+        config = PlannerConfig()
+        leg = make_chain(grid, cdt, config).plan_leg(0, (2, 0), (4, 0))
+        assert leg.tier == TIER_WAIT
+        assert not leg.complete
+        # Waits precisely until the robot's cell is first free again.
+        assert leg.path.steps == Path.waiting((2, 0), 0, 7).steps
+        # Boxed wait: only the start step may be committed — the rest of
+        # the wait overlaps traffic already reserved through the cell.
+        assert leg.commit_until == 0
+
+    def test_tier_wait_free_run_is_committed(self):
+        grid = corridor(5)
+        cdt = ConflictDetectionTable()
+        # Neighbours blocked for ages, own cell free: searches blow a
+        # tiny budget, the robot legally holds position.
+        blockade(cdt, (1, 0), until=100)
+        blockade(cdt, (3, 0), until=100)
+        config = PlannerConfig(max_search_expansions=3,
+                               fallback_wait_ticks=8)
+        chain = make_chain(grid, cdt, config)
+        leg = chain.plan_leg(0, (2, 0), (4, 0))
+        assert leg.tier == TIER_WAIT
+        assert leg.path.steps == Path.waiting((2, 0), 0, 8).steps
+        assert leg.commit_until is None  # whole wait conflict-free
+        chain_committed_own_cell = not cdt.is_free(5, (2, 0))
+        assert not chain_committed_own_cell  # commit happens in the planner
+
+    def test_unreachable_goal_fails_fast(self):
+        # A disconnected floor must still raise immediately: no amount
+        # of waiting/replanning conjures a corridor, and looping to the
+        # simulator's max_ticks would bury the real error.
+        grid = Grid(10, 3, blocked=[(5, y) for y in range(3)])
+        config = PlannerConfig(max_search_expansions=500)
+        chain = make_chain(grid, ConflictDetectionTable(), config)
+        with pytest.raises(PathNotFoundError):
+            chain.plan_leg(0, (0, 0), (9, 0))
+
+    def test_chain_is_deterministic(self):
+        grid = corridor(30)
+        config = PlannerConfig(max_search_expansions=500, search_horizon=8)
+
+        def run():
+            cdt = ConflictDetectionTable()
+            blockade(cdt, (20, 0), until=300)
+            return make_chain(grid, cdt, config).plan_leg(0, (0, 0), (29, 0))
+
+        first, second = run(), run()
+        assert first.path.steps == second.path.steps
+        assert first.tier == second.tier
+
+
+class TestWindowedCommits:
+    def moving_path(self):
+        return Path.from_cells([(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)],
+                               start_time=0)
+
+    @pytest.mark.parametrize("make_table", [
+        ConflictDetectionTable, lambda: SpatiotemporalGraph(Grid(6, 3))])
+    def test_horizon_bounds_vertices_and_edges(self, make_table):
+        table = make_table()
+        table.reserve_path(self.moving_path(), 2)
+        # Vertices at t <= 2 committed, beyond not.
+        assert not table.is_free(1, (1, 0))
+        assert not table.is_free(2, (2, 0))
+        assert table.is_free(3, (3, 0))
+        assert table.is_free(4, (4, 0))
+        # Edge departing t=1 (arrives t=2) committed: the swap is caught.
+        assert not table.edge_free(1, (2, 0), (1, 0))
+        # Edge departing t=2 (arrives t=3) is beyond the window.
+        assert table.edge_free(2, (3, 0), (2, 0))
+
+    @pytest.mark.parametrize("make_table", [
+        ConflictDetectionTable, lambda: SpatiotemporalGraph(Grid(6, 3))])
+    def test_no_horizon_commits_everything(self, make_table):
+        table = make_table()
+        table.reserve_path(self.moving_path())
+        for t in range(5):
+            assert not table.is_free(t, (t, 0))
+
+    def test_recommit_on_horizon_advance(self):
+        # The windowed pipeline's re-commit: the continuation leg planned
+        # at the horizon re-reserves from where the prefix stopped.
+        table = ConflictDetectionTable()
+        table.reserve_path(self.moving_path(), 2)
+        continuation = Path.from_cells([(2, 0), (3, 0), (4, 0)],
+                                       start_time=2)
+        table.reserve_path(continuation, 4)
+        assert not table.is_free(3, (3, 0))
+        assert not table.is_free(4, (4, 0))
+
+
+class TestTruncateAt:
+    def test_prefix(self):
+        path = Path.from_cells([(0, 0), (1, 0), (2, 0)], start_time=5)
+        prefix = path.truncate_at(6)
+        assert prefix.steps == ((5, 0, 0), (6, 1, 0))
+
+    def test_beyond_end_is_identity(self):
+        path = Path.from_cells([(0, 0), (1, 0)], start_time=0)
+        assert path.truncate_at(99) is path
+
+    def test_before_start_rejected(self):
+        path = Path.from_cells([(0, 0), (1, 0)], start_time=5)
+        with pytest.raises(ConflictError):
+            path.truncate_at(4)
+
+
+class TestFinisherTotalWaitCap:
+    def test_total_wait_cap_declines_degenerate_tails(self):
+        grid = corridor(5)
+        cdt = ConflictDetectionTable()
+        blockade(cdt, (1, 0), until=40)   # first hop waits ~40 ticks
+        blockade(cdt, (2, 0), until=100)  # second hop waits ~60 more
+        cells = ((0, 0), (1, 0), (2, 0))
+        # Each step stays under the per-step cap, so only the total cap
+        # can catch the degenerate tail.
+        generous = follow_with_waits(cdt, cells, 0, max_wait_per_step=64,
+                                     max_total_wait=1000)
+        assert generous is not None and generous[-1][1:] == (2, 0)
+        assert follow_with_waits(cdt, cells, 0, max_wait_per_step=64) is None
+
+
+class ForcedWindowedNTP(NaiveTaskPlanner):
+    """NTP whose full tier always fails — every leg goes windowed."""
+
+    def _find_leg(self, t, source, goal):
+        raise PathNotFoundError(source, goal, "forced windowed tier")
+
+
+class TestHorizonReplanEngine:
+    def test_partial_legs_drain_through_horizon_replans(self):
+        scenario = make_mini(n_items=30)
+        state, items = scenario.build()
+        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4))
+        config = SimulationConfig(collect_paths=True)
+        result = Simulation(state, planner, items, config).run()
+
+        assert result.metrics.items_processed == 30
+        stats = planner.stats
+        assert stats.legs_full == 0
+        assert stats.legs_windowed > 0
+        assert stats.horizon_replans > 0
+        assert stats.legs_planned == (stats.legs_full + stats.legs_windowed
+                                      + stats.legs_wait)
+        assert result.metrics.fallback_view() == {
+            "windowed_legs": stats.legs_windowed,
+            "wait_legs": stats.legs_wait,
+            "horizon_replans": stats.horizon_replans,
+        }
+        # Every executed leg was conflict-checked end to end: no
+        # *cross-robot* conflicts among the collected prefixes and
+        # continuations (same-robot consecutive legs share their boundary
+        # vertex by construction, and picker cells are the documented
+        # off-grid queue buffer — the same filter the integration-suite
+        # audit applies).
+        picker_cells = {p.location for p in state.pickers}
+        cross = [c for c in find_conflicts(result.paths)
+                 if result.path_owners[c.first] != result.path_owners[c.second]
+                 and c.cell not in picker_cells]
+        assert cross == []
+        # No leg overruns the window it was planned under.
+        for path in result.paths:
+            assert path.duration <= 4
+
+    def test_windowed_run_matches_full_run_outcome(self):
+        # On the uncongested mini floor the windowed pipeline must fulfil
+        # the same missions (robot/rack pairing and order may shift with
+        # leg timing, but the workload drains completely either way).
+        scenario = make_mini(n_items=30)
+        state, items = scenario.build()
+        full_result = Simulation(
+            state, NaiveTaskPlanner(state), items, SimulationConfig()).run()
+        state2, items2 = scenario.build()
+        windowed_result = Simulation(
+            state2, ForcedWindowedNTP(state2,
+                                      PlannerConfig(search_horizon=6)),
+            items2, SimulationConfig()).run()
+        assert (windowed_result.metrics.items_processed
+                == full_result.metrics.items_processed)
+        assert (windowed_result.metrics.missions_completed
+                == full_result.metrics.missions_completed)
+
+
+class TestLegacyEngineGuard:
+    def test_frozen_engine_rejects_partial_legs(self):
+        # The frozen per-tick engine predates horizon replans; handing
+        # it a planner that emits partial legs must fail loudly, not
+        # silently teleport robots through stage transitions.
+        from repro.errors import SimulationError
+        from repro.sim._legacy_engine import LegacySimulation
+        scenario = make_mini(n_items=20)
+        state, items = scenario.build()
+        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4))
+        with pytest.raises(SimulationError, match="partial"):
+            LegacySimulation(state, planner, items).run()
+
+
+class TestMissionResume:
+    def make_mission(self):
+        return Mission(robot_id=0, rack_id=0, batch=[object()],
+                       path=Path.from_cells([(0, 0), (1, 0)], start_time=0),
+                       stage=MissionStage.TO_RACK)
+
+    def test_resume_keeps_stage(self):
+        mission = self.make_mission()
+        continuation = Path.from_cells([(1, 0), (2, 0)], start_time=1)
+        mission.resume(1, continuation)
+        assert mission.stage is MissionStage.TO_RACK
+        assert mission.path is continuation
+
+    def test_resume_rejects_discontinuous_leg(self):
+        from repro.errors import SimulationError
+        mission = self.make_mission()
+        with pytest.raises(SimulationError):
+            mission.resume(1, Path.from_cells([(0, 0), (1, 0)], start_time=1))
+        with pytest.raises(SimulationError):
+            mission.resume(2, Path.from_cells([(1, 0), (2, 0)], start_time=1))
+
+
+class TestPlannersCliFilter:
+    def test_parse_planners_canonicalises(self):
+        from repro.experiments.matrix import parse_planners
+        assert parse_planners("ntp, eatp") == ("NTP", "EATP")
+        assert parse_planners("EATP,EATP") == ("EATP",)
+
+    def test_parse_planners_rejects_unknown(self):
+        from repro.experiments.matrix import parse_planners
+        with pytest.raises(ConfigurationError, match="unknown planner"):
+            parse_planners("NTP,WARP")
+
+    def test_parse_planners_rejects_empty(self):
+        from repro.experiments.matrix import parse_planners
+        with pytest.raises(ConfigurationError):
+            parse_planners(" , ")
