@@ -8,11 +8,19 @@ A*-on-spatiotemporal-graph planner.
 
 from _bench_common import SHAPE_SCALE, run_once
 
+from repro.config import PlannerConfig
 from repro.experiments.fig11 import render_fig11, run_fig11
 
 
 def test_fig11_stc_ptc(benchmark):
-    data = run_once(benchmark, run_fig11, scale=SHAPE_SCALE)
+    # The shape claims compare the paper's *per-planner* efficiency
+    # designs (flip requesting, cache-aided CDT search).  The tier-0
+    # free-flow fast path is a cross-cutting accelerator that collapses
+    # PTC for every planner alike, leaving tiny noise-dominated totals
+    # that jitter across the 1.10x margin — so the contrast is measured
+    # with it pinned off, exactly like the seed-comparison benches.
+    data = run_once(benchmark, run_fig11, scale=SHAPE_SCALE,
+                    planner_config=PlannerConfig(free_flow=False))
     print()
     print(render_fig11(data))
 

@@ -3,12 +3,16 @@
 These isolate the per-call costs the end-to-end figures aggregate:
 spatial A*, spatiotemporal A* against both reservation structures, the
 cache-aided finisher, conflict probes, reservation purges, heuristic-field
-builds, and the two selection strategies.
+builds, the two selection strategies, and the two PR-5 pieces measured
+independently — the bucket queue vs. ``heapq`` on an identical push/pop
+stream, and tier-0 descent+audit vs. the full search on the same leg.
 
 ``scripts/bench_kernels.py`` runs the same scenarios (shared via
 ``_bench_common``) head-to-head against the frozen seed implementations
 and records the speedups in ``BENCH_PR1.json``.
 """
+
+import heapq
 
 import pytest
 from _bench_common import crossing_traffic, dense_traffic
@@ -17,7 +21,9 @@ from repro.config import PlannerConfig
 from repro.pathfinding.astar import shortest_path
 from repro.pathfinding.cache import ShortestPathCache, make_wait_finisher
 from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.free_flow import FreeFlowPathCache
 from repro.pathfinding.heuristics import HeuristicFieldCache
+from repro.pathfinding.paths import Path
 from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from repro.pathfinding.st_astar import find_path
 from repro.planners import EfficientAdaptiveTaskPlanner, NaiveTaskPlanner
@@ -65,6 +71,117 @@ def test_st_astar_with_heuristic_field(benchmark):
     crossing_traffic(table)
     field = HeuristicFieldCache(GRID).field((60, 35))
     benchmark(find_path, GRID, table, (0, 0), (60, 35), 0, field)
+
+
+#: Shared push/pop stream for the two open-set kernels: f drifts upward
+#: in small steps and never sinks below the pop frontier — the
+#: monotone-f pattern a consistent heuristic over unit edge costs forces
+#: on the search — with two pushes per pop (branching factor > 1).
+_QUEUE_OPS = 30_000
+
+
+def _queue_stream():
+    for i in range(_QUEUE_OPS):
+        yield (i >> 4) + (i & 3), i  # (raw f, payload)
+
+
+def test_open_set_heapq(benchmark):
+    """The pre-PR-5 open set: tuple entries through ``heapq``."""
+
+    def run():
+        heap = []
+        tie = 0
+        frontier = 0  # f of the last pop; pushes clamp to it (monotone f)
+        drained = 0
+        pushes = 0
+        for f, payload in _queue_stream():
+            if f < frontier:
+                f = frontier
+            heapq.heappush(heap, (f, tie, payload))
+            tie += 1
+            pushes += 1
+            if pushes & 1:
+                entry = heapq.heappop(heap)
+                frontier = entry[0]
+                drained += entry[2]
+        while heap:
+            drained += heapq.heappop(heap)[2]
+        return drained
+
+    benchmark(run)
+
+
+def test_open_set_bucket_queue(benchmark):
+    """The PR-5 open set: per-f FIFO buckets, bare-int appends."""
+
+    def run():
+        buckets = [[]]
+        f_off = 0  # the pop frontier; pushes clamp to it (monotone f)
+        pos = 0
+        open_size = 0
+        drained = 0
+        pushes = 0
+        for f, payload in _queue_stream():
+            if f < f_off:
+                f = f_off
+            while f >= len(buckets):
+                buckets.append([])
+            buckets[f].append(payload)
+            open_size += 1
+            pushes += 1
+            if pushes & 1:
+                bucket = buckets[f_off]
+                while pos >= len(bucket):
+                    f_off += 1
+                    bucket = buckets[f_off]
+                    pos = 0
+                drained += bucket[pos]
+                pos += 1
+                open_size -= 1
+        while open_size:
+            bucket = buckets[f_off]
+            while pos >= len(bucket):
+                f_off += 1
+                bucket = buckets[f_off]
+                pos = 0
+            drained += bucket[pos]
+            pos += 1
+            open_size -= 1
+        return drained
+
+    benchmark(run)
+
+
+def test_free_flow_descent_extract(benchmark):
+    """Tier-0 path extraction (fresh walk, no memo): the O(d) piece."""
+    cache = FreeFlowPathCache(GRID, HeuristicFieldCache(GRID))
+    cache.descent((0, 0), (60, 35))  # warm the heuristic field
+
+    benchmark(cache._walk, (0, 0), (60, 35))
+
+
+def test_free_flow_descent_memoised(benchmark):
+    """Tier-0 extraction at steady state: one dict hit per leg."""
+    cache = FreeFlowPathCache(GRID, HeuristicFieldCache(GRID))
+    cache.descent((0, 0), (60, 35))
+
+    benchmark(cache.descent, (0, 0), (60, 35))
+
+
+def test_free_flow_audit(benchmark):
+    """The bulk conflict audit of a descent path against live traffic.
+
+    Descent+audit against ``test_st_astar_with_heuristic_field`` (the
+    same endpoints) is the tier-0-vs-tier-1 comparison: the two PR-5
+    pieces are measurable independently.
+    """
+    table = ConflictDetectionTable()
+    crossing_traffic(table)
+    cache = FreeFlowPathCache(GRID, HeuristicFieldCache(GRID))
+    cells = cache.descent((0, 0), (60, 35))
+    path = Path.from_cells(cells, start_time=0)
+
+    benchmark(table.audit_path, path)
 
 
 def test_heuristic_field_build(benchmark):

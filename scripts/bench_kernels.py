@@ -25,12 +25,19 @@ keep ``st_astar.packed.expansions_per_s`` from regressing.
 end-to-end Table III timing) that fails the build when the packed search
 core's speedup over the in-process seed implementation falls below
 ``SMOKE_MIN_SEARCH_SPEEDUP``, when the event engine's replay speedup or
-events/s floor regresses, or when any of the five planners fails to
+events/s floor regresses, when any of the five planners fails to
 drain the 200-robot fleet-ladder rung through the windowed planning
-pipeline (the PR-4 completion gate, written to ``BENCH_PR4.json``).
-Comparing against the seed *in the same process* keeps the relative
-gates machine-independent — absolute expansions/sec vary across runners,
-the relative speedup does not.
+pipeline (the PR-4 completion gate, written to ``BENCH_PR4.json``), or
+when the tier-0 fast path's live planning-seconds speedup over the PR-4
+chain drops below ``SMOKE_MIN_FASTPATH_SPEEDUP`` on the Fleet-100/200
+rungs (the PR-5 gate, written to ``BENCH_PR5.json`` with per-rung hit
+rates and a bit-identical-makespan check).  Comparing against the seed
+*in the same process* keeps the relative gates machine-independent —
+absolute expansions/sec vary across runners, the relative speedup does
+not.
+
+``--profile`` cProfiles the live Fleet-200 NTP run and prints the top-20
+cumulative hot spots, so future perf PRs start from data.
 """
 
 from __future__ import annotations
@@ -81,6 +88,20 @@ LADDER_PLANNERS = ("NTP", "LEF", "ILP", "ATP", "EATP")
 
 #: Fleet-ladder rungs of the planner-layer benchmark (PR 4).
 LADDER_FLEETS = (10, 25, 50, 100, 200)
+
+#: Fleet-ladder rungs of the tier-0 fast-path benchmark (PR 5) — the two
+#: rungs where planning time dominates end-to-end wall-clock.
+FASTPATH_FLEETS = (100, 200)
+
+#: Planners of the fast-path benchmark: the plain-search planner and the
+#: cache-finisher planner (the finisher takes a different tier-0 path).
+FASTPATH_PLANNERS = ("NTP", "EATP")
+
+#: CI floor for the live planning-seconds (PTC) speedup of the tier-0
+#: fast path over the PR-4 chain (free_flow off), measured in-process on
+#: the same runner.  Recorded smoke speedups are 2.1-4.0x; the floor
+#: keeps margin for noisy shared runners.
+SMOKE_MIN_FASTPATH_SPEEDUP = 1.5
 
 
 def _time_search(search_fn, make_table, rounds=30):
@@ -255,11 +276,13 @@ def _bench_engine_rung(spec, planner_name="NTP"):
             f"stacks on {spec.name}")
 
     def strip_memory(view):
-        # A replay has no reservation structure, so its memory metric is
-        # zero by construction; everything else must match the live run.
+        # A replay has no reservation structure (memory reads zero) and
+        # plans no legs (the tier-0 fast-path counters read zero);
+        # everything else must match the live run.
         view["metrics"]["peak_memory_bytes"] = 0
         for checkpoint in view["metrics"]["checkpoints"]:
             checkpoint["memory_bytes"] = 0
+        view["metrics"]["fastpath"] = {}
         return view
 
     if (strip_memory(deterministic_view(result_to_dict(live_result)))
@@ -374,6 +397,144 @@ def bench_fleet_ladder(scale=1.0, fleets=LADDER_FLEETS,
     }
 
 
+def _fastpath_cell(spec, planner_name, free_flow):
+    """One live rung run with the tier-0 fast path on or off."""
+    from repro.config import PlannerConfig
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+
+    state, items = spec.build()
+    planner = PLANNERS[planner_name](state,
+                                     PlannerConfig(free_flow=free_flow))
+    started = time.perf_counter()
+    result = Simulation(state, planner, items).run()
+    wall = time.perf_counter() - started
+    stats = planner.stats
+    return {
+        "makespan_ticks": result.metrics.makespan,
+        "wall_s": wall,
+        "planning_s": stats.planning_seconds,
+        "selection_s": stats.selection_seconds,
+        "legs_planned": stats.legs_planned,
+        "legs_free_flow": stats.legs_free_flow,
+        "fastpath_audit_rejects": stats.fastpath_audit_rejects,
+        "fastpath_misses": stats.fastpath_misses,
+        "search_expansions": stats.search_expansions,
+    }
+
+
+def bench_planning_fastpath(scale=1.0, fleets=FASTPATH_FLEETS,
+                            planners=FASTPATH_PLANNERS):
+    """The PR-5 kernel: live planning seconds with tier 0 off vs. on.
+
+    ``free_flow=False`` is exactly the PR-4 fallback chain (every leg
+    pays a full spatiotemporal search); ``free_flow=True`` adds the
+    tier-0 free-flow fast path in front of it.  Both runs share the
+    bucket-queue search core, so the recorded speedup isolates the fast
+    path itself; the search-core gain over the seed is the ``st_astar``
+    section's number.  Makespans must be bit-identical between the two
+    configurations — the fast path is provably behaviour-neutral — and
+    the per-cell payload records the check.
+    """
+    from repro.workloads.datasets import fleet_ladder
+
+    specs = fleet_ladder(scale=scale, fleets=fleets)
+    cells = []
+    for spec in specs:
+        for planner_name in planners:
+            chain = _fastpath_cell(spec, planner_name, free_flow=False)
+            fast = _fastpath_cell(spec, planner_name, free_flow=True)
+            attempts = (fast["legs_free_flow"]
+                        + fast["fastpath_audit_rejects"]
+                        + fast["fastpath_misses"])
+            cells.append({
+                "scenario": spec.name,
+                "planner": planner_name,
+                "n_robots": spec.n_robots,
+                "pr4_chain": chain,
+                "fastpath": fast,
+                "planning_speedup":
+                    chain["planning_s"] / max(fast["planning_s"], 1e-9),
+                "wall_speedup":
+                    chain["wall_s"] / max(fast["wall_s"], 1e-9),
+                "hit_rate":
+                    fast["legs_free_flow"] / max(attempts, 1),
+                "makespans_bit_identical":
+                    chain["makespan_ticks"] == fast["makespan_ticks"],
+            })
+    return {
+        "workload": f"fleet-ladder live planning kernel at scale "
+                    f"{scale:g}, tier-0 fast path off vs on, planners "
+                    f"{'/'.join(planners)}",
+        "scale": scale,
+        "cells": cells,
+    }
+
+
+def report_fastpath(fastpath, out_path):
+    """Write the fast-path report and print one line per cell.
+
+    Returns the cells violating a hard invariant or the speedup floor so
+    the smoke gate can fail the build on them.
+    """
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "planning_fastpath": fastpath,
+    }
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    failed = []
+    for cell in fastpath["cells"]:
+        label = f"{cell['scenario']:>10} {cell['planner']:>4}"
+        fast = cell["fastpath"]
+        print(f"fastpath : {label} plan "
+              f"{cell['pr4_chain']['planning_s']:6.2f}s -> "
+              f"{fast['planning_s']:6.2f}s "
+              f"({cell['planning_speedup']:.2f}x, floor "
+              f"{SMOKE_MIN_FASTPATH_SPEEDUP}x) "
+              f"hit rate {cell['hit_rate']:.0%} "
+              f"({fast['legs_free_flow']}/{fast['legs_planned']} legs, "
+              f"{fast['fastpath_audit_rejects']} rejects, "
+              f"{fast['fastpath_misses']} misses) "
+              f"identical={cell['makespans_bit_identical']}")
+        if (not cell["makespans_bit_identical"]
+                or cell["planning_speedup"] < SMOKE_MIN_FASTPATH_SPEEDUP):
+            failed.append(cell)
+    print(f"wrote {out_path}")
+    return failed
+
+
+def run_profile(scale, fleet=200, planner_name="NTP", top=20):
+    """cProfile one live fleet-ladder rung and print the hot spots.
+
+    The starting point for perf work: a cumulative-time top list of the
+    live Fleet-200 NTP run (the fleet ladder's most search-bound cell),
+    so the next optimisation argues from data instead of guesses.
+    """
+    import pstats
+
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+    from repro.workloads.datasets import fleet_ladder
+
+    spec = fleet_ladder(scale=scale, fleets=(fleet,))[0]
+    state, items = spec.build()
+    planner = PLANNERS[planner_name](state)
+    print(f"profiling the live {spec.name} {planner_name} run at "
+          f"scale {scale:g} ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = Simulation(state, planner, items).run()
+    profiler.disable()
+    print(f"makespan {result.metrics.makespan:,} ticks, planning "
+          f"{planner.stats.planning_seconds:.2f}s, selection "
+          f"{planner.stats.selection_seconds:.2f}s; top {top} by "
+          f"cumulative time:")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+
+
 def report_ladder(ladder, out_path):
     """Write the ladder report and print one line per cell."""
     report = {
@@ -434,17 +595,23 @@ def report_engine(engine, out_path):
     print(f"wrote {out_path}")
 
 
-def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json"):
+def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
+              fastpath_out="BENCH_PR5.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
-    Three gates: the PR-1 packed-search speedup over the in-process seed,
-    the PR-3 event-engine speedup over the in-process frozen per-tick
-    engine on a reduced-scale 200-robot fleet-ladder rung (plus an
-    absolute ``events_per_s`` backstop), and the PR-4 full-fleet-ladder
+    Four gates: the PR-1 packed-search speedup over the in-process seed
+    (the floor also guards the PR-5 bucket-queue rewrite of the same
+    kernel), the PR-3 event-engine speedup over the in-process frozen
+    per-tick engine on a reduced-scale 200-robot fleet-ladder rung (plus
+    an absolute ``events_per_s`` backstop), the PR-4 full-fleet-ladder
     completion gate — all five planners must drain the 200-robot rung
-    with no ``PathNotFoundError`` escaping the windowed pipeline.  The
-    engine and ladder numbers are written to ``engine_out`` /
-    ``ladder_out`` so CI can upload them as workflow artifacts.
+    with no ``PathNotFoundError`` escaping the windowed pipeline — and
+    the PR-5 fast-path gate: live planning seconds on the Fleet-100/200
+    rungs must improve by ``SMOKE_MIN_FASTPATH_SPEEDUP`` over the PR-4
+    chain run in-process with tier 0 disabled, with bit-identical
+    makespans.  The engine, ladder and fast-path numbers are written to
+    ``engine_out`` / ``ladder_out`` / ``fastpath_out`` so CI can upload
+    them as workflow artifacts.
     """
     st = bench_st_astar(rounds=8)
     print(f"smoke st_astar: {st['packed']['expansions_per_s']:,.0f} exp/s "
@@ -487,6 +654,16 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json"):
         raise SystemExit(
             f"fleet-ladder completion gate failed: {names} did not drain "
             f"the 200-robot rung")
+
+    fastpath = bench_planning_fastpath(scale=0.35)
+    fastpath["smoke"] = True
+    failed = report_fastpath(fastpath, fastpath_out)
+    if failed:
+        names = [f"{cell['scenario']}/{cell['planner']}" for cell in failed]
+        raise SystemExit(
+            f"fast-path gate failed on {names}: planning speedup below "
+            f"{SMOKE_MIN_FASTPATH_SPEEDUP}x or makespan diverged from "
+            f"the tier-0-off chain")
     print("smoke gates passed")
 
 
@@ -503,6 +680,14 @@ def main(argv=None):
     parser.add_argument("--ladder-out", default="BENCH_PR4.json",
                         help="output path of the planner-layer fleet-"
                              "ladder report (default BENCH_PR4.json)")
+    parser.add_argument("--fastpath-out", default="BENCH_PR5.json",
+                        help="output path of the tier-0 fast-path "
+                             "planning kernel report (default "
+                             "BENCH_PR5.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the live Fleet-200 NTP run at "
+                             "--engine-scale and print the top-20 "
+                             "cumulative hot spots, then exit")
     parser.add_argument("--engine-scale", type=float, default=1.0,
                         help="fleet-ladder scale of the full engine "
                              "benchmark (default 1.0, the paper-scale "
@@ -522,8 +707,12 @@ def main(argv=None):
                              "untouched)")
     args = parser.parse_args(argv)
 
+    if args.profile:
+        run_profile(args.engine_scale)
+        return
+
     if args.smoke:
-        run_smoke(args.engine_out, args.ladder_out)
+        run_smoke(args.engine_out, args.ladder_out, args.fastpath_out)
         return
 
     if args.engine_only:
@@ -547,6 +736,8 @@ def main(argv=None):
     report_engine(bench_engine(scale=args.engine_scale), args.engine_out)
     report_ladder(bench_fleet_ladder(scale=args.engine_scale),
                   args.ladder_out)
+    report_fastpath(bench_planning_fastpath(scale=args.engine_scale),
+                    args.fastpath_out)
 
     st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
     print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "

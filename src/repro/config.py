@@ -93,6 +93,13 @@ class PlannerConfig:
         reservation structure commits) before the simulator replans at
         the horizon.  Only reached when the full search exhausts — the
         windowed tier changes nothing on runs the full search handles.
+    free_flow:
+        Whether the tier-0 free-flow fast path (greedy descent on the
+        exact heuristic field plus a bulk reservation audit, see
+        :mod:`repro.pathfinding.free_flow`) runs ahead of the full
+        search.  Provably behaviour-neutral — a fast-path leg is
+        byte-identical to what the full search would have returned — so
+        disabling it is purely a benchmarking/ablation control.
     fallback_wait_ticks:
         Replan backoff of the wait-in-place tier: how many ticks a boxed
         robot holds position before the pipeline retries, when no
@@ -111,6 +118,7 @@ class PlannerConfig:
     cache_threshold: int = 12
     max_search_expansions: int = 200_000
     search_horizon: int = 64
+    free_flow: bool = True
     fallback_wait_ticks: int = 8
     reservation_horizon: int = 64
     qlearning: QLearningConfig = field(default_factory=QLearningConfig)

@@ -113,11 +113,36 @@ def render_fallback_summary(payloads: Dict[str, dict]) -> str:
         for key in totals:
             totals[key] += fallback.get(key, 0)
     if not cells_with:
-        return "fallback tiers: none (every search completed at the full tier)"
+        return ("fallback tiers: none (every leg completed at the "
+                "free-flow or full tier)")
     return (f"fallback tiers: {totals['windowed_legs']} windowed legs, "
             f"{totals['wait_legs']} wait legs, "
             f"{totals['horizon_replans']} horizon replans "
             f"across {cells_with} cell(s)")
+
+
+def render_fastpath_summary(payloads: Dict[str, dict]) -> str:
+    """Aggregate tier-0 fast-path counts — the free-flow tier's pulse.
+
+    The complement of :func:`render_fallback_summary`: where fallback
+    tiers fire on *congestion*, the fast path fires on its absence, and a
+    healthy sweep shows a high hit rate.  Counters come from the
+    serialised run metrics (``metrics.fastpath``), so cells stored by
+    releases that predate the fast path read all-zero and are reported as
+    carrying no attempts.
+    """
+    totals = {"free_flow_legs": 0, "audit_rejects": 0, "misses": 0}
+    for payload in payloads.values():
+        fastpath = payload["result"]["metrics"].get("fastpath", {})
+        for key in totals:
+            totals[key] += fastpath.get(key, 0)
+    attempts = sum(totals.values())
+    if not attempts:
+        return "fast path: no tier-0 attempts recorded"
+    return (f"fast path: {totals['free_flow_legs']}/{attempts} legs "
+            f"free-flow ({totals['free_flow_legs'] / attempts:.0%} hit "
+            f"rate; {totals['audit_rejects']} audit rejects, "
+            f"{totals['misses']} misses)")
 
 
 def main(argv=None) -> None:
@@ -163,6 +188,7 @@ def main(argv=None) -> None:
     print(render_matrix_summary(payloads, title))
     print(render_slowest_cells(payloads))
     print(render_fallback_summary(payloads))
+    print(render_fastpath_summary(payloads))
     if store is not None:
         print(f"cells stored under {store.root}/")
 

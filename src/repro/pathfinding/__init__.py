@@ -5,11 +5,13 @@ from .cache import ShortestPathCache, follow_with_waits, make_wait_finisher
 from .cdt import ConflictDetectionTable
 from .conflicts import (Conflict, ConflictKind, find_conflicts,
                         is_conflict_free, paths_conflict)
+from .free_flow import FreeFlowPathCache
 from .heuristics import (HeuristicField, HeuristicFieldCache,
                          manhattan_heuristic, true_distance_heuristic)
 from .paths import Path
-from .pipeline import (TIER_FULL, TIER_WAIT, TIER_WINDOWED, TIERS,
-                       FallbackChain, LegPlan)
+from .pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_HIT, FASTPATH_MISS,
+                       FASTPATH_OFF, TIER_FREE_FLOW, TIER_FULL, TIER_WAIT,
+                       TIER_WINDOWED, TIERS, FallbackChain, LegPlan)
 from .reservation import ReservationTable
 from .spatiotemporal_graph import SpatiotemporalGraph
 from .st_astar import (SEARCH_BUDGET, SEARCH_COMPLETE, SEARCH_EXHAUSTED,
@@ -20,7 +22,12 @@ __all__ = [
     "Conflict",
     "ConflictDetectionTable",
     "ConflictKind",
+    "FASTPATH_AUDIT_REJECT",
+    "FASTPATH_HIT",
+    "FASTPATH_MISS",
+    "FASTPATH_OFF",
     "FallbackChain",
+    "FreeFlowPathCache",
     "HeuristicField",
     "HeuristicFieldCache",
     "LegPlan",
@@ -35,6 +42,7 @@ __all__ = [
     "ShortestPathCache",
     "SpatiotemporalGraph",
     "TIERS",
+    "TIER_FREE_FLOW",
     "TIER_FULL",
     "TIER_WAIT",
     "TIER_WINDOWED",

@@ -200,11 +200,16 @@ def seed_planner_patches():
     Applying these (``setattr`` or ``monkeypatch.setattr``) reverts the
     planner layer to the seed configuration end-to-end: the tuple-based
     search core, per-leg ``manhattan_heuristic`` closures (no field
-    cache), and the pre-bucketing reservation structures.  Used by the
-    end-to-end equivalence test and ``scripts/bench_kernels.py``.
+    cache), the pre-bucketing reservation structures, and no tier-0
+    free-flow fast path (the chain's class switch is flipped off, so the
+    patched ``_find_leg`` really runs the seed search for every leg —
+    the legacy reservation structures also predate the bulk
+    ``audit_path`` the fast path needs).  Used by the end-to-end
+    equivalence test and ``scripts/bench_kernels.py``.
     """
     from ..planners import base as base_mod
     from ..planners import eatp as eatp_mod
+    from . import pipeline as pipeline_mod
     from .cache import make_wait_finisher
 
     def _seed_find_leg(self, t, source, goal):
@@ -239,6 +244,7 @@ def seed_planner_patches():
          _seed_eatp_find_leg),
         (base_mod, "SpatiotemporalGraph", LegacySpatiotemporalGraph),
         (eatp_mod, "ConflictDetectionTable", LegacyConflictDetectionTable),
+        (pipeline_mod.FallbackChain, "free_flow_enabled", False),
     ]
 
 

@@ -15,7 +15,12 @@ core probes with, so the search's hot loop never materialises a tuple.
 
 Supports the three operations of Sec. VI-B: conflict *search* (``is_free``
 / ``edge_free``), *insertion* (``reserve_path``) and the periodic *update*
-that deletes passed timestamps (``purge_before``).
+that deletes passed timestamps (``purge_before``).  The bulk
+``audit_path`` of the tier-0 free-flow fast path is inherited from
+:class:`~repro.pathfinding.reservation.ReservationTable`, whose
+implementation runs on this structure's :meth:`packed_buckets` — one dict
+hit per tick, bare ``in`` per packed key, the same fast path the search
+core probes with.
 """
 
 from __future__ import annotations

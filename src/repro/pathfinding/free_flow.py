@@ -1,0 +1,155 @@
+"""Tier-0 free-flow path extraction: greedy descent on exact h-fields.
+
+The planning pipeline's dominant cost is the full spatiotemporal A\\*
+(tier 1): even on a floor where a leg meets *no* conflict, A\\* guided by
+an exact heuristic still pops every f-optimal state generated before the
+goal — the whole shortest-path plateau between source and goal, which on
+open floors is the source–goal bounding rectangle, O(d²) expansions for a
+length-d leg.  But the exact cached
+:class:`~repro.pathfinding.heuristics.HeuristicField` is a *gradient*: at
+every cell with ``h > 0`` at least one passable neighbour has ``h - 1``
+(the field is an exact BFS distance), so following the first such
+neighbour walks a shortest path to the goal in O(d).
+
+Crucially, picking the **first descending neighbour in adjacency order**
+reproduces the search's tie-breaking exactly.  In the packed A\\* core,
+ties among equal f break FIFO by generation order, and successors are
+generated wait-first then along the grid's adjacency row.  On an empty
+reservation table the f-optimal plateau is explored in BFS layer order;
+by induction the i-th cell of the greedy descent is the *first* state
+generated in layer i, hence the first expanded, hence the parent the
+reconstruction follows.  The same induction survives any reservation
+pattern that leaves the descent path itself conflict-free — removing
+other states from the plateau can only move the descent states earlier.
+So::
+
+    descent conflict-free  ⇒  full ST-A* returns exactly the descent
+
+which is what lets tier 0 answer without searching: extract the descent
+in O(d), bulk-audit it against the reservation structures
+(:meth:`~repro.pathfinding.reservation.ReservationTable.audit_path`), and
+on any hit fall through to the unchanged tier-1 search.  Behaviour is
+provably identical either way; only the cycle count changes.
+
+:class:`FreeFlowPathCache` memoises the descents per ``(source, goal)``
+pair — goals (rack homes, picker stations) recur thousands of times per
+run and sources concentrate on the same cells, so steady-state extraction
+is one dict hit.  Descents depend only on the immutable grid and the
+goal, never on reservations, so the cache needs no traffic-driven
+invalidation; the explicit :meth:`~FreeFlowPathCache.invalidate` /
+:meth:`~FreeFlowPathCache.clear` hooks exist for callers that rebuild
+heuristic caches (the owning
+:class:`~repro.pathfinding.heuristics.HeuristicFieldCache` calls
+``clear`` when its own field cache resets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..types import Cell
+from ..warehouse.grid import Grid
+from .heuristics import HeuristicFieldCache
+
+#: Distinguishes "memoised as unreachable" from "not memoised".
+_MISSING = object()
+
+
+class FreeFlowPathCache:
+    """Memoised free-flow (reservation-oblivious) shortest cell chains.
+
+    Parameters
+    ----------
+    grid:
+        Spatial passability; supplies the adjacency rows whose order
+        fixes the descent tie-breaking.
+    heuristics:
+        The owning planner's exact per-goal field cache; every descent
+        reads (and, for a fresh goal, builds) the goal's field through it.
+    """
+
+    #: Cap on memoised (source, goal) chains before the cache resets;
+    #: sources and goals are bounded sets in practice (rack homes,
+    #: pickers, horizon-replan cells), so this only guards pathological
+    #: callers sweeping pairs across the whole floor.
+    _ENTRY_CAP = 4096
+
+    def __init__(self, grid: Grid, heuristics: HeuristicFieldCache) -> None:
+        self._grid = grid
+        self._heuristics = heuristics
+        self._chains: Dict[Tuple[Cell, Cell],
+                           Optional[Tuple[Cell, ...]]] = {}
+        #: Memo bookkeeping (distinct from the planner-level fast-path
+        #: hit/miss counters, which classify *legs*): how many descent
+        #: requests were answered from the memo vs. walked fresh.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        heuristics.add_invalidation_listener(self.clear)
+
+    def descent(self, source: Cell,
+                goal: Cell) -> Optional[Tuple[Cell, ...]]:
+        """The greedy-descent cell chain ``source → goal``, memoised.
+
+        Returns the cell sequence (including both endpoints) of the
+        shortest path the full ST-A\\* would return on an empty
+        reservation table, or ``None`` when ``goal`` is spatially
+        unreachable from ``source``.
+        """
+        key = (source, goal)
+        chain = self._chains.get(key, _MISSING)
+        if chain is not _MISSING:
+            self.memo_hits += 1
+            return chain
+        self.memo_misses += 1
+        if len(self._chains) >= self._ENTRY_CAP:
+            self._chains.clear()
+        chain = self._walk(source, goal)
+        self._chains[key] = chain
+        return chain
+
+    def _walk(self, source: Cell, goal: Cell) -> Optional[Tuple[Cell, ...]]:
+        grid = self._grid
+        height = grid.height
+        flat = self._heuristics.field(goal).flat
+        ci = source[0] * height + source[1]
+        h = flat[ci]
+        if h > grid.n_cells:
+            return None  # the field's unreachable marker
+        adjacency = grid.adjacency
+        cells = [source]
+        append = cells.append
+        while h:
+            h -= 1
+            for nci, __ in adjacency[ci]:
+                if flat[nci] == h:
+                    ci = nci
+                    break
+            else:  # pragma: no cover — exact fields always descend
+                return None
+            append(divmod(ci, height))
+        return tuple(cells)
+
+    # -- invalidation hooks -------------------------------------------------
+
+    def invalidate(self, goal: Cell) -> None:
+        """Drop every memoised chain toward ``goal``."""
+        for key in [key for key in self._chains if key[1] == goal]:
+            del self._chains[key]
+
+    def clear(self) -> None:
+        """Drop every memoised chain (field-cache reset hook)."""
+        self._chains.clear()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint (observability; deliberately excluded
+        from the Fig. 12 MC metric like the heuristic-field cache — it is
+        a cross-cutting acceleration, not one of the paper's per-planner
+        structures)."""
+        cells = sum(len(chain) for chain in self._chains.values()
+                    if chain is not None)
+        return 64 + 100 * len(self._chains) + 16 * cells

@@ -20,6 +20,7 @@ admissible and consistent.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, List
 
 from ..types import Cell, manhattan
@@ -103,6 +104,31 @@ class HeuristicFieldCache:
     def __init__(self, grid: Grid) -> None:
         self._grid = grid
         self._fields: Dict[Cell, HeuristicField] = {}
+        self._invalidation_listeners: List[weakref.ref] = []
+
+    def add_invalidation_listener(self, listener: Callable[[], None]) -> None:
+        """Register a hook fired whenever the field cache resets.
+
+        Derived caches (the tier-0
+        :class:`~repro.pathfinding.free_flow.FreeFlowPathCache`) key work
+        off these fields; the hook lets them drop their entries in
+        lockstep with the cap-driven reset.  Rebuilt fields are
+        bit-identical (the BFS is deterministic over the immutable grid),
+        so the hook is bookkeeping hygiene, not a correctness need.
+        Bound-method listeners are held weakly — registering must not
+        extend a derived cache's lifetime, and dead listeners are pruned
+        at fire time — so a caller that builds chains repeatedly over one
+        long-lived field cache leaks nothing.  Plain callables (lambdas,
+        partials) are held strongly: their only reference is often the
+        argument itself, and a silently-dead hook would be worse than the
+        retention.
+        """
+        if hasattr(listener, "__self__"):
+            ref = weakref.WeakMethod(listener)
+        else:
+            def ref(listener=listener):  # strong holder, same call shape
+                return listener
+        self._invalidation_listeners.append(ref)
 
     def field(self, goal: Cell) -> HeuristicField:
         """Return (building if needed) the exact field toward ``goal``."""
@@ -110,6 +136,13 @@ class HeuristicFieldCache:
         if field is None:
             if len(self._fields) >= self._FIELD_CAP:
                 self._fields.clear()
+                live = []
+                for ref in self._invalidation_listeners:
+                    listener = ref()
+                    if listener is not None:
+                        listener()
+                        live.append(ref)
+                self._invalidation_listeners = live
             field = HeuristicField(self._grid, goal)
             self._fields[goal] = field
         return field

@@ -28,6 +28,22 @@ Exhaustion therefore becomes a :class:`LegPlan` that says which tier
 answered, never an exception escaping a run.  Tier-1 results are
 byte-identical to the pre-pipeline behaviour, so runs that never needed a
 fallback (the golden traces, the engine-equivalence suites) are unchanged.
+
+**Tier 0 — the free-flow fast path** — runs ahead of the whole chain:
+extract the leg's free-flow shortest path by greedy descent on the cached
+exact heuristic field (O(path length), tie-broken exactly like the full
+search — see :mod:`repro.pathfinding.free_flow`), bulk-audit it against
+the reservation structures
+(:meth:`~repro.pathfinding.reservation.ReservationTable.audit_path`), and
+serve the leg without searching when the audit finds no conflict.  Any
+hit — or any case tier 0 cannot prove byte-identical (tiny expansion
+budgets, a declining cache finisher) — drops straight into the unchanged
+tier-1 search, so the chain's observable behaviour is *provably*
+unchanged: a fast-path leg is the byte-identical path tier 1 would have
+produced, and every other leg still goes through tier 1.  Each planned
+leg records its fast-path outcome (:data:`FASTPATH_HIT` /
+:data:`FASTPATH_MISS` / :data:`FASTPATH_AUDIT_REJECT` /
+:data:`FASTPATH_OFF`) for the planner's hit-rate counters.
 """
 
 from __future__ import annotations
@@ -38,16 +54,24 @@ from typing import Callable, Optional, Tuple
 from ..errors import PathNotFoundError
 from ..types import Cell, Tick
 from ..warehouse.grid import Grid
+from .free_flow import FreeFlowPathCache
 from .heuristics import HeuristicFieldCache
 from .paths import Path
 from .reservation import ReservationTable
 from .st_astar import SearchRequest, SearchStats, search
 
 #: Fallback-chain tiers, in attempt order.
+TIER_FREE_FLOW = "free_flow"
 TIER_FULL = "full"
 TIER_WINDOWED = "windowed"
 TIER_WAIT = "wait"
-TIERS = (TIER_FULL, TIER_WINDOWED, TIER_WAIT)
+TIERS = (TIER_FREE_FLOW, TIER_FULL, TIER_WINDOWED, TIER_WAIT)
+
+#: Per-leg fast-path outcomes (tier 0's own accounting).
+FASTPATH_HIT = "hit"                    #: tier 0 served the leg
+FASTPATH_MISS = "miss"                  #: no auditable candidate produced
+FASTPATH_AUDIT_REJECT = "audit_reject"  #: candidate hit a reservation
+FASTPATH_OFF = "off"                    #: tier 0 not attempted (disabled)
 
 
 @dataclass
@@ -78,6 +102,11 @@ class LegPlan:
     search_stats:
         Stats of the chain's *fallback* searches (tier 1 absorbs its own
         on success), for the caller to fold into its counters.
+    fastpath:
+        What tier 0 did for this leg (:data:`FASTPATH_HIT`,
+        :data:`FASTPATH_MISS`, :data:`FASTPATH_AUDIT_REJECT` or
+        :data:`FASTPATH_OFF`) — the input of the planner's fast-path
+        hit-rate counters.
     """
 
     path: Path
@@ -86,6 +115,7 @@ class LegPlan:
     commit_path: Path
     commit_until: Optional[Tick] = None
     search_stats: Tuple[SearchStats, ...] = ()
+    fastpath: str = FASTPATH_OFF
 
 
 class FallbackChain:
@@ -105,18 +135,31 @@ class FallbackChain:
     finisher_factory:
         ``goal -> (finisher, trigger)`` supplying the cache-aided
         finisher for the windowed tier (EATP); ``(None, 0)`` disables.
+    free_flow:
+        The tier-0 descent cache.  Built fresh over ``grid`` and
+        ``heuristics`` when not supplied (the planner base passes its
+        own so the cache is introspectable per planner).
     """
+
+    #: Process-wide tier-0 kill switch.  The frozen-seed benchmark
+    #: patches (:func:`repro.pathfinding._legacy.seed_planner_patches`)
+    #: flip it off so a patched ``_find_leg`` really runs the seed search
+    #: for every leg; per-run control goes through ``config.free_flow``.
+    free_flow_enabled = True
 
     def __init__(self, grid: Grid, reservation: ReservationTable,
                  heuristics: HeuristicFieldCache, config,
                  full_search: Callable[[Tick, Cell, Cell], Path],
-                 finisher_factory: Callable[[Cell], tuple]) -> None:
+                 finisher_factory: Callable[[Cell], tuple],
+                 free_flow: Optional[FreeFlowPathCache] = None) -> None:
         self.grid = grid
         self.reservation = reservation
         self.heuristics = heuristics
         self.config = config
         self.full_search = full_search
         self.finisher_factory = finisher_factory
+        self.free_flow = (free_flow if free_flow is not None
+                          else FreeFlowPathCache(grid, heuristics))
 
     def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> LegPlan:
         """Plan one leg through the chain.
@@ -128,10 +171,13 @@ class FallbackChain:
         until the simulator's ``max_ticks`` guard would bury the real
         error.
         """
+        leg, fastpath = self._free_flow_leg(t, source, goal)
+        if leg is not None:
+            return leg
         try:
             path = self.full_search(t, source, goal)
             return LegPlan(path=path, tier=TIER_FULL, complete=True,
-                           commit_path=path)
+                           commit_path=path, fastpath=fastpath)
         except PathNotFoundError as error:
             if self.heuristics.distance(source, goal) > self.grid.n_cells:
                 raise  # unreachable regardless of reservations: fail fast
@@ -139,7 +185,68 @@ class FallbackChain:
         leg, collected = self._windowed_leg(t, source, goal, collected)
         if leg is None:
             leg = self._wait_leg(t, source, goal, collected)
+        leg.fastpath = fastpath
         return leg
+
+    # -- tier 0: free-flow fast path -------------------------------------------
+
+    def _free_flow_leg(self, t: Tick, source: Cell, goal: Cell):
+        """Try to serve the leg without searching; ``(leg | None, outcome)``.
+
+        Emits a plan only when the result is *provably* byte-identical to
+        what tier 1 would return (see :mod:`repro.pathfinding.free_flow`):
+
+        * the greedy descent exists and its audit finds no conflict — on
+          a conflict-free descent the full search's FIFO plateau
+          exploration reconstructs exactly this chain;
+        * with a cache finisher in force (EATP), the finisher is invoked
+          at the same ``(cell, tick)`` the full search would first
+          trigger it — the first expanded node whose h-value enters the
+          trigger band is the descent cell ``h == trigger`` (or the
+          source when the whole leg is inside the band) — and only a
+          returned tail with a conflict-free head is emitted;
+        * the expansion budget provably cannot interrupt the full search
+          before the goal pops (it is at least the plateau-size bound
+          ``n_cells``); tiny test budgets disable tier 0 outright.
+        """
+        config = self.config
+        if not (self.free_flow_enabled and config.free_flow
+                and config.max_search_expansions >= self.grid.n_cells):
+            return None, FASTPATH_OFF
+        cells = self.free_flow.descent(source, goal)
+        if cells is None:
+            return None, FASTPATH_MISS  # unreachable: tier 1 fails fast
+        finisher, trigger = self.finisher_factory(goal)
+        k = len(cells) - 1
+        search_stats: Tuple[SearchStats, ...] = ()
+        if finisher is not None and trigger > 0 and k > 0:
+            j = k - trigger if k > trigger else 0
+            path = Path.from_cells(cells[:j + 1], t)
+            # Audit the head *before* consulting the finisher: on a
+            # conflicted head the full search deviates and triggers the
+            # finisher elsewhere (or not at all), so calling it here
+            # would mutate the shortest-path cache — and its memory
+            # metric — in ways a tier-0-off run never would.
+            if not self.reservation.audit_path(path):
+                return None, FASTPATH_AUDIT_REJECT
+            tail = finisher(cells[j], t + j)
+            if tail is None:
+                # The full search would keep expanding past the first
+                # trigger and may finish through a *later* finisher call
+                # off the descent chain — not reproducible in O(d).
+                return None, FASTPATH_MISS
+            path = path.concat(Path(tuple(tail)))
+            stats = SearchStats(cache_finished=True,
+                                budget=config.max_search_expansions)
+            search_stats = (stats,)
+        else:
+            path = Path.from_cells(cells, t)
+            if not self.reservation.audit_path(path):
+                return None, FASTPATH_AUDIT_REJECT
+        leg = LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
+                      commit_path=path, search_stats=search_stats,
+                      fastpath=FASTPATH_HIT)
+        return leg, FASTPATH_HIT
 
     # -- tier 2: windowed ST-A* -------------------------------------------------
 

@@ -83,6 +83,56 @@ class ReservationTable(abc.ABC):
         """
         return None
 
+    def audit_path(self, path: Path) -> bool:
+        """Whether every arrival and move of ``path`` is conflict-free.
+
+        The bulk form of the per-move probes: the tier-0 free-flow fast
+        path extracts a candidate path without searching and audits it
+        here in one pass — a single hit sends the leg to the full search,
+        so the audit only ever has to be *sound*, never clever.  Probes
+        exactly what the search core would have probed for the same
+        moves: each arrival vertex at its arrival tick and each traversed
+        edge at its departure tick; the source vertex at the start tick
+        is the robot's own position and is not probed.
+
+        This base implementation goes through :meth:`packed_buckets` when
+        the structure is tick-bucketed (one dict hit per tick, bare ``in``
+        per key — the same fast path the search core uses) and falls back
+        to the tuple probes otherwise; implementations with a different
+        native layout (the dense ST graph) override it.
+        """
+        steps = path.steps
+        buckets = self.packed_buckets()
+        if buckets is None:
+            previous = steps[0]
+            for step in steps[1:]:
+                t0, x0, y0 = previous
+                t1, x1, y1 = step
+                if not self.is_free(t1, (x1, y1)):
+                    return False
+                if ((x0 != x1 or y0 != y1)
+                        and not self.edge_free(t0, (x0, y0), (x1, y1))):
+                    return False
+                previous = step
+            return True
+        vertex_buckets, edge_buckets = buckets
+        previous = steps[0]
+        for step in steps[1:]:
+            t0, x0, y0 = previous
+            t1, x1, y1 = step
+            key1 = (x1 << CELL_KEY_SHIFT) | y1
+            occupied = vertex_buckets.get(t1)
+            if occupied is not None and key1 in occupied:
+                return False
+            if x0 != x1 or y0 != y1:
+                swaps = edge_buckets.get(t0)
+                if (swaps is not None
+                        and ((key1 << 32)
+                             | ((x0 << CELL_KEY_SHIFT) | y0)) in swaps):
+                    return False
+            previous = step
+        return True
+
     # -- shared convenience ----------------------------------------------
 
     def move_allowed(self, t: Tick, source: Cell, target: Cell) -> bool:

@@ -92,6 +92,35 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
                 self._layer(t)[x * height + y] = 1
         self._reserve_edges(path, horizon)
 
+    def audit_path(self, path: Path) -> bool:
+        """Bulk conflict audit for the tier-0 free-flow fast path.
+
+        The dense-layer native form of
+        :meth:`~repro.pathfinding.reservation.ReservationTable.audit_path`:
+        one ``bytearray`` index per arrival (a missing layer means free —
+        layers below the floor are evicted) plus the shared tick-bucketed
+        swap probe.
+        """
+        height = self._grid.height
+        layers = self._layers
+        edge_buckets = self._edge_buckets
+        steps = path.steps
+        previous = steps[0]
+        for step in steps[1:]:
+            t0, x0, y0 = previous
+            t1, x1, y1 = step
+            layer = layers.get(t1)
+            if layer is not None and layer[x1 * height + y1]:
+                return False
+            if x0 != x1 or y0 != y1:
+                swaps = edge_buckets.get(t0)
+                if (swaps is not None
+                        and ((((x1 << CELL_KEY_SHIFT) | y1) << 32)
+                             | ((x0 << CELL_KEY_SHIFT) | y0)) in swaps):
+                    return False
+            previous = step
+        return True
+
     def purge_before(self, t: Tick) -> None:
         self._floor = max(self._floor, t)
         for stale in [step for step in self._layers if step < t]:

@@ -23,10 +23,12 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..config import PlannerConfig
 from ..errors import PlanningError
+from ..pathfinding.free_flow import FreeFlowPathCache
 from ..pathfinding.heuristics import HeuristicFieldCache
 from ..pathfinding.paths import Path
-from ..pathfinding.pipeline import (TIER_FULL, TIER_WINDOWED, FallbackChain,
-                                    LegPlan)
+from ..pathfinding.pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_MISS,
+                                    TIER_FREE_FLOW, TIER_FULL, TIER_WINDOWED,
+                                    FallbackChain, LegPlan)
 from ..pathfinding.reservation import ReservationTable
 from ..pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from ..pathfinding.st_astar import SearchStats, find_path
@@ -40,11 +42,18 @@ from .scheme import Assignment, PlanningScheme
 class PlannerStats:
     """Accumulated efficiency counters (the paper's STC / PTC inputs).
 
-    The ``legs_*`` trio is the fallback-tier histogram of the windowed
-    planning pipeline: every planned leg lands in exactly one bucket
-    (``legs_full + legs_windowed + legs_wait == legs_planned``), and
-    ``horizon_replans`` counts the continuation legs the simulator
-    requested when a partial (windowed or wait) leg ran out.
+    The ``legs_*`` quartet is the tier histogram of the planning
+    pipeline: every planned leg lands in exactly one bucket
+    (``legs_free_flow + legs_full + legs_windowed + legs_wait ==
+    legs_planned``), and ``horizon_replans`` counts the continuation legs
+    the simulator requested when a partial (windowed or wait) leg ran
+    out.  The fast-path trio is tier 0's own accounting:
+    ``legs_free_flow`` are the hits, ``fastpath_audit_rejects`` counts
+    candidates a reservation conflict sent to the full search, and
+    ``fastpath_misses`` counts legs where no auditable candidate existed
+    (unreachable goal, a declining cache finisher).  Tier-0 legs run no
+    search, so ``search_expansions`` / ``search_peak_open`` only
+    accumulate over the legs that actually searched.
     """
 
     selection_seconds: float = 0.0
@@ -52,9 +61,12 @@ class PlannerStats:
     schemes_emitted: int = 0
     assignments_emitted: int = 0
     legs_planned: int = 0
+    legs_free_flow: int = 0
     legs_full: int = 0
     legs_windowed: int = 0
     legs_wait: int = 0
+    fastpath_misses: int = 0
+    fastpath_audit_rejects: int = 0
     horizon_replans: int = 0
     search_expansions: int = 0
     search_peak_open: int = 0
@@ -89,6 +101,9 @@ class Planner(abc.ABC):
         #: Exact per-goal heuristic fields, shared by every leg to the
         #: same picker / rack home (one BFS per distinct goal, ever).
         self.heuristics = HeuristicFieldCache(self.grid)
+        #: Tier-0 free-flow descent cache (memoised per (source, goal);
+        #: invalidated in lockstep with the field cache).
+        self.free_flow = FreeFlowPathCache(self.grid, self.heuristics)
         self.stats = PlannerStats()
         #: The windowed-horizon fallback chain every leg routes through.
         #: Tier 1 goes through ``self._find_leg`` *lazily* (a lambda, not
@@ -99,7 +114,8 @@ class Planner(abc.ABC):
             heuristics=self.heuristics, config=self.config,
             full_search=lambda t, source, goal: self._find_leg(t, source,
                                                                goal),
-            finisher_factory=lambda goal: self._make_finisher(goal))
+            finisher_factory=lambda goal: self._make_finisher(goal),
+            free_flow=self.free_flow)
 
     # -- extension points ------------------------------------------------------
 
@@ -265,12 +281,18 @@ class Planner(abc.ABC):
         else:
             self.reservation.reserve_path(leg.commit_path, leg.commit_until)
         self.stats.legs_planned += 1
-        if leg.tier == TIER_FULL:
+        if leg.tier == TIER_FREE_FLOW:
+            self.stats.legs_free_flow += 1
+        elif leg.tier == TIER_FULL:
             self.stats.legs_full += 1
         elif leg.tier == TIER_WINDOWED:
             self.stats.legs_windowed += 1
         else:
             self.stats.legs_wait += 1
+        if leg.fastpath == FASTPATH_MISS:
+            self.stats.fastpath_misses += 1
+        elif leg.fastpath == FASTPATH_AUDIT_REJECT:
+            self.stats.fastpath_audit_rejects += 1
 
     def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
         """Tier-1 single-leg search (the chain's full ST-A*).

@@ -49,6 +49,10 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
             width=self.grid.width, height=self.grid.height,
             k=self.config.knn_k)
         self.cache = ShortestPathCache(self.grid, self.config.cache_threshold)
+        #: Memoised (finisher, trigger) per goal — the closure reads the
+        #: cache and reservation only at call time, so one per distinct
+        #: goal serves every tier of every leg (no per-leg allocation).
+        self._finishers = {}
 
     # -- reservation: the CDT replaces the spatiotemporal graph ---------------
 
@@ -110,16 +114,25 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
     def _make_finisher(self, goal: Cell):
         """The Sec. VI-B cache-aided finisher, for every search tier.
 
-        Hooked through the base extension point so the tier-1 full search
-        *and* the windowed fallback both finish through the cache; the
-        wait-following tail is total-wait-capped (see
-        :func:`~repro.pathfinding.cache.follow_with_waits`) so it cannot
-        livelock against the dense Fleet-200 reservation traffic.
+        Hooked through the base extension point so the tier-0 fast path,
+        the tier-1 full search *and* the windowed fallback all finish
+        through the cache; the wait-following tail is total-wait-capped
+        (see :func:`~repro.pathfinding.cache.follow_with_waits`) so it
+        cannot livelock against the dense Fleet-200 reservation traffic.
+        Memoised per goal: goals are a bounded set (rack homes +
+        pickers) and the closure captures only the long-lived cache and
+        reservation structure, so a leg never allocates one.
         """
-        if self.cache.threshold > 0:
-            return (make_wait_finisher(self.cache, goal, self.reservation),
-                    self.cache.threshold)
-        return None, 0
+        if self.cache.threshold <= 0:
+            return None, 0
+        entry = self._finishers.get(goal)
+        if entry is None:
+            if len(self._finishers) >= 1024:  # same hygiene cap as the
+                self._finishers.clear()       # field/descent caches
+            entry = (make_wait_finisher(self.cache, goal, self.reservation),
+                     self.cache.threshold)
+            self._finishers[goal] = entry
+        return entry
 
     # -- memory ---------------------------------------------------------------------
 

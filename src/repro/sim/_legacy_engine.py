@@ -269,6 +269,17 @@ class LegacySimulation:
             planning_seconds=self.planner.stats.planning_seconds,
             peak_memory_bytes=self._recorder.peak_memory,
             checkpoints=list(self._recorder.samples),
+            # Tier-0 fast-path counters: unlike the fallback histogram
+            # (partial legs, which this frozen engine predates and
+            # rejects), the fast path serves byte-identical *complete*
+            # legs, so the live planner accumulates them here exactly as
+            # under the event engine — thread them through so the
+            # engine-equivalence suite compares like with like.
+            fastpath={
+                "free_flow_legs": self.planner.stats.legs_free_flow,
+                "audit_rejects": self.planner.stats.fastpath_audit_rejects,
+                "misses": self.planner.stats.fastpath_misses,
+            },
         )
         if metrics.items_processed != len(self._items):
             raise SimulationError(

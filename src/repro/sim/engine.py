@@ -502,6 +502,11 @@ class Simulation:
                 "wait_legs": self.planner.stats.legs_wait,
                 "horizon_replans": self.planner.stats.horizon_replans,
             },
+            fastpath={
+                "free_flow_legs": self.planner.stats.legs_free_flow,
+                "audit_rejects": self.planner.stats.fastpath_audit_rejects,
+                "misses": self.planner.stats.fastpath_misses,
+            },
         )
         if metrics.items_processed != len(self._items):
             raise SimulationError(

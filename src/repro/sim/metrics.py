@@ -22,6 +22,16 @@ from ..types import Tick
 #: never needed a fallback reports.
 FALLBACK_KEYS = ("windowed_legs", "wait_legs", "horizon_replans")
 
+#: Keys of the tier-0 fast-path accounting attached to run metrics
+#: (free-flow legs served without searching, candidates a reservation
+#: audit rejected, legs with no auditable candidate).  Same normalisation
+#: contract as :data:`FALLBACK_KEYS`: a missing dict — results stored
+#: before the fast path existed — reads all-zero.  The counters are
+#: deterministic (they depend only on the run's seeds, never on timing),
+#: so they survive :func:`~repro.sim.serialize.deterministic_view` and
+#: compare exactly across serial and worker-pool runs.
+FASTPATH_KEYS = ("free_flow_legs", "audit_rejects", "misses")
+
 
 @dataclass(frozen=True)
 class CheckpointSample:
@@ -45,6 +55,12 @@ class RunMetrics:
     search or to wait-in-place, and how many horizon replans the engine
     issued for the resulting partial legs.  All-zero on any run the full
     search handled end to end.
+
+    ``fastpath`` is the tier-0 accounting (:data:`FASTPATH_KEYS`): how
+    many legs the free-flow fast path served without searching, and why
+    the others fell through to the full search.  Unlike ``fallback`` it
+    is *expected* to be non-zero on healthy runs — a high hit rate is the
+    fast path doing its job.
     """
 
     makespan: Tick = 0
@@ -57,10 +73,15 @@ class RunMetrics:
     peak_memory_bytes: int = 0
     checkpoints: List[CheckpointSample] = field(default_factory=list)
     fallback: Dict[str, int] = field(default_factory=dict)
+    fastpath: Dict[str, int] = field(default_factory=dict)
 
     def fallback_view(self) -> Dict[str, int]:
         """``fallback`` with every key present (missing keys read 0)."""
         return {key: self.fallback.get(key, 0) for key in FALLBACK_KEYS}
+
+    def fastpath_view(self) -> Dict[str, int]:
+        """``fastpath`` with every key present (missing keys read 0)."""
+        return {key: self.fastpath.get(key, 0) for key in FASTPATH_KEYS}
 
     @property
     def total_planner_seconds(self) -> float:

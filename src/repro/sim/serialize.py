@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from .engine import SimulationResult
-from .metrics import FALLBACK_KEYS, CheckpointSample, RunMetrics
+from .metrics import (FALLBACK_KEYS, FASTPATH_KEYS, CheckpointSample,
+                      RunMetrics)
 from .trace import BottleneckTrace
 
 #: Keys holding wall-clock measurements, excluded from exact comparisons.
@@ -41,6 +42,10 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
         # windowed pipeline and never sets the counters — compare equal
         # to an event-engine run that needed no fallbacks.
         "fallback": metrics.fallback_view(),
+        # Tier-0 fast-path counters, same normalisation contract; both
+        # engines thread them from the live planner stats, so legacy-vs-
+        # event equivalence comparisons see identical values.
+        "fastpath": metrics.fastpath_view(),
         "checkpoints": [
             {"items_processed": c.items_processed, "tick": c.tick,
              "ppr": c.ppr, "rwr": c.rwr,
@@ -107,7 +112,9 @@ def metrics_from_dict(payload: Dict[str, Any]) -> RunMetrics:
         peak_memory_bytes=payload["peak_memory_bytes"],
         checkpoints=[CheckpointSample(**c) for c in payload["checkpoints"]],
         fallback={key: payload.get("fallback", {}).get(key, 0)
-                  for key in FALLBACK_KEYS})
+                  for key in FALLBACK_KEYS},
+        fastpath={key: payload.get("fastpath", {}).get(key, 0)
+                  for key in FASTPATH_KEYS})
 
 
 def deterministic_view(payload: Any) -> Any:

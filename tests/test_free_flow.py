@@ -1,0 +1,448 @@
+"""The tier-0 free-flow fast path: descent identity, audits, counters.
+
+The fast path's correctness claim is sharp — *a conflict-free greedy
+descent on the exact heuristic field is byte-identical to what the full
+spatiotemporal search would return* — so the suite pins it three ways:
+
+* property tests that descent paths equal ``find_path`` on empty
+  reservation tables, across the shared obstructed fixtures and
+  randomized pillar grids;
+* audit-rejection tests on the corridor fixtures of the pipeline suite,
+  including the finisher-emulation path EATP takes;
+* end-to-end equivalence: whole simulations with the fast path on and
+  off produce identical deterministic views, and the hit/miss/audit
+  counters round-trip through serialization.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import PlannerConfig, SimulationConfig
+from repro.pathfinding.cache import ShortestPathCache, make_wait_finisher
+from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.free_flow import FreeFlowPathCache
+from repro.pathfinding.heuristics import HeuristicFieldCache
+from repro.pathfinding.paths import Path
+from repro.pathfinding.pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_HIT,
+                                        FASTPATH_MISS, FASTPATH_OFF,
+                                        TIER_FREE_FLOW, TIER_FULL,
+                                        FallbackChain)
+from repro.pathfinding.reservation import ReservationTable
+from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from repro.pathfinding.st_astar import SearchStats, find_path
+from repro.planners import PLANNERS
+from repro.sim.serialize import (deterministic_view, metrics_from_dict,
+                                 metrics_to_dict, result_to_dict)
+from repro.warehouse.grid import Grid
+from repro.workloads.datasets import make_mini
+
+# The shared obstructed fixtures of the heuristic-field suite — imported,
+# not copied, so a fixture fix there keeps pinning the descent identity
+# here too.
+from test_heuristic_fields import GRIDS
+
+
+def random_pillar_grid(rng: random.Random) -> Grid:
+    """A randomized obstructed grid that stays fully connected.
+
+    Isolated pillars (no two adjacent, none on the boundary) can never
+    disconnect a 4-connected grid, so every (source, goal) pair over the
+    free cells is searchable.
+    """
+    width = rng.randint(7, 14)
+    height = rng.randint(6, 12)
+    blocked = set()
+    for __ in range(rng.randint(3, 10)):
+        x = rng.randrange(1, width - 1)
+        y = rng.randrange(1, height - 1)
+        if not any((x + dx, y + dy) in blocked
+                   for dx in (-1, 0, 1) for dy in (-1, 0, 1)):
+            blocked.add((x, y))
+    return Grid(width, height, blocked=blocked)
+
+
+def make_cache(grid: Grid) -> FreeFlowPathCache:
+    return FreeFlowPathCache(grid, HeuristicFieldCache(grid))
+
+
+def make_chain(grid: Grid, reservation, config=None,
+               finisher_factory=None) -> FallbackChain:
+    heuristics = HeuristicFieldCache(grid)
+    config = config if config is not None else PlannerConfig()
+    finisher_factory = finisher_factory or (lambda goal: (None, 0))
+
+    def full(t, source, goal):
+        finisher, trigger = finisher_factory(goal)
+        return find_path(grid, reservation, source, goal, t,
+                         heuristic=heuristics.field(goal),
+                         max_expansions=config.max_search_expansions,
+                         finisher=finisher, finisher_trigger=trigger)
+
+    return FallbackChain(grid=grid, reservation=reservation,
+                         heuristics=heuristics, config=config,
+                         full_search=full,
+                         finisher_factory=finisher_factory)
+
+
+class TestDescentMatchesSearch:
+    """Descents are byte-identical to the search on empty tables."""
+
+    @pytest.mark.parametrize("name", sorted(GRIDS))
+    def test_fixture_grids(self, name):
+        grid = GRIDS[name]
+        cache = make_cache(grid)
+        cells = list(grid.cells())
+        rng = random.Random(7)
+        for __ in range(25):
+            source, goal = rng.choice(cells), rng.choice(cells)
+            chain = cache.descent(source, goal)
+            searched = find_path(grid, ConflictDetectionTable(), source,
+                                 goal, 0,
+                                 heuristic=cache._heuristics.field(goal))
+            assert chain == tuple(searched.spatial_cells()), (
+                f"descent diverged from search for {source}->{goal} "
+                f"on {name}")
+
+    def test_randomized_obstructed_grids(self):
+        for seed in range(12):
+            rng = random.Random(1000 + seed)
+            grid = random_pillar_grid(rng)
+            cache = make_cache(grid)
+            cells = list(grid.cells())
+            for __ in range(15):
+                source, goal = rng.choice(cells), rng.choice(cells)
+                chain = cache.descent(source, goal)
+                searched = find_path(grid, ConflictDetectionTable(), source,
+                                     goal, 3,  # non-zero start time too
+                                     heuristic=cache._heuristics.field(goal))
+                assert chain == tuple(searched.spatial_cells()), (
+                    f"descent diverged for {source}->{goal} on seed {seed} "
+                    f"({grid!r})")
+
+    def test_descent_matches_default_manhattan_search(self):
+        # With no explicit heuristic the search runs on the Manhattan
+        # field, which equals the exact field on open floors — the
+        # descent must match that default call too.
+        grid = GRIDS["open"]
+        cache = make_cache(grid)
+        chain = cache.descent((0, 0), (8, 6))
+        searched = find_path(grid, ConflictDetectionTable(), (0, 0),
+                             (8, 6), 0)
+        assert chain == tuple(searched.spatial_cells())
+
+    def test_unreachable_returns_none(self):
+        grid = Grid(8, 3, blocked=[(4, y) for y in range(3)])
+        assert make_cache(grid).descent((0, 0), (7, 0)) is None
+
+    def test_source_equals_goal(self):
+        assert make_cache(GRIDS["open"]).descent((3, 3), (3, 3)) == ((3, 3),)
+
+
+class TestFreeFlowCache:
+    def test_memoises_per_pair(self):
+        cache = make_cache(GRIDS["open"])
+        first = cache.descent((0, 0), (8, 6))
+        second = cache.descent((0, 0), (8, 6))
+        assert first is second
+        assert cache.memo_hits == 1 and cache.memo_misses == 1
+        assert len(cache) == 1
+
+    def test_unreachable_memoised(self):
+        grid = Grid(8, 3, blocked=[(4, y) for y in range(3)])
+        cache = make_cache(grid)
+        assert cache.descent((0, 0), (7, 0)) is None
+        assert cache.descent((0, 0), (7, 0)) is None
+        assert cache.memo_hits == 1  # the None was memoised, not re-walked
+
+    def test_invalidate_goal(self):
+        cache = make_cache(GRIDS["open"])
+        cache.descent((0, 0), (8, 6))
+        cache.descent((1, 0), (8, 6))
+        cache.descent((0, 0), (5, 5))
+        cache.invalidate((8, 6))
+        assert len(cache) == 1  # only the (0,0)->(5,5) chain survives
+
+    def test_clear(self):
+        cache = make_cache(GRIDS["open"])
+        cache.descent((0, 0), (8, 6))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_field_cache_reset_clears_descents(self):
+        grid = GRIDS["open"]
+        heuristics = HeuristicFieldCache(grid)
+        cache = FreeFlowPathCache(grid, heuristics)
+        cache.descent((0, 0), (8, 6))
+        assert len(cache) == 1
+        # Force the field cache over its cap: the registered hook must
+        # drop the descents in lockstep.
+        heuristics._FIELD_CAP = 1
+        heuristics.field((5, 5))
+        heuristics.field((6, 6))
+        assert len(cache) == 0
+
+    def test_dead_listeners_pruned(self):
+        # A derived cache's lifetime must not be extended by the field
+        # cache it observes: listeners are weak, and a reset prunes the
+        # dead ones.
+        grid = GRIDS["open"]
+        heuristics = HeuristicFieldCache(grid)
+        cache = FreeFlowPathCache(grid, heuristics)
+        assert len(heuristics._invalidation_listeners) == 1
+        del cache
+        heuristics._FIELD_CAP = 1
+        heuristics.field((5, 5))
+        heuristics.field((6, 6))  # triggers the reset → prune
+        assert heuristics._invalidation_listeners == []
+
+    def test_entry_cap_resets(self):
+        cache = make_cache(GRIDS["open"])
+        cache._ENTRY_CAP = 3
+        cells = list(GRIDS["open"].cells())
+        for goal in cells[:5]:
+            cache.descent((0, 0), goal)
+        assert len(cache) <= 3
+        assert cache.memory_bytes() > 0
+
+
+class TestAuditPath:
+    def corridor_tables(self):
+        grid = Grid(6, 2)
+        cdt = ConflictDetectionTable()
+        stg = SpatiotemporalGraph(grid)
+        return grid, (cdt, stg)
+
+    def moving_path(self):
+        return Path.from_cells([(0, 0), (1, 0), (2, 0), (3, 0)],
+                               start_time=0)
+
+    def test_clean_table_audits_free(self):
+        __, tables = self.corridor_tables()
+        for table in tables:
+            assert table.audit_path(self.moving_path())
+
+    def test_vertex_conflict_rejected(self):
+        __, tables = self.corridor_tables()
+        for table in tables:
+            table.reserve_path(Path.waiting((2, 0), 0, 8))
+            assert not table.audit_path(self.moving_path())
+
+    def test_swap_conflict_rejected(self):
+        __, tables = self.corridor_tables()
+        oncoming = Path.from_cells([(3, 0), (2, 0), (1, 0), (0, 0)],
+                                   start_time=0)
+        for table in tables:
+            table.reserve_path(oncoming)
+            # Every arrival vertex differs, but the t=1 edge (1,0)->(2,0)
+            # swaps with the oncoming (2,0)->(1,0).
+            path = Path.from_cells([(1, 0), (2, 0)], start_time=1)
+            assert not table.audit_path(path)
+
+    def test_source_vertex_not_probed(self):
+        # The robot's own start cell may be "reserved" (its previous leg
+        # ends there) — the search never probes it, so neither may the
+        # audit.
+        __, tables = self.corridor_tables()
+        for table in tables:
+            table.reserve_path(Path.waiting((0, 0), 0, 0))
+            assert table.audit_path(self.moving_path())
+
+    def test_purged_reservations_do_not_reject(self):
+        __, tables = self.corridor_tables()
+        for table in tables:
+            table.reserve_path(Path.waiting((2, 0), 0, 8))
+            table.purge_before(50)
+            path = Path.from_cells([(0, 0), (1, 0), (2, 0)], start_time=51)
+            assert table.audit_path(path)
+
+    def test_matches_probe_by_probe_semantics(self):
+        # The bulk audit must agree with the per-move probes (the generic
+        # base implementation) on random paths over random traffic, for
+        # both structures.
+        grid = Grid(10, 8)
+        rng = random.Random(42)
+        cdt = ConflictDetectionTable()
+        stg = SpatiotemporalGraph(grid)
+        for __ in range(15):
+            x = rng.randrange(10)
+            cells = [(x, y) for y in range(8)]
+            start = rng.randrange(6)
+            for table in (cdt, stg):
+                table.reserve_path(Path.from_cells(cells, start))
+
+        def generic_audit(table, path):
+            # Force the tuple-probe fallback of the base implementation.
+            cls = type("Probe", (), {})
+            probe = cls()
+            probe.is_free = table.is_free
+            probe.edge_free = table.edge_free
+            probe.packed_buckets = lambda: None
+            return ReservationTable.audit_path(probe, path)
+
+        for __ in range(40):
+            y = rng.randrange(8)
+            cells = [(x, y) for x in range(10)]
+            if rng.random() < 0.5:
+                cells.reverse()
+            path = Path.from_cells(cells, rng.randrange(10))
+            verdicts = {table.audit_path(path) for table in (cdt, stg)}
+            assert len(verdicts) == 1
+            assert verdicts == {generic_audit(cdt, path)}
+
+
+class TestChainTierZero:
+    def test_audit_reject_falls_through_identically(self):
+        # Corridor blockade from the pipeline suite: tier 0 must reject
+        # and the full tier must answer with the byte-identical path a
+        # tier-0-disabled chain produces.
+        grid = Grid(30, 1)
+        def load(table):
+            table.reserve_path(Path.waiting((20, 0), 0, 300))
+        cdt_fast, cdt_slow = ConflictDetectionTable(), ConflictDetectionTable()
+        load(cdt_fast), load(cdt_slow)
+        fast = make_chain(grid, cdt_fast).plan_leg(0, (0, 0), (29, 0))
+        slow = make_chain(grid, cdt_slow,
+                          PlannerConfig(free_flow=False)).plan_leg(
+                              0, (0, 0), (29, 0))
+        assert fast.fastpath == FASTPATH_AUDIT_REJECT
+        assert fast.tier == TIER_FULL
+        assert slow.fastpath == FASTPATH_OFF
+        assert fast.path.steps == slow.path.steps
+
+    def test_tiny_budget_disables_tier_zero(self):
+        grid = Grid(12, 10)
+        config = PlannerConfig(max_search_expansions=grid.n_cells - 1)
+        leg = make_chain(grid, ConflictDetectionTable(), config).plan_leg(
+            0, (0, 0), (9, 7))
+        assert leg.fastpath == FASTPATH_OFF
+        assert leg.tier == TIER_FULL
+
+    def test_class_kill_switch(self, monkeypatch):
+        monkeypatch.setattr(FallbackChain, "free_flow_enabled", False)
+        leg = make_chain(Grid(12, 10), ConflictDetectionTable()).plan_leg(
+            0, (0, 0), (9, 7))
+        assert leg.fastpath == FASTPATH_OFF
+        assert leg.tier == TIER_FULL
+
+    def test_hit_commits_full_path(self):
+        grid = Grid(12, 10)
+        cdt = ConflictDetectionTable()
+        chain = make_chain(grid, cdt)
+        leg = chain.plan_leg(0, (0, 0), (9, 7))
+        assert leg.tier == TIER_FREE_FLOW and leg.fastpath == FASTPATH_HIT
+        assert leg.complete and leg.commit_until is None
+        assert leg.path.duration == 16  # Manhattan-optimal
+
+    def test_finisher_hit_matches_search(self):
+        # EATP's tier-0 path: the finisher is consulted at the exact
+        # (cell, tick) the full search would first trigger it, and the
+        # emitted head+tail equals the search result byte for byte.
+        grid = Grid(14, 11)
+        cache = ShortestPathCache(grid, threshold=5)
+
+        def factory_for(reservation):
+            def factory(goal):
+                return (make_wait_finisher(cache, goal, reservation), 5)
+            return factory
+
+        cdt_fast = ConflictDetectionTable()
+        chain = make_chain(grid, cdt_fast,
+                           finisher_factory=factory_for(cdt_fast))
+        leg = chain.plan_leg(0, (0, 0), (13, 10))
+        assert leg.tier == TIER_FREE_FLOW
+        assert leg.search_stats and leg.search_stats[0].cache_finished
+
+        cdt_ref = ConflictDetectionTable()
+        stats = SearchStats()
+        reference = find_path(
+            grid, cdt_ref, (0, 0), (13, 10), 0,
+            heuristic=HeuristicFieldCache(grid).field((13, 10)),
+            finisher=make_wait_finisher(cache, (13, 10), cdt_ref),
+            finisher_trigger=5, stats=stats)
+        assert stats.cache_finished
+        assert leg.path.steps == reference.steps
+
+    def test_declining_finisher_is_a_miss(self):
+        # A finisher that returns None sends the leg to the full search
+        # (whose own finisher calls decide), never to a raw descent.
+        grid = Grid(12, 10)
+        chain = make_chain(grid, ConflictDetectionTable(),
+                           finisher_factory=lambda goal: (
+                               lambda cell, t: None, 5))
+        leg = chain.plan_leg(0, (0, 0), (9, 7))
+        assert leg.fastpath == FASTPATH_MISS
+        assert leg.tier == TIER_FULL
+
+
+class TestEndToEndEquivalence:
+    """Whole runs are bit-identical with the fast path on and off."""
+
+    @pytest.mark.parametrize("planner", ["NTP", "EATP"])
+    def test_deterministic_view_identical(self, planner):
+        from repro.experiments.harness import run_planner
+        scenario = make_mini(n_items=40)
+        fast = run_planner(scenario, planner)
+        slow = run_planner(scenario, planner,
+                           planner_config=PlannerConfig(free_flow=False))
+        fast_view = deterministic_view(result_to_dict(fast))
+        slow_view = deterministic_view(result_to_dict(slow))
+        # The runs must agree on everything except the fast-path
+        # accounting itself (off reads all-zero by definition).
+        assert fast_view["metrics"].pop("fastpath") != {
+            "free_flow_legs": 0, "audit_rejects": 0, "misses": 0}
+        assert slow_view["metrics"].pop("fastpath") == {
+            "free_flow_legs": 0, "audit_rejects": 0, "misses": 0}
+        assert fast_view == slow_view
+
+
+class TestCountersAndSerialization:
+    def run_mini(self):
+        from repro.experiments.harness import run_planner
+        scenario = make_mini(n_items=30)
+        return run_planner(scenario, "NTP")
+
+    def test_tier_histogram_partitions_legs(self):
+        scenario = make_mini(n_items=30)
+        state, items = scenario.build()
+        from repro.sim.engine import Simulation
+        planner = PLANNERS["NTP"](state)
+        Simulation(state, planner, items).run()
+        stats = planner.stats
+        assert stats.legs_planned == (stats.legs_free_flow + stats.legs_full
+                                      + stats.legs_windowed + stats.legs_wait)
+        assert stats.legs_free_flow > 0
+        # Tier-0 legs run no search: total expansions stay below what
+        # the leg count alone would force through the full tier.
+        assert (stats.legs_free_flow + stats.fastpath_audit_rejects
+                + stats.fastpath_misses) == stats.legs_planned
+
+    def test_fastpath_round_trips_serialization(self):
+        result = self.run_mini()
+        payload = metrics_to_dict(result.metrics)
+        assert payload["fastpath"]["free_flow_legs"] > 0
+        rebuilt = metrics_from_dict(payload)
+        assert rebuilt.fastpath_view() == result.metrics.fastpath_view()
+        # Deterministic view keeps the counters (they are seed-derived,
+        # not wall-clock).
+        view = deterministic_view(payload)
+        assert view["fastpath"] == payload["fastpath"]
+
+    def test_fastpath_stable_across_runs(self):
+        first = self.run_mini().metrics.fastpath_view()
+        second = self.run_mini().metrics.fastpath_view()
+        assert first == second
+
+    def test_matrix_summary_line(self):
+        from repro.experiments.matrix import render_fastpath_summary
+        payloads = {
+            "a": {"result": {"metrics": {"fastpath": {
+                "free_flow_legs": 8, "audit_rejects": 1, "misses": 1}}}},
+            "b": {"result": {"metrics": {}}},  # pre-fast-path cell
+        }
+        line = render_fastpath_summary(payloads)
+        assert "8/10" in line and "80%" in line
+        assert "no tier-0 attempts" in render_fastpath_summary(
+            {"b": {"result": {"metrics": {}}}})

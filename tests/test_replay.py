@@ -36,12 +36,14 @@ class TestReplay:
         replayed = replay(log, Simulation)
         recorded_view = deterministic_view(result_to_dict(recorded))
         replayed_view = deterministic_view(result_to_dict(replayed))
-        # A replay has no reservation structure, so its memory metric is
-        # zero by construction; everything else must match exactly.
+        # A replay has no reservation structure (memory reads zero) and
+        # plans no legs (the tier-0 fast-path counters read zero); every
+        # other field must match exactly.
         for view in (recorded_view, replayed_view):
             view["metrics"]["peak_memory_bytes"] = 0
             for checkpoint in view["metrics"]["checkpoints"]:
                 checkpoint["memory_bytes"] = 0
+            view["metrics"]["fastpath"] = {}
         assert replayed_view == recorded_view
 
     def test_both_engines_replay_identically(self):

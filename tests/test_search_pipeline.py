@@ -24,8 +24,8 @@ from repro.pathfinding.cdt import ConflictDetectionTable
 from repro.pathfinding.conflicts import find_conflicts
 from repro.pathfinding.heuristics import HeuristicFieldCache
 from repro.pathfinding.paths import Path
-from repro.pathfinding.pipeline import (TIER_FULL, TIER_WAIT, TIER_WINDOWED,
-                                        FallbackChain)
+from repro.pathfinding.pipeline import (TIER_FREE_FLOW, TIER_FULL, TIER_WAIT,
+                                        TIER_WINDOWED, FallbackChain)
 from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from repro.pathfinding.st_astar import (SEARCH_BUDGET, SEARCH_COMPLETE,
                                         SEARCH_EXHAUSTED, SearchRequest,
@@ -148,15 +148,32 @@ class TestWindowedEquivalence:
 
 
 class TestFallbackChain:
-    def test_tier_full_on_open_floor(self):
+    def test_tier_free_flow_on_open_floor(self):
+        # Tier 0 serves an uncongested leg without searching: greedy
+        # descent plus a clean audit, byte-identical to the full search.
         grid = Grid(12, 10)
         cdt = ConflictDetectionTable()
         leg = make_chain(grid, cdt, PlannerConfig()).plan_leg(0, (0, 0),
                                                               (9, 7))
+        assert leg.tier == TIER_FREE_FLOW
+        assert leg.complete
+        assert leg.commit_until is None
+        assert leg.path.goal == (9, 7)
+
+    def test_tier_full_on_open_floor(self):
+        # With tier 0 off, the same leg lands on the classic full tier
+        # with the byte-identical path.
+        grid = Grid(12, 10)
+        cdt = ConflictDetectionTable()
+        config = PlannerConfig(free_flow=False)
+        leg = make_chain(grid, cdt, config).plan_leg(0, (0, 0), (9, 7))
+        fast = make_chain(grid, ConflictDetectionTable(),
+                          PlannerConfig()).plan_leg(0, (0, 0), (9, 7))
         assert leg.tier == TIER_FULL
         assert leg.complete
         assert leg.commit_until is None
         assert leg.path.goal == (9, 7)
+        assert fast.path.steps == leg.path.steps
 
     def test_tier_windowed_when_full_blows_budget(self):
         grid = corridor(30)
@@ -185,7 +202,8 @@ class TestFallbackChain:
 
         chain = FallbackChain(grid=grid, reservation=cdt,
                               heuristics=heuristics,
-                              config=PlannerConfig(search_horizon=12),
+                              config=PlannerConfig(search_horizon=12,
+                                                   free_flow=False),
                               full_search=always_fails,
                               finisher_factory=lambda goal: (None, 0))
         leg = chain.plan_leg(0, (0, 0), (10, 0))
@@ -323,7 +341,12 @@ class TestFinisherTotalWaitCap:
 
 
 class ForcedWindowedNTP(NaiveTaskPlanner):
-    """NTP whose full tier always fails — every leg goes windowed."""
+    """NTP whose full tier always fails — every leg goes windowed.
+
+    Callers must pass a config with ``free_flow=False``: the tier-0 fast
+    path would otherwise serve the uncongested legs before the sabotaged
+    full tier is ever consulted.
+    """
 
     def _find_leg(self, t, source, goal):
         raise PathNotFoundError(source, goal, "forced windowed tier")
@@ -333,7 +356,8 @@ class TestHorizonReplanEngine:
     def test_partial_legs_drain_through_horizon_replans(self):
         scenario = make_mini(n_items=30)
         state, items = scenario.build()
-        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4))
+        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4,
+                                               free_flow=False))
         config = SimulationConfig(collect_paths=True)
         result = Simulation(state, planner, items, config).run()
 
@@ -375,7 +399,8 @@ class TestHorizonReplanEngine:
         state2, items2 = scenario.build()
         windowed_result = Simulation(
             state2, ForcedWindowedNTP(state2,
-                                      PlannerConfig(search_horizon=6)),
+                                      PlannerConfig(search_horizon=6,
+                                                    free_flow=False)),
             items2, SimulationConfig()).run()
         assert (windowed_result.metrics.items_processed
                 == full_result.metrics.items_processed)
@@ -392,7 +417,8 @@ class TestLegacyEngineGuard:
         from repro.sim._legacy_engine import LegacySimulation
         scenario = make_mini(n_items=20)
         state, items = scenario.build()
-        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4))
+        planner = ForcedWindowedNTP(state, PlannerConfig(search_horizon=4,
+                                               free_flow=False))
         with pytest.raises(SimulationError, match="partial"):
             LegacySimulation(state, planner, items).run()
 

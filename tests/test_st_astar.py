@@ -85,6 +85,54 @@ class TestBudgetsAndStats:
         assert not stats.cache_finished
 
 
+class TestDeepSearchWorkspaceCap:
+    """Sparse deep searches must not grow the flat arrays without bound.
+
+    The bucket-queue workspace costs 24 B per (layer, cell) pair whether
+    or not a state is touched, so a robot out-waiting a multi-thousand-
+    tick blockade — a few thousand expansions, but one time layer per
+    wait tick — must restart on the O(generated) heap core instead of
+    retaining hundreds of megabytes, with bit-identical results.
+    """
+
+    def make_problem(self):
+        # A corridor whose only gap is camped for ~1500 ticks: the full
+        # search's optimal plan waits next to the gap, one layer per
+        # tick, far past the workspace layer cap.
+        grid = Grid(8, 1)
+        cdt = ConflictDetectionTable()
+        cdt.reserve_path(Path.waiting((4, 0), 0, 1500))
+        return grid, cdt
+
+    def test_deep_search_matches_legacy(self):
+        from repro.pathfinding._legacy import (LegacyConflictDetectionTable,
+                                               legacy_find_path)
+        grid, cdt = self.make_problem()
+        stats = SearchStats()
+        path = find_path(grid, cdt, (0, 0), (7, 0), 0, stats=stats)
+        legacy_cdt = LegacyConflictDetectionTable()
+        legacy_cdt.reserve_path(Path.waiting((4, 0), 0, 1500))
+        legacy_stats = SearchStats()
+        legacy = legacy_find_path(grid, legacy_cdt, (0, 0), (7, 0), 0,
+                                  stats=legacy_stats)
+        assert path.steps == legacy.steps
+        assert path.duration > 1500  # it really out-waited the blockade
+        assert stats.expansions == legacy_stats.expansions
+        assert stats.generated == legacy_stats.generated
+        assert stats.peak_open == legacy_stats.peak_open
+
+    def test_workspace_stays_bounded(self):
+        from repro.pathfinding.st_astar import (_MAX_LAYERS, _WORKSPACES,
+                                                _workspace)
+        grid, cdt = self.make_problem()
+        find_path(grid, cdt, (0, 0), (7, 0), 0)
+        ws = _workspace(grid)
+        assert ws.size <= _MAX_LAYERS * grid.n_cells
+        for other in _WORKSPACES.values():
+            assert other.size <= _MAX_LAYERS * other.n_cells
+            assert not other.active
+
+
 class TestFinisherHook:
     def test_finisher_short_circuits(self, grid, cdt):
         calls = []
