@@ -31,13 +31,19 @@ pipeline (the PR-4 completion gate, written to ``BENCH_PR4.json``), or
 when the tier-0 fast path's live planning-seconds speedup over the PR-4
 chain drops below ``SMOKE_MIN_FASTPATH_SPEEDUP`` on the Fleet-100/200
 rungs (the PR-5 gate, written to ``BENCH_PR5.json`` with per-rung hit
-rates and a bit-identical-makespan check).  Comparing against the seed
-*in the same process* keeps the relative gates machine-independent —
-absolute expansions/sec vary across runners, the relative speedup does
-not.
+rates and a bit-identical-makespan check), or when the paper-true
+541×302 floor's 500-robot rung fails to drain end to end under
+``SMOKE_BIG_RUNG_CEILING_S`` (the PR-6 gate, written to
+``BENCH_PR6.json`` together with a sharded-vs-global audit micro whose
+verdicts must agree).  Comparing against the seed *in the same process*
+keeps the relative gates machine-independent — absolute expansions/sec
+vary across runners, the relative speedup does not.
 
-``--profile`` cProfiles the live Fleet-200 NTP run and prints the top-20
-cumulative hot spots, so future perf PRs start from data.
+``--profile`` cProfiles the live Fleet-200 NTP run, prints the top-20
+cumulative hot spots and writes the same table to ``--profile-out``
+(default ``BENCH_PROFILE.txt``), so future perf PRs start from data and
+leave an artifact.  ``--big-only`` runs just the PR-6 paper-floor big
+ladder (500/1000/3000 robots, NTP+EATP) into ``BENCH_PR6.json``.
 """
 
 from __future__ import annotations
@@ -102,6 +108,26 @@ FASTPATH_PLANNERS = ("NTP", "EATP")
 #: the same runner.  Recorded smoke speedups are 2.1-4.0x; the floor
 #: keeps margin for noisy shared runners.
 SMOKE_MIN_FASTPATH_SPEEDUP = 1.5
+
+#: Rungs of the paper-scale big-ladder kernel (PR 6): the 541×302
+#: paper-true floor at the fleet sizes the paper excluded as "too slow
+#: to execute".  Region-sharded reservations, batched wakes and the
+#: wait-following rescue are auto-on here (the floor is far above
+#: ``PAPER_SCALE_MIN_CELLS``).
+BIG_LADDER_FLEETS = (500, 1000, 3000)
+
+#: Planner axis of the big ladder: the fastest plain-search planner and
+#: the paper's headline planner.  (LEF/ILP/ATP stay excluded — their
+#: selection layers are the known quadratic wall, which is a different
+#: story from the planning-layer scaling this kernel measures.)
+BIG_LADDER_PLANNERS = ("NTP", "EATP")
+
+#: Wall-clock ceiling of the ``--smoke`` 500-robot paper-floor rung.
+#: The recorded NTP run drains in ~60 s on the dev machine; the ceiling
+#: leaves generous headroom for slow shared runners while still failing
+#: the build if the paper-scale path regresses toward the pre-PR-6
+#: behaviour (where the rung did not finish in ten minutes).
+SMOKE_BIG_RUNG_CEILING_S = 420.0
 
 
 def _time_search(search_fn, make_table, rounds=30):
@@ -283,6 +309,7 @@ def _bench_engine_rung(spec, planner_name="NTP"):
         for checkpoint in view["metrics"]["checkpoints"]:
             checkpoint["memory_bytes"] = 0
         view["metrics"]["fastpath"] = {}
+        view["metrics"]["batch"] = {}
         return view
 
     if (strip_memory(deterministic_view(result_to_dict(live_result)))
@@ -322,7 +349,7 @@ def bench_engine(scale=1.0, fleets=ENGINE_FLEETS,
     from repro.errors import PathNotFoundError
     from repro.workloads.datasets import fleet_ladder
 
-    specs = fleet_ladder(scale=scale, fleets=fleets)
+    specs = fleet_ladder(scale=scale, fleets=fleets, large_fleets=())
     rungs = []
     for spec in specs:
         last_error = None
@@ -386,7 +413,7 @@ def bench_fleet_ladder(scale=1.0, fleets=LADDER_FLEETS,
     """
     from repro.workloads.datasets import fleet_ladder
 
-    specs = fleet_ladder(scale=scale, fleets=fleets)
+    specs = fleet_ladder(scale=scale, fleets=fleets, large_fleets=())
     cells = [_ladder_cell(spec, planner_name)
              for spec in specs for planner_name in planners]
     return {
@@ -438,7 +465,7 @@ def bench_planning_fastpath(scale=1.0, fleets=FASTPATH_FLEETS,
     """
     from repro.workloads.datasets import fleet_ladder
 
-    specs = fleet_ladder(scale=scale, fleets=fleets)
+    specs = fleet_ladder(scale=scale, fleets=fleets, large_fleets=())
     cells = []
     for spec in specs:
         for planner_name in planners:
@@ -504,20 +531,25 @@ def report_fastpath(fastpath, out_path):
     return failed
 
 
-def run_profile(scale, fleet=200, planner_name="NTP", top=20):
-    """cProfile one live fleet-ladder rung and print the hot spots.
+def run_profile(scale, fleet=200, planner_name="NTP", top=20,
+                out_path="BENCH_PROFILE.txt"):
+    """cProfile one live fleet-ladder rung; print *and file* the hot spots.
 
     The starting point for perf work: a cumulative-time top list of the
     live Fleet-200 NTP run (the fleet ladder's most search-bound cell),
-    so the next optimisation argues from data instead of guesses.
+    so the next optimisation argues from data instead of guesses.  The
+    same top-``top`` table is written to ``out_path`` so CI (or a
+    colleague's run) leaves a diffable artifact instead of a scrollback
+    buffer.
     """
+    import io
     import pstats
 
     from repro.planners import PLANNERS
     from repro.sim.engine import Simulation
     from repro.workloads.datasets import fleet_ladder
 
-    spec = fleet_ladder(scale=scale, fleets=(fleet,))[0]
+    spec = fleet_ladder(scale=scale, fleets=(fleet,), large_fleets=())[0]
     state, items = spec.build()
     planner = PLANNERS[planner_name](state)
     print(f"profiling the live {spec.name} {planner_name} run at "
@@ -526,13 +558,187 @@ def run_profile(scale, fleet=200, planner_name="NTP", top=20):
     profiler.enable()
     result = Simulation(state, planner, items).run()
     profiler.disable()
-    print(f"makespan {result.metrics.makespan:,} ticks, planning "
-          f"{planner.stats.planning_seconds:.2f}s, selection "
-          f"{planner.stats.selection_seconds:.2f}s; top {top} by "
-          f"cumulative time:")
-    stats = pstats.Stats(profiler)
+    header = (f"live {spec.name} {planner_name} run at scale {scale:g}: "
+              f"makespan {result.metrics.makespan:,} ticks, planning "
+              f"{planner.stats.planning_seconds:.2f}s, selection "
+              f"{planner.stats.selection_seconds:.2f}s; top {top} by "
+              f"cumulative time:")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative")
     stats.print_stats(top)
+    table = buffer.getvalue()
+    print(header)
+    print(table)
+    FsPath(out_path).write_text(header + "\n" + table)
+    print(f"wrote {out_path}")
+
+
+def _big_ladder_cell(spec, planner_name):
+    """One paper-floor rung run with PR-6 accounting (time + memory)."""
+    import resource
+
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+
+    state, items = spec.build()
+    planner = PLANNERS[planner_name](state)
+    cell = {"scenario": spec.name, "planner": planner_name,
+            "n_robots": spec.n_robots,
+            "floor": f"{spec.width}x{spec.height}",
+            "sharded_reservations": planner.sharded_reservations,
+            "batch_planning": planner.batch_planning}
+    started = time.perf_counter()
+    try:
+        result = Simulation(state, planner, items).run()
+    except Exception as error:  # the gate reports, the caller decides
+        cell["error"] = f"{type(error).__name__}: {error}"
+        cell["wall_s"] = time.perf_counter() - started
+        return cell
+    stats = planner.stats
+    cell.update({
+        "wall_s": time.perf_counter() - started,
+        "makespan_ticks": result.metrics.makespan,
+        "selection_s": stats.selection_seconds,
+        "planning_s": stats.planning_seconds,
+        "legs": {"planned": stats.legs_planned,
+                 "free_flow": stats.legs_free_flow,
+                 "full": stats.legs_full, "windowed": stats.legs_windowed,
+                 "wait": stats.legs_wait},
+        "rescued_legs": stats.rescued_legs,
+        "fastpath_audit_rejects": stats.fastpath_audit_rejects,
+        "batched_wakes": stats.batched_wakes,
+        "batched_legs": stats.batched_legs,
+        "batch_conflicts": stats.batch_conflicts,
+        "search_expansions": stats.search_expansions,
+        "peak_memory_bytes": result.metrics.peak_memory_bytes,
+        # Process-wide high watermark (KB on Linux).  Monotone across
+        # cells — only the first cell to reach a level "pays" it — so
+        # read it as a per-run ceiling, not a per-cell delta.
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    })
+    return cell
+
+
+def bench_big_ladder(fleets=BIG_LADDER_FLEETS, planners=BIG_LADDER_PLANNERS):
+    """The PR-6 kernel: the paper-true 541×302 floor up the big ladder.
+
+    Every cell runs live at scale 1 on the paper's Real-Large floor
+    dimensions — the regime the paper excluded as "too slow to execute"
+    — with the paper-scale machinery auto-on: region-sharded reservation
+    structures, batched planner wakes with optimistic commit, the
+    wait-following descent rescue, and deep-tie full search.  Records
+    per-rung planning/selection seconds, the tier histogram, the PR-6
+    counters and both memory gauges (the planner-structure metric and
+    the process ``ru_maxrss`` high watermark).
+    """
+    from repro.workloads.datasets import fleet_ladder
+
+    specs = fleet_ladder(scale=1.0, fleets=(), large_fleets=tuple(fleets))
+    cells = [_big_ladder_cell(spec, planner_name)
+             for spec in specs for planner_name in planners]
+    return {
+        "workload": "paper-floor (541x302) big-ladder live kernel, "
+                    f"planners {'/'.join(planners)}",
+        "fleets": list(fleets),
+        "cells": cells,
+    }
+
+
+def bench_sharded_audit(n_paths=400, n_audits=400, seed=20220606):
+    """Sharded-vs-global reservation micro on the paper-true floor.
+
+    Loads both spatiotemporal-graph variants with the same pseudo-random
+    staircase legs, then times ``audit_path`` over a fresh batch of legs
+    on each.  The audit itself is O(leg) on both structures — what the
+    sharding changes is the *constant* (bytearray tile probes vs. one
+    big per-tick set) and, far more importantly, the per-tick memory the
+    global table would allocate on a 163k-cell floor.  Verdict equality
+    over every audited leg rides along as a correctness check.
+    """
+    import random
+
+    from repro.pathfinding.paths import Path
+    from repro.pathfinding.spatiotemporal_graph import (
+        ShardedSpatiotemporalGraph, SpatiotemporalGraph)
+    from repro.warehouse.grid import Grid
+
+    grid = Grid(541, 302)
+    rng = random.Random(seed)
+
+    def staircase(t0):
+        (x0, y0), (x1, y1) = ((rng.randrange(541), rng.randrange(302))
+                              for _ in range(2))
+        cells = [(x0, y0)]
+        while (x0, y0) != (x1, y1):
+            if x0 != x1 and (y0 == y1 or rng.random() < 0.5):
+                x0 += 1 if x1 > x0 else -1
+            else:
+                y0 += 1 if y1 > y0 else -1
+            cells.append((x0, y0))
+        return Path.from_cells(cells, t0)
+
+    load = [staircase(rng.randrange(64)) for _ in range(n_paths)]
+    probes = [staircase(rng.randrange(64)) for _ in range(n_audits)]
+    timings = {}
+    verdicts = {}
+    for label, table in (("global", SpatiotemporalGraph(grid)),
+                         ("sharded", ShardedSpatiotemporalGraph())):
+        for path in load:
+            table.reserve_path(path)
+        started = time.perf_counter()
+        verdicts[label] = [table.audit_path(path) for path in probes]
+        timings[label] = {
+            "audit_s": time.perf_counter() - started,
+            "memory_bytes": table.memory_bytes(),
+        }
+    return {
+        "workload": f"{n_paths} reserved + {n_audits} audited staircase "
+                    "legs on the 541x302 floor, global vs sharded "
+                    "spatiotemporal graph",
+        "global": timings["global"],
+        "sharded": timings["sharded"],
+        "audit_speedup": (timings["global"]["audit_s"]
+                          / max(timings["sharded"]["audit_s"], 1e-9)),
+        "verdicts_identical": verdicts["global"] == verdicts["sharded"],
+    }
+
+
+def report_big_ladder(big, out_path):
+    """Write the PR-6 report and print one line per cell.
+
+    Returns the failed cells (error, or over the smoke ceiling when one
+    is attached) so the smoke gate can fail the build on them.
+    """
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "big_ladder": big,
+    }
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    failed = []
+    ceiling = big.get("ceiling_s")
+    for cell in big["cells"]:
+        label = f"{cell['scenario']:>10} {cell['planner']:>4}"
+        if "error" in cell:
+            failed.append(cell)
+            print(f"bigladder: {label} FAILED — {cell['error']}")
+            continue
+        print(f"bigladder: {label} ({cell['n_robots']:>4} robots) "
+              f"makespan={cell['makespan_ticks']:>6,} "
+              f"wall={cell['wall_s']:7.1f}s "
+              f"plan={cell['planning_s']:7.1f}s "
+              f"select={cell['selection_s']:5.1f}s "
+              f"rescued={cell['rescued_legs']} "
+              f"batch={cell['batched_legs']}/{cell['batch_conflicts']} "
+              f"peak={cell['peak_memory_bytes'] / 1e6:.0f}MB "
+              f"rss={cell['ru_maxrss_kb'] / 1024:.0f}MB")
+        if ceiling is not None and cell["wall_s"] > ceiling:
+            failed.append(cell)
+            print(f"bigladder: {label} over the {ceiling:.0f}s smoke "
+                  "ceiling")
+    print(f"wrote {out_path}")
+    return failed
 
 
 def report_ladder(ladder, out_path):
@@ -596,7 +802,7 @@ def report_engine(engine, out_path):
 
 
 def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
-              fastpath_out="BENCH_PR5.json"):
+              fastpath_out="BENCH_PR5.json", big_out="BENCH_PR6.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
     Four gates: the PR-1 packed-search speedup over the in-process seed
@@ -664,6 +870,23 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
             f"fast-path gate failed on {names}: planning speedup below "
             f"{SMOKE_MIN_FASTPATH_SPEEDUP}x or makespan diverged from "
             f"the tier-0-off chain")
+
+    # The PR-6 gate: the paper-true 541×302 floor's 500-robot rung must
+    # drain end to end under the wall-clock ceiling — the regime the
+    # paper excluded, which pre-PR-6 did not finish in ten minutes.
+    big = bench_big_ladder(fleets=(500,), planners=("NTP",))
+    big["smoke"] = True
+    big["ceiling_s"] = SMOKE_BIG_RUNG_CEILING_S
+    big["sharded_audit"] = bench_sharded_audit(n_paths=100, n_audits=100)
+    failed = report_big_ladder(big, big_out)
+    if failed:
+        names = [f"{cell['scenario']}/{cell['planner']}" for cell in failed]
+        raise SystemExit(
+            f"paper-floor gate failed: {names} did not drain the "
+            f"500-robot rung under {SMOKE_BIG_RUNG_CEILING_S:.0f}s")
+    if not big["sharded_audit"]["verdicts_identical"]:
+        raise SystemExit(
+            "sharded-vs-global audit verdicts diverged in the PR-6 micro")
     print("smoke gates passed")
 
 
@@ -684,10 +907,22 @@ def main(argv=None):
                         help="output path of the tier-0 fast-path "
                              "planning kernel report (default "
                              "BENCH_PR5.json)")
+    parser.add_argument("--big-out", default="BENCH_PR6.json",
+                        help="output path of the paper-floor big-ladder "
+                             "report (default BENCH_PR6.json)")
+    parser.add_argument("--big-only", action="store_true",
+                        help="run only the paper-floor big ladder "
+                             "(541x302, 500/1000/3000 robots, NTP+EATP) "
+                             "plus the sharded-audit micro and write "
+                             "BENCH_PR6.json")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the live Fleet-200 NTP run at "
-                             "--engine-scale and print the top-20 "
-                             "cumulative hot spots, then exit")
+                             "--engine-scale, print the top-20 "
+                             "cumulative hot spots and write them to "
+                             "--profile-out, then exit")
+    parser.add_argument("--profile-out", default="BENCH_PROFILE.txt",
+                        help="file the --profile top list is written to "
+                             "(default BENCH_PROFILE.txt)")
     parser.add_argument("--engine-scale", type=float, default=1.0,
                         help="fleet-ladder scale of the full engine "
                              "benchmark (default 1.0, the paper-scale "
@@ -708,11 +943,12 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.profile:
-        run_profile(args.engine_scale)
+        run_profile(args.engine_scale, out_path=args.profile_out)
         return
 
     if args.smoke:
-        run_smoke(args.engine_out, args.ladder_out, args.fastpath_out)
+        run_smoke(args.engine_out, args.ladder_out, args.fastpath_out,
+                  args.big_out)
         return
 
     if args.engine_only:
@@ -722,6 +958,12 @@ def main(argv=None):
     if args.ladder_only:
         report_ladder(bench_fleet_ladder(scale=args.engine_scale),
                       args.ladder_out)
+        return
+
+    if args.big_only:
+        big = bench_big_ladder()
+        big["sharded_audit"] = bench_sharded_audit()
+        report_big_ladder(big, args.big_out)
         return
 
     report = {
@@ -738,6 +980,9 @@ def main(argv=None):
                   args.ladder_out)
     report_fastpath(bench_planning_fastpath(scale=args.engine_scale),
                     args.fastpath_out)
+    big = bench_big_ladder()
+    big["sharded_audit"] = bench_sharded_audit()
+    report_big_ladder(big, args.big_out)
 
     st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
     print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "

@@ -19,6 +19,16 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigurationError(message)
 
 
+#: Floor size (in cells) past which the "paper-scale" machinery switches on
+#: automatically when the corresponding knob is left at ``None``:
+#: region-sharded reservation structures and batched planner wakes.  Every
+#: historical scenario (the scaled-down Table II floors, the small fleet
+#: rungs, the golden-trace mini floor) sits far below this threshold, so the
+#: auto rule leaves their behaviour — and their goldens — byte-identical;
+#: the paper-true 541×302 floor (163 382 cells) lands far above it.
+PAPER_SCALE_MIN_CELLS = 16_384
+
+
 @dataclass(frozen=True)
 class QLearningConfig:
     """Hyper-parameters of the rack-selection learner (Sec. V, Table I).
@@ -100,6 +110,24 @@ class PlannerConfig:
         search.  Provably behaviour-neutral — a fast-path leg is
         byte-identical to what the full search would have returned — so
         disabling it is purely a benchmarking/ablation control.
+    free_flow_rescue:
+        Whether a free-flow descent whose audit hits a reservation is
+        *rescued* by wait-following — walk the same descent cells,
+        waiting in place wherever the next move conflicts (the Sec. VI-B
+        finisher policy applied from the start cell) — before falling
+        into the full search.  O(path + waits) instead of the full
+        search's O(distance²) plateau, which is what makes congested
+        wakes on the paper-true floor tractable; the rescued path can
+        differ from the search's optimum, so ``None`` (the default)
+        enables the rescue only on floors of at least
+        :data:`PAPER_SCALE_MIN_CELLS` cells, keeping every historical
+        scenario byte-identical.
+    rescue_wait_per_step:
+        Per-step wait cap of the rescue walk: a single blocked move may
+        wait at most this many ticks before the rescue declines.
+    rescue_total_wait:
+        Total-wait cap of the rescue walk across the whole leg (the
+        dense-traffic livelock guard of ``follow_with_waits``).
     fallback_wait_ticks:
         Replan backoff of the wait-in-place tier: how many ticks a boxed
         robot holds position before the pipeline retries, when no
@@ -107,6 +135,36 @@ class PlannerConfig:
     reservation_horizon:
         How many ticks into the past the reservation structure keeps before
         its periodic purge (the CDT "update" operation, Sec. VI-B).
+    reservation_sharding:
+        Whether the planner's reservation structure is the region-sharded
+        variant (tick buckets / graph layers partitioned into fixed-size
+        spatial tiles, see :mod:`repro.pathfinding.cdt` and
+        :mod:`repro.pathfinding.spatiotemporal_graph`).  ``None`` (the
+        default) auto-enables sharding on floors of at least
+        :data:`PAPER_SCALE_MIN_CELLS` cells and keeps the paper-faithful
+        global structures below it; sharded and global tables are pinned
+        bit-identical by the equivalence suites, so the knob is a pure
+        performance control.
+    shard_tile_bits:
+        log2 of the tile edge length used by the sharded reservation
+        structures (5 → 32×32-cell tiles).
+    batch_planning:
+        Whether a planner wake that resolves several (robot, rack) legs
+        plans them as one batch — candidates planned independently against
+        the frozen reservation table, then audited-and-committed in order
+        with an optimistic replan on audit conflict.  ``None`` (default)
+        follows the same :data:`PAPER_SCALE_MIN_CELLS` auto rule as
+        ``reservation_sharding``.
+    batch_min_legs:
+        Minimum number of resolved legs in one wake before the batch path
+        engages; smaller wakes use the sequential plan-commit loop.
+    batch_workers:
+        Process-pool width for planning the independent candidates of one
+        batch in parallel (0 — the default — plans them in-process).  The
+        pool reuses the matrix executor plumbing (spawned workers, the
+        grid shipped once at initialisation) and is only consulted by
+        planners whose pipelines are pool-replicable (no memoising
+        finisher), so pooled and in-process batches stay bit-identical.
     qlearning:
         Nested learner configuration, used by ATP and EATP only.
     seed:
@@ -119,8 +177,16 @@ class PlannerConfig:
     max_search_expansions: int = 200_000
     search_horizon: int = 64
     free_flow: bool = True
+    free_flow_rescue: Optional[bool] = None
+    rescue_wait_per_step: int = 16
+    rescue_total_wait: int = 96
     fallback_wait_ticks: int = 8
     reservation_horizon: int = 64
+    reservation_sharding: Optional[bool] = None
+    shard_tile_bits: int = 5
+    batch_planning: Optional[bool] = None
+    batch_min_legs: int = 8
+    batch_workers: int = 0
     qlearning: QLearningConfig = field(default_factory=QLearningConfig)
     seed: int = 7
 
@@ -132,11 +198,24 @@ class PlannerConfig:
                  f"max_search_expansions must be > 0, got {self.max_search_expansions}")
         _require(self.search_horizon >= 1,
                  f"search_horizon must be >= 1, got {self.search_horizon}")
+        _require(self.rescue_wait_per_step >= 1,
+                 f"rescue_wait_per_step must be >= 1, "
+                 f"got {self.rescue_wait_per_step}")
+        _require(self.rescue_total_wait >= 1,
+                 f"rescue_total_wait must be >= 1, "
+                 f"got {self.rescue_total_wait}")
         _require(self.fallback_wait_ticks >= 1,
                  f"fallback_wait_ticks must be >= 1, "
                  f"got {self.fallback_wait_ticks}")
         _require(self.reservation_horizon > 0,
                  f"reservation_horizon must be > 0, got {self.reservation_horizon}")
+        _require(2 <= self.shard_tile_bits <= 10,
+                 f"shard_tile_bits must be in [2, 10], "
+                 f"got {self.shard_tile_bits}")
+        _require(self.batch_min_legs >= 2,
+                 f"batch_min_legs must be >= 2, got {self.batch_min_legs}")
+        _require(self.batch_workers >= 0,
+                 f"batch_workers must be >= 0, got {self.batch_workers}")
 
     def with_(self, **changes) -> "PlannerConfig":
         """Return a copy with ``changes`` applied (ablation convenience)."""

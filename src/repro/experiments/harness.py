@@ -67,7 +67,12 @@ def run_planner(scenario: ScenarioSpec, planner_name: str,
     state, items = scenario.build()
     planner = PLANNERS[planner_name](state, planner_config)
     simulation = Simulation(state, planner, items, sim_config)
-    return simulation.run()
+    try:
+        return simulation.run()
+    finally:
+        # Release run-scoped resources — without this, a run with
+        # ``batch_workers > 0`` would leak its worker pool processes.
+        planner.close()
 
 
 def run_comparison(scenario: ScenarioSpec,

@@ -121,6 +121,17 @@ def render_fallback_summary(payloads: Dict[str, dict]) -> str:
             f"across {cells_with} cell(s)")
 
 
+def _fmt_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (1 decimal from KB up)."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB"):
+        if value < 1024:
+            return (f"{int(value)} B" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024
+    return f"{value:.1f} GB"
+
+
 def render_fastpath_summary(payloads: Dict[str, dict]) -> str:
     """Aggregate tier-0 fast-path counts — the free-flow tier's pulse.
 
@@ -130,19 +141,63 @@ def render_fastpath_summary(payloads: Dict[str, dict]) -> str:
     serialised run metrics (``metrics.fastpath``), so cells stored by
     releases that predate the fast path read all-zero and are reported as
     carrying no attempts.
+
+    Per-scenario peak planner memory rides along (one line per rung):
+    the fleet ladder's large rungs exist precisely because the paper's
+    excluded regime was a *memory* cliff as much as a time one, so the
+    sweep surfaces the Fig. 12 peak without anyone opening the results
+    directory.
     """
     totals = {"free_flow_legs": 0, "audit_rejects": 0, "misses": 0}
+    scenarios: List[str] = []
+    peaks: Dict[str, List[str]] = {}
     for payload in payloads.values():
         fastpath = payload["result"]["metrics"].get("fastpath", {})
         for key in totals:
             totals[key] += fastpath.get(key, 0)
+        # Cells stored by earlier releases (or minimal test payloads)
+        # may carry neither scenario/planner labels nor a memory metric.
+        scenario = payload.get("scenario")
+        peak = payload["result"]["metrics"].get("peak_memory_bytes")
+        if scenario is not None and peak is not None:
+            if scenario not in scenarios:
+                scenarios.append(scenario)
+            peaks.setdefault(scenario, []).append(
+                f"{payload.get('planner', '?')} {_fmt_bytes(peak)}")
     attempts = sum(totals.values())
     if not attempts:
-        return "fast path: no tier-0 attempts recorded"
-    return (f"fast path: {totals['free_flow_legs']}/{attempts} legs "
-            f"free-flow ({totals['free_flow_legs'] / attempts:.0%} hit "
-            f"rate; {totals['audit_rejects']} audit rejects, "
-            f"{totals['misses']} misses)")
+        lines = ["fast path: no tier-0 attempts recorded"]
+    else:
+        lines = [f"fast path: {totals['free_flow_legs']}/{attempts} legs "
+                 f"free-flow ({totals['free_flow_legs'] / attempts:.0%} hit "
+                 f"rate; {totals['audit_rejects']} audit rejects, "
+                 f"{totals['misses']} misses)"]
+    for scenario in scenarios:
+        lines.append(f"  peak memory [{scenario}]: "
+                     + ", ".join(peaks[scenario]))
+    return "\n".join(lines)
+
+
+def render_batch_summary(payloads: Dict[str, dict]) -> str:
+    """Aggregate batched-wake counts — the batch commit loop's pulse.
+
+    All-zero (and a one-line "none") below the paper-scale gate; at
+    paper scale the conflict/leg ratio tells whether optimistic commits
+    are holding up.
+    """
+    totals = {"batched_wakes": 0, "batched_legs": 0, "batch_conflicts": 0,
+              "rescued_legs": 0}
+    for payload in payloads.values():
+        batch = payload["result"]["metrics"].get("batch", {})
+        for key in totals:
+            totals[key] += batch.get(key, 0)
+    if not (totals["batched_wakes"] or totals["rescued_legs"]):
+        return "batched wakes: none (all wakes planned sequentially)"
+    return (f"batched wakes: {totals['batched_legs']} legs across "
+            f"{totals['batched_wakes']} wakes, "
+            f"{totals['batch_conflicts']} commit conflicts replanned; "
+            f"{totals['rescued_legs']} conflicted descents rescued by "
+            f"wait-following")
 
 
 def main(argv=None) -> None:
@@ -189,6 +244,7 @@ def main(argv=None) -> None:
     print(render_slowest_cells(payloads))
     print(render_fallback_summary(payloads))
     print(render_fastpath_summary(payloads))
+    print(render_batch_summary(payloads))
     if store is not None:
         print(f"cells stored under {store.root}/")
 

@@ -50,6 +50,7 @@ from typing import Dict, Optional, Tuple
 from ..types import Cell
 from ..warehouse.grid import Grid
 from .heuristics import HeuristicFieldCache
+from .reservation import PackedChain
 
 #: Distinguishes "memoised as unreachable" from "not memoised".
 _MISSING = object()
@@ -77,8 +78,7 @@ class FreeFlowPathCache:
     def __init__(self, grid: Grid, heuristics: HeuristicFieldCache) -> None:
         self._grid = grid
         self._heuristics = heuristics
-        self._chains: Dict[Tuple[Cell, Cell],
-                           Optional[Tuple[Cell, ...]]] = {}
+        self._chains: Dict[Tuple[Cell, Cell], Optional[PackedChain]] = {}
         #: Memo bookkeeping (distinct from the planner-level fast-path
         #: hit/miss counters, which classify *legs*): how many descent
         #: requests were answered from the memo vs. walked fresh.
@@ -86,14 +86,13 @@ class FreeFlowPathCache:
         self.memo_misses = 0
         heuristics.add_invalidation_listener(self.clear)
 
-    def descent(self, source: Cell,
-                goal: Cell) -> Optional[Tuple[Cell, ...]]:
-        """The greedy-descent cell chain ``source → goal``, memoised.
+    def packed(self, source: Cell, goal: Cell) -> Optional[PackedChain]:
+        """The greedy-descent chain ``source → goal``, memoised and packed.
 
-        Returns the cell sequence (including both endpoints) of the
-        shortest path the full ST-A\\* would return on an empty
-        reservation table, or ``None`` when ``goal`` is spatially
-        unreachable from ``source``.
+        The :class:`~repro.pathfinding.reservation.PackedChain` carries
+        the cell tuple plus the precomputed packed-key/flat-index/probe
+        representations the bulk audits consume; ``None`` when ``goal``
+        is spatially unreachable from ``source``.
         """
         key = (source, goal)
         chain = self._chains.get(key, _MISSING)
@@ -107,7 +106,19 @@ class FreeFlowPathCache:
         self._chains[key] = chain
         return chain
 
-    def _walk(self, source: Cell, goal: Cell) -> Optional[Tuple[Cell, ...]]:
+    def descent(self, source: Cell,
+                goal: Cell) -> Optional[Tuple[Cell, ...]]:
+        """The greedy-descent cell chain ``source → goal``, memoised.
+
+        Returns the cell sequence (including both endpoints) of the
+        shortest path the full ST-A\\* would return on an empty
+        reservation table, or ``None`` when ``goal`` is spatially
+        unreachable from ``source``.
+        """
+        chain = self.packed(source, goal)
+        return None if chain is None else chain.cells
+
+    def _walk(self, source: Cell, goal: Cell) -> Optional[PackedChain]:
         grid = self._grid
         height = grid.height
         flat = self._heuristics.field(goal).flat
@@ -116,18 +127,23 @@ class FreeFlowPathCache:
         if h > grid.n_cells:
             return None  # the field's unreachable marker
         adjacency = grid.adjacency
+        cell_keys = grid.cell_keys
         cells = [source]
+        keys = [cell_keys[ci]]
+        indices = [ci]
         append = cells.append
         while h:
             h -= 1
-            for nci, __ in adjacency[ci]:
+            for nci, nkey in adjacency[ci]:
                 if flat[nci] == h:
                     ci = nci
+                    keys.append(nkey)
+                    indices.append(nci)
                     break
             else:  # pragma: no cover — exact fields always descend
                 return None
             append(divmod(ci, height))
-        return tuple(cells)
+        return PackedChain(tuple(cells), keys, indices)
 
     # -- invalidation hooks -------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, List
 
+from ..config import PAPER_SCALE_MIN_CELLS
 from ..types import Cell, manhattan
 from ..warehouse.grid import Grid
 
@@ -55,6 +56,34 @@ def true_distance_heuristic(grid: Grid, goal: Cell) -> Heuristic:
     return h
 
 
+class _LazyManhattanFlat:
+    """A flat-indexed Manhattan field computed per lookup, never stored.
+
+    On a grid with no blocked cells the exact BFS distance *is* the
+    Manhattan distance for every cell (the 4-connected rectangle has no
+    detours), so the eager O(HW) list a :class:`HeuristicField` normally
+    builds — ~0.1 s and megabytes per goal on the paper-true 541×302
+    floor, times thousands of distinct rack/picker goals — can be
+    replaced by two subtractions at lookup time.  Values are identical
+    by construction, so searches, descents and tie-breaking are
+    bit-identical to the eager field's.
+    """
+
+    __slots__ = ("_gx", "_gy", "_height", "_n_cells")
+
+    def __init__(self, goal: Cell, height: int, n_cells: int) -> None:
+        self._gx, self._gy = goal
+        self._height = height
+        self._n_cells = n_cells
+
+    def __getitem__(self, ci: int) -> int:
+        x, y = divmod(ci, self._height)
+        return abs(x - self._gx) + abs(y - self._gy)
+
+    def __len__(self) -> int:
+        return self._n_cells
+
+
 class HeuristicField:
     """Exact distance-to-goal field with O(1) flat indexed lookup.
 
@@ -64,14 +93,26 @@ class HeuristicField:
     reverse BFS; admissible and consistent by construction.  Instances are
     also plain callables, so they slot anywhere a :data:`Heuristic` is
     accepted.
+
+    On *unobstructed* floors of at least
+    :data:`~repro.config.PAPER_SCALE_MIN_CELLS` cells, ``flat`` is a
+    :class:`_LazyManhattanFlat` — value-identical (BFS distance equals
+    Manhattan when nothing blocks), zero build cost and zero footprint.
+    Small floors keep the eager list: the lookup is a hair faster and
+    every historical benchmark/golden ran on it.
     """
 
     __slots__ = ("goal", "flat", "nbytes", "_height")
 
     def __init__(self, grid: Grid, goal: Cell) -> None:
+        self.goal = goal
+        self._height = grid.height
+        if grid.n_cells >= PAPER_SCALE_MIN_CELLS and not grid.blocked_cells:
+            self.flat = _LazyManhattanFlat(goal, grid.height, grid.n_cells)
+            self.nbytes = 64
+            return
         dist = grid.bfs_distances(goal)
         infinity = grid.n_cells + 1
-        self.goal = goal
         self.flat: List[int] = [d if d >= 0 else infinity
                                 for d in dist.ravel().tolist()]
         #: Reported footprint: the list skeleton (8 B pointer per cell +
@@ -79,7 +120,6 @@ class HeuristicField:
         #: the reservation structures use.  The boxed ints are mostly
         #: shared small ints, so they are not charged per entry.
         self.nbytes = 64 + 8 * len(self.flat)
-        self._height = grid.height
 
     def __call__(self, cell: Cell) -> int:
         return self.flat[cell[0] * self._height + cell[1]]

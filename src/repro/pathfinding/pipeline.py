@@ -43,7 +43,18 @@ unchanged: a fast-path leg is the byte-identical path tier 1 would have
 produced, and every other leg still goes through tier 1.  Each planned
 leg records its fast-path outcome (:data:`FASTPATH_HIT` /
 :data:`FASTPATH_MISS` / :data:`FASTPATH_AUDIT_REJECT` /
-:data:`FASTPATH_OFF`) for the planner's hit-rate counters.
+:data:`FASTPATH_RESCUE` / :data:`FASTPATH_OFF`) for the planner's
+hit-rate counters.
+
+**Tier 0.5 — the wait-following rescue** — sits between the audit and
+the full search *at paper scale only*: a descent whose audit hits a
+reservation is walked again with waits inserted wherever the next move
+conflicts (:func:`~repro.pathfinding.cache.follow_with_waits`, the
+Sec. VI-B policy applied from the start cell).  O(path + waits) versus
+the full search's O(distance²) plateau; the rescued path may differ
+from the search optimum, so below :data:`~repro.config.
+PAPER_SCALE_MIN_CELLS` the rescue stays off and rejects fall into the
+byte-identical tier-1 search as before.
 """
 
 from __future__ import annotations
@@ -51,9 +62,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
+from ..config import PAPER_SCALE_MIN_CELLS
 from ..errors import PathNotFoundError
 from ..types import Cell, Tick
 from ..warehouse.grid import Grid
+from .cache import follow_with_waits
 from .free_flow import FreeFlowPathCache
 from .heuristics import HeuristicFieldCache
 from .paths import Path
@@ -71,6 +84,7 @@ TIERS = (TIER_FREE_FLOW, TIER_FULL, TIER_WINDOWED, TIER_WAIT)
 FASTPATH_HIT = "hit"                    #: tier 0 served the leg
 FASTPATH_MISS = "miss"                  #: no auditable candidate produced
 FASTPATH_AUDIT_REJECT = "audit_reject"  #: candidate hit a reservation
+FASTPATH_RESCUE = "rescue"              #: audit hit, wait-following rescued
 FASTPATH_OFF = "off"                    #: tier 0 not attempted (disabled)
 
 
@@ -160,6 +174,10 @@ class FallbackChain:
         self.finisher_factory = finisher_factory
         self.free_flow = (free_flow if free_flow is not None
                           else FreeFlowPathCache(grid, heuristics))
+        self.rescue_enabled = (
+            config.free_flow_rescue
+            if config.free_flow_rescue is not None
+            else grid.n_cells >= PAPER_SCALE_MIN_CELLS)
 
     def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> LegPlan:
         """Plan one leg through the chain.
@@ -213,21 +231,27 @@ class FallbackChain:
         if not (self.free_flow_enabled and config.free_flow
                 and config.max_search_expansions >= self.grid.n_cells):
             return None, FASTPATH_OFF
-        cells = self.free_flow.descent(source, goal)
-        if cells is None:
+        chain = self.free_flow.packed(source, goal)
+        if chain is None:
             return None, FASTPATH_MISS  # unreachable: tier 1 fails fast
+        cells = chain.cells
         finisher, trigger = self.finisher_factory(goal)
         k = len(cells) - 1
         search_stats: Tuple[SearchStats, ...] = ()
         if finisher is not None and trigger > 0 and k > 0:
             j = k - trigger if k > trigger else 0
-            path = Path.from_cells(cells[:j + 1], t)
             # Audit the head *before* consulting the finisher: on a
             # conflicted head the full search deviates and triggers the
             # finisher elsewhere (or not at all), so calling it here
             # would mutate the shortest-path cache — and its memory
-            # metric — in ways a tier-0-off run never would.
-            if not self.reservation.audit_path(path):
+            # metric — in ways a tier-0-off run never would.  The chain
+            # audit probes exactly what ``audit_path`` would on the head
+            # prefix, without materialising a timed path for a candidate
+            # that may be rejected.
+            if not self.reservation.audit_chain(t, chain, j):
+                rescued = self._rescue_leg(t, cells)
+                if rescued is not None:
+                    return rescued, FASTPATH_RESCUE
                 return None, FASTPATH_AUDIT_REJECT
             tail = finisher(cells[j], t + j)
             if tail is None:
@@ -235,18 +259,53 @@ class FallbackChain:
                 # trigger and may finish through a *later* finisher call
                 # off the descent chain — not reproducible in O(d).
                 return None, FASTPATH_MISS
-            path = path.concat(Path(tuple(tail)))
+            path = Path.from_cells(cells[:j + 1], t).concat(Path(tuple(tail)))
             stats = SearchStats(cache_finished=True,
                                 budget=config.max_search_expansions)
             search_stats = (stats,)
         else:
-            path = Path.from_cells(cells, t)
-            if not self.reservation.audit_path(path):
+            if not self.reservation.audit_chain(t, chain, k):
+                rescued = self._rescue_leg(t, cells)
+                if rescued is not None:
+                    return rescued, FASTPATH_RESCUE
                 return None, FASTPATH_AUDIT_REJECT
+            path = Path.from_cells(cells, t)
         leg = LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
                       commit_path=path, search_stats=search_stats,
                       fastpath=FASTPATH_HIT)
         return leg, FASTPATH_HIT
+
+    # -- tier 0.5: wait-following rescue of a conflicted descent ---------------
+
+    def _rescue_leg(self, t: Tick, cells: Tuple[Cell, ...]):
+        """Wait-follow a conflicted descent chain; a LegPlan or None.
+
+        The Sec. VI-B finisher policy applied from the start cell: walk
+        the descent's cells, waiting in place wherever the next move is
+        reserved.  O(path + waits) where the full search the reject
+        would otherwise fall into explores an O(distance²) f-optimal
+        plateau — on the paper-true 541×302 floor that plateau is
+        hundreds of thousands of probes per leg, which is exactly the
+        cost wall behind the paper's "too slow to execute" exclusion.
+
+        The rescued path is conflict-free but need not match the full
+        search's optimum, so the rescue runs only above the paper-scale
+        gate (or under an explicit ``free_flow_rescue=True``); below the
+        gate a reject still drops into the byte-identical tier-1 search.
+        Declines (``None``) when the walk exceeds the configured wait
+        caps or cannot even hold position — congestion bad enough that
+        the search tiers should decide.
+        """
+        if not self.rescue_enabled:
+            return None
+        steps = follow_with_waits(self.reservation, cells, t,
+                                  self.config.rescue_wait_per_step,
+                                  self.config.rescue_total_wait)
+        if steps is None:
+            return None
+        path = Path(tuple(steps))
+        return LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
+                       commit_path=path, fastpath=FASTPATH_RESCUE)
 
     # -- tier 2: windowed ST-A* -------------------------------------------------
 

@@ -20,10 +20,109 @@ direct integer set probes so the hot loop never builds a tuple.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
 from .paths import Path
+
+try:  # optional acceleration; every consumer keeps a pure-python path
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+
+# -- spatial tiles (region sharding) ----------------------------------------
+
+def tile_of_cell(x: int, y: int, bits: int) -> int:
+    """Tile id of cell ``(x, y)`` for ``2**bits``-cell-square tiles.
+
+    Tile ids reuse the cell-key packing (tile-x in the high half-word) so
+    a tile id is one small int and the mapping is a pair of shifts.
+    """
+    return ((x >> bits) << CELL_KEY_SHIFT) | (y >> bits)
+
+
+def tile_of_key(key: int, bits: int) -> int:
+    """Tile id of a packed cell key (``x << 16 | y``); see
+    :func:`tile_of_cell`."""
+    return ((key >> (CELL_KEY_SHIFT + bits)) << CELL_KEY_SHIFT) | (
+        (key & CELL_KEY_MASK) >> bits)
+
+
+# -- packed descent chains ---------------------------------------------------
+
+#: Bit positions of the tick in the combined (tick, vertex) / (tick, edge)
+#: probe integers of :class:`PackedChain`.  A vertex key is 32 bits, so the
+#: tick sits above bit 32; an edge is encoded as (source_key, direction) in
+#: 34 bits, so its tick sits above bit 34.
+VERTEX_TICK_SHIFT = 32
+EDGE_TICK_SHIFT = 34
+
+#: Ticks must stay below this for the combined probes to fit an int64
+#: (``tick << 34`` plus a 34-bit edge code); callers fall back to the
+#: pure-python audit past it.  Far beyond ``SimulationConfig.max_ticks``.
+CHAIN_TICK_LIMIT = 1 << 28
+
+#: Packed-key delta of each cardinal move -> 2-bit direction code.  An
+#: edge ``a -> b`` is losslessly ``(key_a << 2) | code(key_b - key_a)``
+#: because reserved edges only ever connect 4-adjacent cells.
+DIR_CODES = {1 << CELL_KEY_SHIFT: 0, -(1 << CELL_KEY_SHIFT): 1, 1: 2, -1: 3}
+
+
+class PackedChain:
+    """A free-flow descent chain in every representation the audits use.
+
+    Built once when the chain is memoised (see
+    :class:`~repro.pathfinding.free_flow.FreeFlowPathCache`), then audited
+    thousands of times at different start ticks.  Every consecutive pair
+    of chain cells is a *move* (greedy descents strictly descend the exact
+    h-field, so they never wait), which is what lets the audit enumerate
+    arrivals and traversals by plain index arithmetic.
+
+    Attributes
+    ----------
+    cells:
+        The cell tuple, including both endpoints (the legacy
+        ``descent()`` payload).
+    keys:
+        Packed cell keys (``x << 16 | y``) per chain cell.
+    flat:
+        Flat cell indices (``x·H + y``) per chain cell, for dense
+        (layer-indexed) reservation structures.
+    vshift, eshift:
+        Optional int64 numpy arrays for the vectorised audit:
+        ``vshift[i] = (i << 32) | keys[i]`` so that the combined
+        (tick, vertex) probe of arrival ``i`` at start tick ``t`` is the
+        single vectorised add ``(t << 32) + vshift[i]``; ``eshift[i]``
+        likewise encodes the *reversed* edge probed for the move
+        ``i -> i+1`` (the swap probe looks for the stored opposing
+        traversal) against its departure tick.  ``None`` when numpy is
+        unavailable or a chain step is not a cardinal move.
+    """
+
+    __slots__ = ("cells", "keys", "flat", "vshift", "eshift")
+
+    def __init__(self, cells: Tuple[Cell, ...], keys: List[int],
+                 flat: List[int]) -> None:
+        self.cells = cells
+        self.keys = keys
+        self.flat = flat
+        self.vshift = None
+        self.eshift = None
+        if _np is not None and len(keys) > 1:
+            ka = _np.array(keys, dtype=_np.int64)
+            idx = _np.arange(len(keys), dtype=_np.int64)
+            delta = ka[:-1] - ka[1:]
+            code = _np.full(len(keys) - 1, -1, dtype=_np.int64)
+            for value, direction in DIR_CODES.items():
+                code[delta == value] = direction
+            if (code >= 0).all():
+                self.vshift = (idx << VERTEX_TICK_SHIFT) | ka
+                self.eshift = ((idx[:-1] << EDGE_TICK_SHIFT)
+                               | (ka[1:] << 2) | code)
+
+    def __len__(self) -> int:
+        return len(self.keys)
 
 
 class ReservationTable(abc.ABC):
@@ -133,6 +232,44 @@ class ReservationTable(abc.ABC):
             previous = step
         return True
 
+    def audit_chain(self, t: Tick, chain: "PackedChain", limit: int) -> bool:
+        """Audit the first ``limit`` moves of a packed descent chain.
+
+        Equivalent to :meth:`audit_path` on ``Path.from_cells(
+        chain.cells[:limit + 1], t)`` — arrival ``i`` is probed at tick
+        ``t + i`` and the traversed edge at its departure tick ``t + i - 1``
+        — but takes the chain's precomputed packed keys instead of building
+        a timed :class:`~repro.pathfinding.paths.Path` first, so a
+        rejected candidate costs no allocation at all.  Requires every
+        chain step to be a move (descent chains always are); a wait step
+        would probe a spurious self-edge.
+
+        Tick-bucketed implementations answer through
+        :meth:`packed_buckets`; others go through the packed probes.  The
+        CDT overrides this with a vectorised probe over numpy arrays
+        (bit-identical, see :mod:`repro.pathfinding.cdt`).
+        """
+        keys = chain.keys
+        buckets = self.packed_buckets()
+        if buckets is None:
+            vertex_free = self.is_free_packed
+            edge_free = self.edge_free_packed
+            for i in range(1, limit + 1):
+                if not vertex_free(t + i, keys[i]):
+                    return False
+                if not edge_free(t + i - 1, keys[i - 1], keys[i]):
+                    return False
+            return True
+        vertex_buckets, edge_buckets = buckets
+        for i in range(1, limit + 1):
+            occupied = vertex_buckets.get(t + i)
+            if occupied is not None and keys[i] in occupied:
+                return False
+            swaps = edge_buckets.get(t + i - 1)
+            if swaps is not None and ((keys[i] << 32) | keys[i - 1]) in swaps:
+                return False
+        return True
+
     # -- shared convenience ----------------------------------------------
 
     def move_allowed(self, t: Tick, source: Cell, target: Cell) -> bool:
@@ -183,6 +320,10 @@ class _EdgeMixin:
         self._edge_buckets: Dict[Tick, Set[int]] = {}
         self._n_edges = 0
         self._edge_floor: Tick = 0
+        #: Optional ``(t0, x0, y0, x1, y1)`` callback fired once per newly
+        #: stored edge — the CDT's vectorised audit index subscribes here
+        #: so it sees every insertion without the mixin knowing about it.
+        self._edge_note = None
 
     def _edge_free(self, t: Tick, source: Cell, target: Cell) -> bool:
         return self._edge_free_packed(
@@ -200,6 +341,7 @@ class _EdgeMixin:
         steps = path.steps
         buckets = self._edge_buckets
         floor = self._edge_floor
+        note = self._edge_note
         # Windowed commit: an edge departing at t0 arrives at t0 + 1, so
         # only edges with t0 < horizon sit inside the committed window.
         ceiling = horizon if horizon is not None else None
@@ -215,6 +357,8 @@ class _EdgeMixin:
                 if key not in bucket:
                     bucket.add(key)
                     self._n_edges += 1
+                    if note is not None:
+                        note(t0, x0, y0, x1, y1)
 
     def _purge_edges(self, t: Tick) -> None:
         if t <= self._edge_floor:

@@ -71,6 +71,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..config import PAPER_SCALE_MIN_CELLS
 from ..errors import PathNotFoundError
 from ..types import Cell, Tick
 from ..warehouse.grid import Grid
@@ -218,10 +219,18 @@ def search(grid: Grid, reservation: ReservationTable,
                              stats)
 
     hfield = _heuristic_field(grid, goal, heuristic)
-    if heuristic is None or isinstance(heuristic, HeuristicField):
+    if ((heuristic is None or isinstance(heuristic, HeuristicField))
+            and grid.n_cells < PAPER_SCALE_MIN_CELLS
+            and hfield[source[0] * grid.height + source[1]] < _MAX_LAYERS):
         # The library's own fields are consistent by construction (exact
         # BFS distances or Manhattan), which the bucket queue requires
-        # for its monotone-f invariant.
+        # for its monotone-f invariant.  Two classes of search skip the
+        # bucket queue for the bit-identical heap core up front: legs
+        # whose h-value alone guarantees a _WorkspaceOverflow restart
+        # (the goal cannot pop under the layer cap), and paper-scale
+        # floors, where even one _CHUNK_LAYERS workspace slab is tens of
+        # millions of entries (~¾ GB at the 541×302 cap) for searches
+        # the free-flow tiers make rare anyway.
         snapshot = (stats.expansions, stats.generated, stats.peak_open)
         try:
             return _search_packed(grid, reservation, request, hfield, stats)
@@ -566,10 +575,20 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
     goal_ci = goal[0] * height + goal[1]
     start_state = start_time * n_cells + source_ci
 
-    # Heap entries are (f, tie, g, state): f/tie order matches the seed
-    # exactly (FIFO among equal f), and carrying g lets a popped entry be
-    # recognised as stale without a closed set.
-    open_heap = [(hfield[source_ci], 0, 0, start_state)]
+    # Heap entries are (f, depth, tie, g, state): with ``depth`` pinned
+    # to 0 the f/tie order matches the seed exactly (FIFO among equal
+    # f).  On paper-scale floors ``depth = -g`` breaks f-ties toward the
+    # *deepest* node instead: unit costs make every f-optimal staircase
+    # equally long, so FIFO order breadth-explores the whole O(d²)
+    # plateau between source and goal, while prefer-deeper dives down a
+    # single staircase and backtracks only where a reservation blocks
+    # it — near-linear expansions on open floors, with the returned path
+    # still optimal (tie-breaking never affects A* admissibility).  The
+    # 541×302 floor puts d in the hundreds, exactly where the plateau is
+    # the "too slow to execute" wall; sub-gate searches keep the
+    # seed-identical order.
+    deep_ties = n_cells >= PAPER_SCALE_MIN_CELLS
+    open_heap = [(hfield[source_ci], 0, 0, 0, start_state)]
     tie = 1
     g_score: Dict[int, int] = {start_state: 0}
     parent: Dict[int, int] = {}
@@ -582,7 +601,7 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
         while open_heap:
             if len(open_heap) > peak_open:
                 peak_open = len(open_heap)
-            __, __, g, state = pop(open_heap)
+            __, __, __, g, state = pop(open_heap)
             if g > g_score[state]:
                 continue  # dominated by a later, cheaper push
             expansions += 1
@@ -609,6 +628,7 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
                                              stats)
 
             g_next = g + 1
+            depth = -g_next if deep_ties else 0
             t1 = t + 1
             next_base = t1 * n_cells
             source_key = cell_keys[ci]
@@ -632,7 +652,8 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
                         parent[nxt_state] = state
                         generated += 1
                         push(open_heap,
-                             (g_next + hfield[ci], tie, g_next, nxt_state))
+                             (g_next + hfield[ci], depth, tie, g_next,
+                              nxt_state))
                         tie += 1
                 for nci, nkey in adjacency[ci]:
                     if occupied is not None and nkey in occupied:
@@ -647,7 +668,8 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
                         parent[nxt_state] = state
                         generated += 1
                         push(open_heap,
-                             (g_next + hfield[nci], tie, g_next, nxt_state))
+                             (g_next + hfield[nci], depth, tie, g_next,
+                              nxt_state))
                         tie += 1
             else:
                 # Wait in place (the fifth action) — vertex check only.
@@ -659,7 +681,8 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
                         parent[nxt_state] = state
                         generated += 1
                         push(open_heap,
-                             (g_next + hfield[ci], tie, g_next, nxt_state))
+                             (g_next + hfield[ci], depth, tie, g_next,
+                              nxt_state))
                         tie += 1
 
                 for nci, nkey in adjacency[ci]:
@@ -673,7 +696,7 @@ def _search_heap(grid: Grid, reservation: ReservationTable,
                             parent[nxt_state] = state
                             generated += 1
                             push(open_heap,
-                                 (g_next + hfield[nci], tie, g_next,
+                                 (g_next + hfield[nci], depth, tie, g_next,
                                   nxt_state))
                             tie += 1
         return SearchOutcome(request, SEARCH_EXHAUSTED, None, stats)

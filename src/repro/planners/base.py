@@ -19,18 +19,20 @@ import abc
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..config import PlannerConfig
+from ..config import PAPER_SCALE_MIN_CELLS, PlannerConfig
 from ..errors import PlanningError
 from ..pathfinding.free_flow import FreeFlowPathCache
 from ..pathfinding.heuristics import HeuristicFieldCache
 from ..pathfinding.paths import Path
 from ..pathfinding.pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_MISS,
-                                    TIER_FREE_FLOW, TIER_FULL, TIER_WINDOWED,
-                                    FallbackChain, LegPlan)
+                                    FASTPATH_RESCUE, TIER_FREE_FLOW,
+                                    TIER_FULL, TIER_WINDOWED, FallbackChain,
+                                    LegPlan)
 from ..pathfinding.reservation import ReservationTable
-from ..pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from ..pathfinding.spatiotemporal_graph import (ShardedSpatiotemporalGraph,
+                                                SpatiotemporalGraph)
 from ..pathfinding.st_astar import SearchStats, find_path
 from ..types import Cell, Tick, manhattan
 from ..warehouse.entities import Rack, Robot
@@ -71,6 +73,16 @@ class PlannerStats:
     search_expansions: int = 0
     search_peak_open: int = 0
     cache_finished_legs: int = 0
+    #: Batched planner wakes (see ``Planner._plan_wake_batch``): how many
+    #: wakes planned their legs as one batch, how many legs rode in them,
+    #: and how many candidates an audit rejected into a sequential replan.
+    batched_wakes: int = 0
+    batched_legs: int = 0
+    batch_conflicts: int = 0
+    #: Conflicted descents served by the paper-scale wait-following
+    #: rescue (tier 0.5) instead of the full search; counted inside
+    #: ``legs_free_flow`` in the tier histogram.
+    rescued_legs: int = 0
 
 
 class Planner(abc.ABC):
@@ -92,11 +104,35 @@ class Planner(abc.ABC):
     #: Human-readable name used by experiment reports (override).
     name: str = "planner"
 
+    #: Whether the planner's leg planning can run in a worker process of
+    #: the in-run batch pool.  Requires leg planning to be a pure function
+    #: of (grid, config, reservation): EATP flips this off because its
+    #: cache-aided finisher memoises into the shortest-path cache — worker
+    #: processes would silently diverge from the main process's cache (and
+    #: its Fig. 12 memory metric).
+    parallel_batch_safe: bool = True
+
     def __init__(self, state: WarehouseState,
                  config: Optional[PlannerConfig] = None) -> None:
         self.state = state
         self.config = config if config is not None else PlannerConfig()
         self.grid = state.grid
+        #: Paper-scale auto-gate: on floors of at least
+        #: :data:`~repro.config.PAPER_SCALE_MIN_CELLS` cells the
+        #: scalability machinery (region-sharded reservations, batched
+        #: planner wakes) defaults on; every historical scenario sits far
+        #: below, so their runs stay byte-identical.  Explicit config
+        #: knobs override in either direction.
+        self.paper_scale: bool = self.grid.n_cells >= PAPER_SCALE_MIN_CELLS
+        self.sharded_reservations: bool = (
+            self.config.reservation_sharding
+            if self.config.reservation_sharding is not None
+            else self.paper_scale)
+        self.batch_planning: bool = (
+            self.config.batch_planning
+            if self.config.batch_planning is not None
+            else self.paper_scale)
+        self._batch_pool = None
         self.reservation: ReservationTable = self._make_reservation()
         #: Exact per-goal heuristic fields, shared by every leg to the
         #: same picker / rack home (one BFS per distinct goal, ever).
@@ -120,7 +156,16 @@ class Planner(abc.ABC):
     # -- extension points ------------------------------------------------------
 
     def _make_reservation(self) -> ReservationTable:
-        """Reservation structure; ATP and the baselines use the ST graph."""
+        """Reservation structure; ATP and the baselines use the ST graph.
+
+        With sharding resolved on (explicitly, or by the paper-scale
+        auto-gate) the region-sharded variant replaces the global one —
+        probe-for-probe identical answers (the equivalence suite pins it),
+        but only the tiles a leg actually crosses are materialised, which
+        is what lets the dense-layer family survive the 541×302 floor.
+        """
+        if self.sharded_reservations:
+            return ShardedSpatiotemporalGraph(self.config.shard_tile_bits)
         return SpatiotemporalGraph(self.grid)
 
     @abc.abstractmethod
@@ -156,7 +201,13 @@ class Planner(abc.ABC):
                 f"{self.name} selected {len(entries)} racks for "
                 f"{len(robots)} idle robots")
 
+        # Resolve every (robot, rack) pair before planning any leg.
+        # Resolution reads only robot locations and the availability set —
+        # never the reservation structure — so hoisting it out of the
+        # planning loop is behaviour-neutral, and it is what allows a
+        # batched wake to see all of the tick's legs at once.
         available = {robot.robot_id: robot for robot in robots}
+        resolved: List[tuple] = []
         for entry in entries:
             robot = entry.robot
             if robot is None:
@@ -165,9 +216,17 @@ class Planner(abc.ABC):
                 raise PlanningError(
                     f"{self.name} reused robot {robot.robot_id} at t={t}")
             del available[robot.robot_id]
-            path = self._plan_leg_timed(t, robot.location, entry.rack.home)
+            resolved.append((robot, entry.rack))
+
+        if self.batch_planning and len(resolved) >= self.config.batch_min_legs:
+            paths = self._plan_wake_batch(
+                t, [(robot.location, rack.home) for robot, rack in resolved])
+        else:
+            paths = [self._plan_leg_timed(t, robot.location, rack.home)
+                     for robot, rack in resolved]
+        for (robot, rack), path in zip(resolved, paths):
             scheme.add(Assignment(robot_id=robot.robot_id,
-                                  rack_id=entry.rack.rack_id,
+                                  rack_id=rack.rack_id,
                                   pickup_path=path))
         self.stats.schemes_emitted += 1
         self.stats.assignments_emitted += len(scheme)
@@ -269,6 +328,96 @@ class Planner(abc.ABC):
         self._commit_leg(leg)
         return leg.path
 
+    # -- batched planner wakes ----------------------------------------------
+
+    def _plan_wake_batch(self, t: Tick,
+                         legs: Sequence[Tuple[Cell, Cell]]) -> List[Path]:
+        """Plan one wake's legs as a batch: candidates first, commits after.
+
+        Every leg is planned *independently* against the wake's opening
+        reservation state (optionally fanned across the worker pool), then
+        committed in resolution order with an optimistic audit: a
+        candidate whose committed portion survives the audit against the
+        now-partially-committed table is exactly as conflict-free as a
+        sequentially planned leg, so it commits as-is; a candidate the
+        audit rejects is replanned once against the live table — which
+        *is* the sequential contract for that leg — and the replan's
+        result commits unconditionally (the pipeline plans against live
+        reservations, so it cannot conflict).  The first leg never needs
+        the audit: nothing has committed since its candidate was planned.
+
+        Sequential and batched wakes therefore uphold the same invariant —
+        every committed leg is conflict-free against all earlier commits —
+        but batched candidates are planned against slightly staler
+        reservations, so individual paths may differ from a sequential
+        run's (a deliberate, documented trade: below the paper-scale gate
+        batching defaults off and runs stay byte-identical).  Candidate
+        generation and conflict replans are timed into
+        ``planning_seconds``; commits stay outside the timer, exactly like
+        the sequential path.
+        """
+        stats = self.stats
+        stats.batched_wakes += 1
+        stats.batched_legs += len(legs)
+        pool = self._batch_planner_pool()
+        started = time.perf_counter()
+        try:
+            if pool is not None:
+                candidates = pool.plan(self.reservation, t, legs)
+            else:
+                candidates = [self.pipeline.plan_leg(t, source, goal)
+                              for source, goal in legs]
+        finally:
+            stats.planning_seconds += time.perf_counter() - started
+        paths: List[Path] = []
+        for index, leg in enumerate(candidates):
+            if index and not self._commit_clean(leg):
+                stats.batch_conflicts += 1
+                source, goal = legs[index]
+                started = time.perf_counter()
+                try:
+                    leg = self.pipeline.plan_leg(t, source, goal)
+                finally:
+                    stats.planning_seconds += time.perf_counter() - started
+            self._commit_leg(leg)
+            paths.append(leg.path)
+        return paths
+
+    def _commit_clean(self, leg: LegPlan) -> bool:
+        """Whether a batch candidate's committed portion is conflict-free.
+
+        Audits exactly what :meth:`_commit_leg` would insert: the commit
+        path truncated at the windowed-commit bound (``reserve_path``
+        stores vertices through ``commit_until`` and edges departing
+        before it; the truncated path's audit probes precisely that set).
+        """
+        commit = leg.commit_path
+        if leg.commit_until is not None:
+            commit = commit.truncate_at(leg.commit_until)
+        return self.reservation.audit_path(commit)
+
+    def _batch_planner_pool(self):
+        """The lazily built in-run worker pool, or ``None`` (the default).
+
+        Built on the first batched wake when ``config.batch_workers`` asks
+        for workers and the planner's leg planning is pool-safe; the pool
+        ships the immutable grid once at worker start and the reservation
+        state per wake, so it only pays off when candidate search work
+        dominates (many simultaneous legs on a large floor).
+        """
+        if (self._batch_pool is None and self.config.batch_workers > 0
+                and self.parallel_batch_safe):
+            from .batch import LegPlanPool
+            self._batch_pool = LegPlanPool(self.grid, self.config,
+                                           self.config.batch_workers)
+        return self._batch_pool
+
+    def close(self) -> None:
+        """Release run-scoped resources (the batch worker pool)."""
+        if self._batch_pool is not None:
+            self._batch_pool.close()
+            self._batch_pool = None
+
     def _commit_leg(self, leg: LegPlan) -> None:
         """Reserve a leg plan and fold it into the planner counters."""
         for search_stats in leg.search_stats:
@@ -293,6 +442,8 @@ class Planner(abc.ABC):
             self.stats.fastpath_misses += 1
         elif leg.fastpath == FASTPATH_AUDIT_REJECT:
             self.stats.fastpath_audit_rejects += 1
+        elif leg.fastpath == FASTPATH_RESCUE:
+            self.stats.rescued_legs += 1
 
     def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
         """Tier-1 single-leg search (the chain's full ST-A*).

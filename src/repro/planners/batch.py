@@ -1,0 +1,138 @@
+"""In-run worker pool for batched planner wakes.
+
+A batched wake (see :meth:`repro.planners.base.Planner._plan_wake_batch`)
+plans every leg of one tick independently against the wake's opening
+reservation state.  Those candidate searches are embarrassingly parallel,
+so — when ``PlannerConfig.batch_workers`` asks for it — they can fan out
+across a small process pool *within a single run*, orthogonal to the
+experiment matrix's per-cell pool.
+
+Workers are spawned once per run with the immutable grid and config and
+build their own heuristic-field / free-flow caches at start; each batched
+wake then ships only the current reservation structure and the leg list.
+The sharded reservation tables hold no grid reference precisely so this
+per-wake pickle stays proportional to live reservations, not floor size.
+Candidates come back as ordinary :class:`~repro.pathfinding.pipeline.LegPlan`
+payloads and go through the exact same audit-then-commit loop as
+in-process candidates, so the pool changes wall-clock only, never the
+commit invariants.
+
+The pool is **off by default** (``batch_workers=0``): on single-core
+hosts (or small batches) the spawn/pickle overhead swamps the win, and
+EATP opts out entirely (``parallel_batch_safe=False``) because its
+cache-aided finisher memoises into the main process's shortest-path
+cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Sequence, Tuple
+
+from ..config import PlannerConfig
+from ..pathfinding.free_flow import FreeFlowPathCache
+from ..pathfinding.heuristics import HeuristicFieldCache
+from ..pathfinding.pipeline import FallbackChain, LegPlan
+from ..pathfinding.reservation import ReservationTable
+from ..pathfinding.st_astar import SearchStats, find_path
+from ..types import Cell, Tick
+from ..warehouse.grid import Grid
+
+#: Per-worker planning context, built once by the pool initializer.
+_WORKER = None
+
+
+class _WorkerContext:
+    """One worker's long-lived planning state (grid-derived caches)."""
+
+    def __init__(self, grid: Grid, config: PlannerConfig) -> None:
+        self.grid = grid
+        self.config = config
+        self.heuristics = HeuristicFieldCache(grid)
+        self.free_flow = FreeFlowPathCache(grid, self.heuristics)
+
+    def chain(self, reservation: ReservationTable,
+              collected: List[SearchStats]) -> FallbackChain:
+        """A fallback chain over this wake's shipped reservation state.
+
+        Tier 1 mirrors ``Planner._find_leg`` minus the finisher hook
+        (pool-safe planners run without one); successful tier-1 stats are
+        appended to ``collected`` so the main process can still absorb
+        them — sequential wakes absorb theirs at plan time.
+        """
+
+        def full_search(t: Tick, source: Cell, goal: Cell):
+            stats = SearchStats()
+            path = find_path(
+                self.grid, reservation, source, goal, t,
+                heuristic=self.heuristics.field(goal),
+                max_expansions=self.config.max_search_expansions,
+                stats=stats)
+            collected.append(stats)
+            return path
+
+        return FallbackChain(
+            grid=self.grid, reservation=reservation,
+            heuristics=self.heuristics, config=self.config,
+            full_search=full_search,
+            finisher_factory=lambda goal: (None, 0),
+            free_flow=self.free_flow)
+
+
+def _init_worker(grid: Grid, config: PlannerConfig) -> None:
+    global _WORKER
+    _WORKER = _WorkerContext(grid, config)
+
+
+def _plan_chunk(payload) -> List[LegPlan]:
+    """Plan one contiguous chunk of a wake's legs in a worker process."""
+    reservation, t, legs = payload
+    plans: List[LegPlan] = []
+    for source, goal in legs:
+        collected: List[SearchStats] = []
+        chain = _WORKER.chain(reservation, collected)
+        leg = chain.plan_leg(t, source, goal)
+        if collected:
+            leg.search_stats = leg.search_stats + tuple(collected)
+        plans.append(leg)
+    return plans
+
+
+class LegPlanPool:
+    """A spawn-based process pool planning batched-wake candidates.
+
+    Parameters
+    ----------
+    grid, config:
+        Shipped once to each worker at spawn (the immutable planning
+        world).
+    workers:
+        Pool size; clamped to at least 1.
+    """
+
+    def __init__(self, grid: Grid, config: PlannerConfig,
+                 workers: int) -> None:
+        self._n_workers = max(1, workers)
+        context = multiprocessing.get_context("spawn")
+        self._pool = context.Pool(self._n_workers, initializer=_init_worker,
+                                  initargs=(grid, config))
+
+    def plan(self, reservation: ReservationTable, t: Tick,
+             legs: Sequence[Tuple[Cell, Cell]]) -> List[LegPlan]:
+        """Plan ``legs`` against ``reservation``, preserving leg order.
+
+        Legs are split into one contiguous chunk per worker so the
+        reservation state is pickled once per worker, not once per leg;
+        ``Pool.map`` returns chunks in submission order, so the flattened
+        result lines up with ``legs`` index for index.
+        """
+        n_chunks = min(self._n_workers, len(legs))
+        size = -(-len(legs) // n_chunks)  # ceil division
+        chunks = [legs[i:i + size] for i in range(0, len(legs), size)]
+        results = self._pool.map(
+            _plan_chunk, [(reservation, t, chunk) for chunk in chunks])
+        return [leg for chunk in results for leg in chunk]
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()

@@ -25,7 +25,8 @@ from typing import List, Optional, Set
 
 from ..config import PlannerConfig
 from ..pathfinding.cache import ShortestPathCache, make_wait_finisher
-from ..pathfinding.cdt import ConflictDetectionTable
+from ..pathfinding.cdt import (ConflictDetectionTable,
+                               ShardedConflictDetectionTable)
 from ..pathfinding.reservation import ReservationTable
 from ..rl.mdp import ACTION_REQUEST, ACTION_WAIT
 from ..types import Cell, Tick
@@ -40,6 +41,11 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
     """Algorithm 3: ATP with flip requesting, CDT, and the path cache."""
 
     name = "EATP"
+
+    #: The cache-aided finisher memoises into the shortest-path cache at
+    #: plan time; a worker process would grow its own divergent cache (and
+    #: memory metric), so EATP's batched wakes always plan in-process.
+    parallel_batch_safe = False
 
     def __init__(self, state: WarehouseState,
                  config: Optional[PlannerConfig] = None) -> None:
@@ -57,6 +63,13 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
     # -- reservation: the CDT replaces the spatiotemporal graph ---------------
 
     def _make_reservation(self) -> ReservationTable:
+        if self.sharded_reservations:
+            return ShardedConflictDetectionTable(self.config.shard_tile_bits)
+        # The vectorised audits only pay off on paper-scale floors; below
+        # the gate this is the seed's exact table (and the argless call
+        # keeps the legacy-table swap of the equivalence suite working).
+        if self.paper_scale:
+            return ConflictDetectionTable(vector_audit=True)
         return ConflictDetectionTable()
 
     # -- Alg. 3 selection: flip requesting --------------------------------------

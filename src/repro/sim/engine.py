@@ -507,6 +507,12 @@ class Simulation:
                 "audit_rejects": self.planner.stats.fastpath_audit_rejects,
                 "misses": self.planner.stats.fastpath_misses,
             },
+            batch={
+                "batched_wakes": self.planner.stats.batched_wakes,
+                "batched_legs": self.planner.stats.batched_legs,
+                "batch_conflicts": self.planner.stats.batch_conflicts,
+                "rescued_legs": self.planner.stats.rescued_legs,
+            },
         )
         if metrics.items_processed != len(self._items):
             raise SimulationError(

@@ -32,6 +32,17 @@ FALLBACK_KEYS = ("windowed_legs", "wait_legs", "horizon_replans")
 #: compare exactly across serial and worker-pool runs.
 FASTPATH_KEYS = ("free_flow_legs", "audit_rejects", "misses")
 
+#: Keys of the batched-wake accounting attached to run metrics (wakes
+#: that planned their legs as one batch, legs that rode in them, and
+#: candidates whose commit audit forced a sequential replan).  Same
+#: normalisation contract as :data:`FALLBACK_KEYS`: a missing dict —
+#: results stored before batched wakes existed, or any run below the
+#: paper-scale gate — reads all-zero.  The counters depend only on the
+#: run's seeds and config, so they survive
+#: :func:`~repro.sim.serialize.deterministic_view`.
+BATCH_KEYS = ("batched_wakes", "batched_legs", "batch_conflicts",
+              "rescued_legs")
+
 
 @dataclass(frozen=True)
 class CheckpointSample:
@@ -61,6 +72,13 @@ class RunMetrics:
     the others fell through to the full search.  Unlike ``fallback`` it
     is *expected* to be non-zero on healthy runs — a high hit rate is the
     fast path doing its job.
+
+    ``batch`` is the paper-scale accounting (:data:`BATCH_KEYS`): the
+    batched-wake counters plus ``rescued_legs``, the conflicted descents
+    the wait-following rescue served instead of the full search.
+    All-zero on every run below the paper-scale gate (batching and the
+    rescue default off there); at paper scale a low ``batch_conflicts``
+    / ``batched_legs`` ratio is the optimistic commit doing its job.
     """
 
     makespan: Tick = 0
@@ -74,6 +92,7 @@ class RunMetrics:
     checkpoints: List[CheckpointSample] = field(default_factory=list)
     fallback: Dict[str, int] = field(default_factory=dict)
     fastpath: Dict[str, int] = field(default_factory=dict)
+    batch: Dict[str, int] = field(default_factory=dict)
 
     def fallback_view(self) -> Dict[str, int]:
         """``fallback`` with every key present (missing keys read 0)."""
@@ -82,6 +101,10 @@ class RunMetrics:
     def fastpath_view(self) -> Dict[str, int]:
         """``fastpath`` with every key present (missing keys read 0)."""
         return {key: self.fastpath.get(key, 0) for key in FASTPATH_KEYS}
+
+    def batch_view(self) -> Dict[str, int]:
+        """``batch`` with every key present (missing keys read 0)."""
+        return {key: self.batch.get(key, 0) for key in BATCH_KEYS}
 
     @property
     def total_planner_seconds(self) -> float:

@@ -15,13 +15,14 @@ import pytest
 
 from repro.config import PlannerConfig, SimulationConfig
 from repro.errors import ConfigurationError
-from repro.experiments.harness import (DEFAULT_PLANNERS, MatrixCell,
-                                       execute_cell, plan_cells,
+from repro.experiments.harness import (DEFAULT_PLANNERS, SLOW_PLANNERS,
+                                       MatrixCell, execute_cell, plan_cells,
                                        run_comparison, run_matrix)
 from repro.experiments.matrix import render_matrix_summary
 from repro.experiments.store import ResultStore, cell_filename
 from repro.sim.serialize import deterministic_view
 from repro.workloads.datasets import all_datasets, fleet_ladder, make_mini
+from repro.workloads.scenario import TAG_SKIP_SLOW_PLANNERS
 
 #: Small but structurally faithful stand-in for the Table III grid.
 SCALE = 0.18
@@ -84,15 +85,25 @@ class TestCellPlanning:
         assert len(cells) == 4 * 5 - 2
 
     def test_fleet_ladder_runs_all_five_planners(self):
-        # PR 4 unlocked the ladder: the windowed pipeline keeps every
-        # planner recoverable at the 200-robot rung, and LEF/ILP drain
-        # the scaled-down floor in seconds, so the rungs no longer carry
-        # the paper's "too slow to execute" exclusion (which Table III's
-        # Real-Large cells keep, see test_slow_planners_skipped_on_large).
-        cells = plan_cells(fleet_ladder(SCALE), DEFAULT_PLANNERS)
+        # PR 4 unlocked the small rungs: the windowed pipeline keeps
+        # every planner recoverable at the 200-robot rung, and LEF/ILP
+        # drain the scaled-down floor in seconds.  The PR-6 large rungs
+        # (500-3000 robots, paper-true 541x302 floor) carry the
+        # skip-slow-planners tag — LEF/ILP keep the paper's "too slow
+        # to execute" exclusion there, like Table III's Real-Large
+        # cells (see test_slow_planners_skipped_on_large).
+        rungs = fleet_ladder(SCALE)
+        cells = plan_cells(rungs, DEFAULT_PLANNERS)
         planners = {c.planner for c in cells}
         assert planners == set(DEFAULT_PLANNERS)
-        assert len(cells) == len(fleet_ladder(SCALE)) * len(DEFAULT_PLANNERS)
+        tagged = sum(1 for spec in rungs
+                     if TAG_SKIP_SLOW_PLANNERS in spec.tags)
+        assert tagged == 3  # the 500/1000/3000 paper-floor rungs
+        expected = (len(rungs) - tagged) * len(DEFAULT_PLANNERS) \
+            + tagged * (len(DEFAULT_PLANNERS) - len(SLOW_PLANNERS))
+        assert len(cells) == expected
+        large = {c.planner for c in cells if c.scenario.name == "Fleet-3000"}
+        assert large == set(DEFAULT_PLANNERS) - set(SLOW_PLANNERS)
 
     def test_duplicate_cell_ids_rejected(self):
         cells = mini_cells(planners=("NTP", "NTP"))

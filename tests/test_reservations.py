@@ -7,16 +7,24 @@ both via parametrisation.
 
 import pytest
 
-from repro.pathfinding.cdt import ConflictDetectionTable
+from repro.pathfinding.cdt import (ConflictDetectionTable,
+                                   ShardedConflictDetectionTable)
 from repro.pathfinding.paths import Path
-from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
+from repro.pathfinding.spatiotemporal_graph import (
+    ShardedSpatiotemporalGraph, SpatiotemporalGraph)
 from repro.warehouse.grid import Grid
 
 
-@pytest.fixture(params=["stgraph", "cdt"])
+@pytest.fixture(params=["stgraph", "cdt", "sharded-stgraph", "sharded-cdt"])
 def table(request):
+    # ``tile_bits=2`` puts the sharded variants' 4×4 tiles well inside
+    # the 12×10 test grid, so these cases cross tile boundaries too.
     if request.param == "stgraph":
         return SpatiotemporalGraph(Grid(12, 10))
+    if request.param == "sharded-stgraph":
+        return ShardedSpatiotemporalGraph(tile_bits=2)
+    if request.param == "sharded-cdt":
+        return ShardedConflictDetectionTable(tile_bits=2)
     return ConflictDetectionTable()
 
 
