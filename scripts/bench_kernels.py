@@ -61,6 +61,8 @@ sys.path.insert(0, str(_REPO / "src"))
 sys.path.insert(0, str(_REPO / "benchmarks"))
 
 from _bench_common import crossing_traffic, dense_traffic  # noqa: E402
+from repro.experiments.soak import (SoakSpec, render_soak, run_soak,  # noqa: E402
+                                    smoke_spec, soak_ok)
 from repro.pathfinding._legacy import (LegacyConflictDetectionTable,  # noqa: E402
                                        legacy_find_path,
                                        seed_planner_patches)
@@ -115,6 +117,12 @@ SMOKE_MIN_FASTPATH_SPEEDUP = 1.5
 #: wait-following rescue are auto-on here (the floor is far above
 #: ``PAPER_SCALE_MIN_CELLS``).
 BIG_LADDER_FLEETS = (500, 1000, 3000)
+
+#: Stream length of the full service-mode soak (PR 7): 10× the longest
+#: batch horizon on record (the Fleet-10 rung's 21,294-tick makespan in
+#: ``BENCH_PR4.json``), proving the always-on loop holds memory flat far
+#: past anything the batch experiments exercise.
+SOAK_DURATION_TICKS = 220_000
 
 #: Planner axis of the big ladder: the fastest plain-search planner and
 #: the paper's headline planner.  (LEF/ILP/ATP stay excluded — their
@@ -801,8 +809,36 @@ def report_engine(engine, out_path):
     print(f"wrote {out_path}")
 
 
+def bench_soak(smoke=False):
+    """The PR-7 service-mode soak (see :mod:`repro.experiments.soak`).
+
+    Smoke uses the CI-sized spec; the full run streams
+    ``SOAK_DURATION_TICKS`` ticks.  Both include the mid-run
+    checkpoint→restore→continue bit-identity proof.
+    """
+    if smoke:
+        spec = smoke_spec()
+    else:
+        spec = SoakSpec(duration=SOAK_DURATION_TICKS, window_ticks=5_000)
+    start = time.perf_counter()
+    report = run_soak(spec)
+    report["wall_s"] = time.perf_counter() - start
+    report["smoke"] = smoke
+    return report
+
+
+def report_soak(report, out_path):
+    """Write the soak report; returns True when a gate failed."""
+    FsPath(out_path).write_text(json.dumps(report, indent=2, sort_keys=True)
+                                + "\n")
+    print(render_soak(report))
+    print(f"wrote {out_path}")
+    return not soak_ok(report)
+
+
 def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
-              fastpath_out="BENCH_PR5.json", big_out="BENCH_PR6.json"):
+              fastpath_out="BENCH_PR5.json", big_out="BENCH_PR6.json",
+              soak_out="BENCH_PR7.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
     Four gates: the PR-1 packed-search speedup over the in-process seed
@@ -887,6 +923,14 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
     if not big["sharded_audit"]["verdicts_identical"]:
         raise SystemExit(
             "sharded-vs-global audit verdicts diverged in the PR-6 micro")
+
+    # The PR-7 gate: a bounded service-mode soak must hold the
+    # reservation footprint flat and survive a mid-run
+    # checkpoint→restore→continue with a bit-identical final view.
+    if report_soak(bench_soak(smoke=True), soak_out):
+        raise SystemExit(
+            "service-mode soak gate failed: reservation memory grew past "
+            "the flat envelope or the restored run diverged")
     print("smoke gates passed")
 
 
@@ -910,6 +954,14 @@ def main(argv=None):
     parser.add_argument("--big-out", default="BENCH_PR6.json",
                         help="output path of the paper-floor big-ladder "
                              "report (default BENCH_PR6.json)")
+    parser.add_argument("--soak-out", default="BENCH_PR7.json",
+                        help="output path of the service-mode soak report "
+                             "(default BENCH_PR7.json)")
+    parser.add_argument("--soak-only", action="store_true",
+                        help="run only the service-mode soak "
+                             f"({SOAK_DURATION_TICKS:,} ticks of stream, "
+                             "checkpoint/restore proof) and write "
+                             "BENCH_PR7.json")
     parser.add_argument("--big-only", action="store_true",
                         help="run only the paper-floor big ladder "
                              "(541x302, 500/1000/3000 robots, NTP+EATP) "
@@ -948,7 +1000,12 @@ def main(argv=None):
 
     if args.smoke:
         run_smoke(args.engine_out, args.ladder_out, args.fastpath_out,
-                  args.big_out)
+                  args.big_out, args.soak_out)
+        return
+
+    if args.soak_only:
+        if report_soak(bench_soak(), args.soak_out):
+            raise SystemExit("service-mode soak gate failed")
         return
 
     if args.engine_only:
@@ -983,6 +1040,8 @@ def main(argv=None):
     big = bench_big_ladder()
     big["sharded_audit"] = bench_sharded_audit()
     report_big_ladder(big, args.big_out)
+    if report_soak(bench_soak(), args.soak_out):
+        raise SystemExit("service-mode soak gate failed")
 
     st, purge, t3 = report["st_astar"], report["purge"], report["table3"]
     print(f"st_astar : {st['packed']['expansions_per_s']:,.0f} exp/s "

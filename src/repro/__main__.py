@@ -9,6 +9,7 @@ evaluation can be driven without writing Python:
     python -m repro badcase --k 10
     python -m repro ablations --which a4
     python -m repro matrix --family fleet-ladder --workers 4 --results-dir results
+    python -m repro soak --planner EATP --duration 20000
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from __future__ import annotations
 import sys
 
 from .experiments import (ablations, badcase, fig10, fig11, fig12, fig13,
-                          matrix, table3)
+                          matrix, soak, table3)
 
 _COMMANDS = {
     "table3": table3.main,
@@ -27,6 +28,7 @@ _COMMANDS = {
     "badcase": badcase.main,
     "ablations": ablations.main,
     "matrix": matrix.main,
+    "soak": soak.main,
 }
 
 

@@ -74,3 +74,13 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration value is out of its documented domain."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint payload cannot be saved or restored.
+
+    Raised when a checkpoint file is missing its envelope, was written by
+    an incompatible payload version, or does not contain a simulation —
+    conditions a service-mode operator can hit with a stale file, so they
+    are reported as a catchable error rather than an assertion.
+    """

@@ -31,7 +31,7 @@ from ..planners import PLANNERS
 from ..sim.engine import Simulation, SimulationResult
 from ..sim.serialize import result_to_dict
 from ..workloads.scenario import TAG_SKIP_SLOW_PLANNERS, ScenarioSpec
-from .store import ResultStore, cell_filename
+from .store import ResultStore, assert_unique_filenames
 
 #: The evaluation order of the paper's tables.
 DEFAULT_PLANNERS = ("NTP", "LEF", "ILP", "ATP", "EATP")
@@ -221,13 +221,7 @@ def run_matrix(cells: Sequence[MatrixCell], workers: int = 0,
         raise ConfigurationError(f"workers must be >= 0, got {workers}")
     # Deduplicate on the *filename* the store would use, so ids that
     # sanitise to the same file cannot silently overwrite each other.
-    by_file: Dict[str, List[str]] = {}
-    for cell in cells:
-        by_file.setdefault(cell_filename(cell.cell_id), []).append(cell.cell_id)
-    collisions = sorted(ids for ids in by_file.values() if len(ids) > 1)
-    if collisions:
-        raise ConfigurationError(
-            f"matrix cell ids collide (same result file): {collisions}")
+    assert_unique_filenames(cell.cell_id for cell in cells)
     ids = [cell.cell_id for cell in cells]
 
     notify = progress if progress is not None else (lambda cell_id, status: None)
@@ -235,7 +229,17 @@ def run_matrix(cells: Sequence[MatrixCell], workers: int = 0,
     pending: List[MatrixCell] = []
     for cell in cells:
         if store is not None and store.has(cell.cell_id):
-            payloads[cell.cell_id] = store.load(cell.cell_id)
+            payload = store.load(cell.cell_id)
+            # A stored payload records which cell produced it; a mismatch
+            # means the file belongs to a *different* id that sanitised to
+            # the same name in some earlier matrix — resuming from it
+            # would silently serve the wrong results.
+            stored_id = payload.get("cell_id", cell.cell_id)
+            if stored_id != cell.cell_id:
+                raise ConfigurationError(
+                    f"result file for {cell.cell_id!r} was written by "
+                    f"{stored_id!r}; delete it to recompute")
+            payloads[cell.cell_id] = payload
             notify(cell.cell_id, "cached")
         else:
             pending.append(cell)

@@ -16,7 +16,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, Optional
 
 from ..errors import ConfigurationError
 
@@ -31,12 +31,40 @@ def cell_filename(cell_id: str) -> str:
     return f"{safe}.json"
 
 
+def assert_unique_filenames(cell_ids: Iterable[str]) -> None:
+    """Fail fast when distinct cell ids map to the same result file.
+
+    The filename sanitiser collapses runs of unsafe characters, so ids
+    like ``mini/atp`` and ``mini:atp`` collide on disk — the second cell
+    would silently overwrite (or resume from!) the first's results.  A
+    repeated identical id is rejected too: it is the same double-write.
+    Matrix builders call this before running anything.
+    """
+    by_file: Dict[str, str] = {}
+    for cell_id in cell_ids:
+        filename = cell_filename(cell_id)
+        other = by_file.get(filename)
+        if other is not None:
+            raise ConfigurationError(
+                f"matrix cell ids collide (same result file {filename!r}): "
+                f"{other!r} vs {cell_id!r}")
+        by_file[filename] = cell_id
+
+
 class ResultStore:
     """A directory of per-cell JSON payloads, keyed by cell id."""
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # A crash between writing a temp file and renaming it leaves a
+        # stale *.json.tmp behind; sweep them on open so they never
+        # accumulate or confuse a directory listing.
+        for stale in self.root.glob("*.json.tmp"):
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
 
     def path(self, cell_id: str) -> Path:
         """Where the given cell's payload lives."""

@@ -89,6 +89,12 @@ class ShortestPathCache:
         """
         return 64 + 150 * len(self._paths) + self._blob_bytes
 
+    def live_counts(self) -> Dict[str, int]:
+        """Live-state counters for the soak harness's flatness series."""
+        return {"entries": len(self._paths),
+                "blob_bytes": self._blob_bytes,
+                "memory_bytes": self.memory_bytes()}
+
 
 def follow_with_waits(reservation: ReservationTable, cells: Tuple[Cell, ...],
                       start_time: Tick,

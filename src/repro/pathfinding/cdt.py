@@ -331,6 +331,13 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
         """Number of ticks holding at least one reservation."""
         return len(self._buckets)
 
+    def live_counts(self):
+        counts = {"reservations": self._n_entries,
+                  "ticks_live": len(self._buckets)}
+        counts.update(self._edge_live_counts())
+        counts["memory_bytes"] = self.memory_bytes()
+        return counts
+
 
 class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
                                     ReservationTable):
@@ -494,3 +501,11 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
     def n_ticks_live(self) -> int:
         """Number of (tile, tick) buckets holding reservations."""
         return self._n_tick_buckets
+
+    def live_counts(self):
+        counts = {"reservations": self._n_entries,
+                  "ticks_live": self._n_tick_buckets,
+                  "tiles_live": len(self._tiles)}
+        counts.update(self._edge_live_counts())
+        counts["memory_bytes"] = self.memory_bytes()
+        return counts

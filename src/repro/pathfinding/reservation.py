@@ -156,6 +156,19 @@ class ReservationTable(abc.ABC):
     def memory_bytes(self) -> int:
         """Approximate structure footprint, for the MC metric."""
 
+    def live_counts(self) -> Dict[str, int]:
+        """Occupancy counters for service-mode telemetry.
+
+        The soak harness samples these at every window boundary to prove
+        the memory-flatness claim: under the periodic purge, live entries
+        and buckets must track the reservation *window*, not the run
+        length.  Implementations extend the dict with their native units
+        (entries, tick buckets, dense layers, tiles); the shared footprint
+        estimate is always present so heterogeneous structures plot on
+        one axis.
+        """
+        return {"memory_bytes": self.memory_bytes()}
+
     # -- packed fast path --------------------------------------------------
 
     def is_free_packed(self, t: Tick, key: int) -> bool:
@@ -375,3 +388,8 @@ class _EdgeMixin:
         # matching the seed's tuple-set estimate) plus the per-tick bucket
         # headers the tick-keyed layout adds.
         return 64 + 100 * self._n_edges + 64 * len(self._edge_buckets)
+
+    def _edge_live_counts(self) -> Dict[str, int]:
+        """Edge-side occupancy for :meth:`ReservationTable.live_counts`."""
+        return {"edges": self._n_edges,
+                "edge_ticks": len(self._edge_buckets)}

@@ -140,6 +140,12 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         """Number of materialised time layers (each a full grid copy)."""
         return len(self._layers)
 
+    def live_counts(self):
+        counts = {"layers": len(self._layers)}
+        counts.update(self._edge_live_counts())
+        counts["memory_bytes"] = self.memory_bytes()
+        return counts
+
 
 class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
     """The ST graph with each time layer partitioned into spatial tiles.
@@ -289,3 +295,10 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
     def n_tile_layers(self) -> int:
         """Number of materialised (timestep, tile) blocks."""
         return self._n_tile_layers
+
+    def live_counts(self):
+        counts = {"layers": len(self._layers),
+                  "tile_layers": self._n_tile_layers}
+        counts.update(self._edge_live_counts())
+        counts["memory_bytes"] = self.memory_bytes()
+        return counts

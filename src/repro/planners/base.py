@@ -142,16 +142,49 @@ class Planner(abc.ABC):
         self.free_flow = FreeFlowPathCache(self.grid, self.heuristics)
         self.stats = PlannerStats()
         #: The windowed-horizon fallback chain every leg routes through.
-        #: Tier 1 goes through ``self._find_leg`` *lazily* (a lambda, not
-        #: a bound method) so the historical monkeypatch points — EATP in
-        #: the seed-benchmark patches, tests — keep working.
-        self.pipeline = FallbackChain(
+        self.pipeline = self._build_pipeline()
+
+    def _build_pipeline(self) -> FallbackChain:
+        """The fallback chain over the planner's current structures.
+
+        Tier 1 goes through ``self._find_leg`` *lazily* (a lambda, not a
+        bound method) so the historical monkeypatch points — EATP in the
+        seed-benchmark patches, tests — keep working.  Factored out of
+        ``__init__`` because the chain captures closures over ``self``
+        and therefore cannot cross a pickle boundary: checkpoint restore
+        (see :meth:`__setstate__`) rebuilds it fresh.
+        """
+        return FallbackChain(
             grid=self.grid, reservation=self.reservation,
             heuristics=self.heuristics, config=self.config,
             full_search=lambda t, source, goal: self._find_leg(t, source,
                                                                goal),
             finisher_factory=lambda goal: self._make_finisher(goal),
             free_flow=self.free_flow)
+
+    # -- checkpointing -----------------------------------------------------
+
+    #: Attributes dropped from checkpoint payloads and rebuilt on restore.
+    #: The pipeline captures closures over ``self``; the heuristic-field
+    #: and free-flow caches hold closure/weakref invalidation listeners
+    #: and are pure functions of the immutable grid (rebuilt entries are
+    #: bit-identical, and neither is charged to the MC metric); the batch
+    #: pool is a live process pool.  Everything that carries *state* —
+    #: the reservation structure, the RNG, the learner, EATP's
+    #: shortest-path cache (which IS charged to MC) — is pickled as-is.
+    _UNPICKLED = ("pipeline", "heuristics", "free_flow", "_batch_pool")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for name in self._UNPICKLED:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.heuristics = HeuristicFieldCache(self.grid)
+        self.free_flow = FreeFlowPathCache(self.grid, self.heuristics)
+        self.pipeline = self._build_pipeline()
 
     # -- extension points ------------------------------------------------------
 

@@ -60,6 +60,19 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
         #: goal serves every tier of every leg (no per-leg allocation).
         self._finishers = {}
 
+    # -- checkpointing ----------------------------------------------------------
+
+    #: The finisher memo holds closures, so it cannot cross a pickle
+    #: boundary; entries are rebuilt lazily on first use and read the
+    #: (pickled) cache and reservation only at call time, so a restored
+    #: planner behaves identically.  ``self.cache`` itself — which *is*
+    #: charged to the MC metric — is plain data and pickles as-is.
+    _UNPICKLED = AdaptiveTaskPlanner._UNPICKLED + ("_finishers",)
+
+    def __setstate__(self, state) -> None:
+        super().__setstate__(state)
+        self._finishers = {}
+
     # -- reservation: the CDT replaces the spatiotemporal graph ---------------
 
     def _make_reservation(self) -> ReservationTable:

@@ -1,0 +1,141 @@
+"""Checkpoint/restore of a live simulation (service mode).
+
+A checkpoint captures a :class:`~repro.sim.engine.Simulation` mid-run —
+the event calendar, every robot/picker/rack entity, live reservations,
+the metrics recorder, the bottleneck trace, and the planner including its
+RNG and learner state — so an open-ended run can stop and resume exactly
+where it was.  Restore is *bit-identical*: draining a restored run
+produces the same :func:`~repro.sim.serialize.deterministic_view` as the
+uninterrupted run (the checkpoint round-trip tests pin this for all five
+planners).
+
+The payload is a versioned envelope around a pickle of the simulation
+object graph.  Pickle (not JSON) because the point is to resurrect live
+heaps, shared :class:`~repro.sim.missions.Mission` references and RNG
+state, none of which have a faithful JSON form; the envelope's plain
+header (magic, version, clock, planner, counts) is readable without
+unpickling so stale or foreign files fail fast with a
+:class:`~repro.errors.CheckpointError` instead of an unpickling crash.
+The planner-side contract — which structures are dropped and rebuilt
+instead of pickled — lives in ``Planner.__getstate__``
+(:mod:`repro.planners.base`).
+
+Only trust checkpoints you produced: the body is a pickle, with pickle's
+usual code-execution caveat for hostile files.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import platform
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import CheckpointError
+from .engine import Simulation
+
+#: First bytes of every checkpoint file (version-independent).
+CHECKPOINT_MAGIC = b"repro-checkpoint"
+
+#: Bump on any change to the envelope layout or to the pickled object
+#: graph that an older reader could misinterpret; restore refuses other
+#: versions outright rather than guessing.
+CHECKPOINT_VERSION = 1
+
+#: Pickle protocol pinned explicitly so checkpoints written on newer
+#: interpreters stay readable on the oldest supported one.
+_PICKLE_PROTOCOL = 4
+
+
+def checkpoint_header(sim: Simulation,
+                      extra: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+    """The plain-data header describing one checkpoint."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "tick": sim.tick,
+        "planner": sim.planner.name,
+        "items_total": sim.items_total,
+        "items_processed": sim.items_processed,
+        "events_processed": sim.events_processed,
+        "python": platform.python_version(),
+        "has_extra": extra is not None,
+    }
+
+
+def dump_checkpoint(sim: Simulation,
+                    extra: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialise ``sim`` (plus optional harness state) to bytes.
+
+    ``extra`` carries picklable harness-side state that must survive
+    alongside the engine — the soak loop stores its arrival stream and
+    feed cursor there, so a restored soak replays the exact item
+    sequence the uninterrupted run saw.
+    """
+    buffer = io.BytesIO()
+    buffer.write(CHECKPOINT_MAGIC)
+    pickler = pickle.Pickler(buffer, protocol=_PICKLE_PROTOCOL)
+    pickler.dump(checkpoint_header(sim, extra))
+    pickler.dump((sim, extra))
+    return buffer.getvalue()
+
+
+def load_checkpoint_bytes(blob: bytes
+                          ) -> Tuple[Simulation, Optional[Dict[str, Any]]]:
+    """Rebuild ``(simulation, extra)`` from :func:`dump_checkpoint` bytes."""
+    if not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError(
+            "not a repro checkpoint (missing envelope magic)")
+    buffer = io.BytesIO(blob[len(CHECKPOINT_MAGIC):])
+    unpickler = pickle.Unpickler(buffer)
+    try:
+        header = unpickler.load()
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint header is unreadable: {exc}") from exc
+    version = header.get("version") if isinstance(header, dict) else None
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})")
+    sim, extra = unpickler.load()
+    if not isinstance(sim, Simulation):
+        raise CheckpointError(
+            f"checkpoint body holds {type(sim).__name__}, not a Simulation")
+    return sim, extra
+
+
+def read_checkpoint_header(path: os.PathLike) -> Dict[str, Any]:
+    """Read only the plain header of a checkpoint file (cheap probe)."""
+    with Path(path).open("rb") as fh:
+        magic = fh.read(len(CHECKPOINT_MAGIC))
+        if magic != CHECKPOINT_MAGIC:
+            raise CheckpointError(
+                f"{path}: not a repro checkpoint (missing envelope magic)")
+        header = pickle.Unpickler(fh).load()
+    if not isinstance(header, dict) or "version" not in header:
+        raise CheckpointError(f"{path}: malformed checkpoint header")
+    return header
+
+
+def save_checkpoint(sim: Simulation, path: os.PathLike,
+                    extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Atomically write a checkpoint file; returns its path.
+
+    Same temp-file + ``os.replace`` discipline as the result store, so a
+    crash mid-write never leaves a half-checkpoint a restart would trust.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(dump_checkpoint(sim, extra))
+    os.replace(tmp, target)
+    return target
+
+
+def load_checkpoint(path: os.PathLike
+                    ) -> Tuple[Simulation, Optional[Dict[str, Any]]]:
+    """Restore ``(simulation, extra)`` from a checkpoint file."""
+    return load_checkpoint_bytes(Path(path).read_bytes())

@@ -60,8 +60,9 @@ from ..config import SimulationConfig
 from ..errors import SimulationError
 from ..pathfinding.paths import Path
 from ..planners.base import Planner
-from ..sim.metrics import (MetricsRecorder, RunMetrics,
-                           picker_processing_rate, robot_working_rate)
+from ..sim.metrics import (MetricsRecorder, RunMetrics, SteadyStateTracker,
+                           WindowSample, picker_processing_rate,
+                           robot_working_rate)
 from ..sim.missions import Mission, MissionStage
 from ..sim.queueing import (advance_picker_span, enqueue_rack,
                             process_picker_tick,
@@ -153,36 +154,143 @@ class Simulation:
         self._n_queuing = 0
         self._n_processing = 0
         self._events_processed = 0
+        #: The next tick to execute (the event clock).  ``run`` used to
+        #: keep this in a loop local; promoting it to instance state is
+        #: what lets a run pause (``run_until``), checkpoint, and resume
+        #: without the loop noticing.
+        self._t: Tick = 0
 
     # -- the main loop -----------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Run until the workload drains; return the collected metrics."""
-        t: Tick = 0
-        while True:
-            self._inject_arrivals(t)
-            if self._finished():
-                break
-            if t >= self.config.max_ticks:
+        while self._advance_once():
+            pass
+        return self._result(self._t)
+
+    def run_until(self, t_stop: Tick) -> Tick:
+        """Execute events until the clock reaches ``t_stop`` (or drains).
+
+        Runs exactly the :meth:`run` loop, stopping as soon as the next
+        tick to execute is at or past ``t_stop`` — the executed prefix is
+        bit-identical to the same span of an uninterrupted run, so a run
+        driven through any sequence of ``run_until`` calls (the service
+        loop) finishes with the exact result one ``run()`` call produces.
+        Returns the clock, which may overshoot ``t_stop`` (the calendar
+        jumps quiet spans) or stop short of it (the workload drained; see
+        :meth:`extend_items` to feed more).
+        """
+        while self._t < t_stop and self._advance_once():
+            pass
+        return self._t
+
+    def _advance_once(self) -> bool:
+        """Execute the tick at the clock; ``False`` once drained."""
+        t = self._t
+        self._inject_arrivals(t)
+        if self._finished():
+            return False
+        if t >= self.config.max_ticks:
+            raise SimulationError(
+                f"simulation exceeded max_ticks={self.config.max_ticks} "
+                f"({self.state.total_pending_items()} items pending, "
+                f"{len(self._active)} missions active)")
+        if self._can_dispatch():
+            self._sync_world(t)
+            self._dispatch(t)
+        self._run_motion_events(t)
+        self._run_picker_events(t)
+        self._account(t)
+        next_t = self._next_active_tick(t)
+        self.planner.advance(t, next_t - 1)
+        if self._trace is not None and next_t > t + 1:
+            self._trace.record_run(t + 1, next_t - 1,
+                                   self._n_transporting, self._n_queuing,
+                                   self._n_processing)
+        self._events_processed += 1
+        self._t = next_t
+        return True
+
+    # -- service mode (open-ended streams) ---------------------------------
+
+    @property
+    def tick(self) -> Tick:
+        """The next tick the event loop will execute."""
+        return self._t
+
+    @property
+    def items_total(self) -> int:
+        """Items fed so far (grows under :meth:`extend_items`)."""
+        return len(self._items)
+
+    @property
+    def items_processed(self) -> int:
+        """Items whose picker batch has completed."""
+        return self._recorder.items_processed
+
+    @property
+    def drained(self) -> bool:
+        """Whether every fed item is processed and no mission is live."""
+        return self._finished()
+
+    def extend_items(self, items: Sequence[Item]) -> None:
+        """Append future arrivals to the workload (service mode).
+
+        The appended items must sort strictly after the current tail in
+        ``(arrival, item_id)`` order and must not arrive before the
+        clock: both are exactly the conditions under which feeding the
+        stream in chunks is indistinguishable from having supplied every
+        item up front, which is the service loop's determinism contract
+        (checkpoint → restore → continue replays the same run).
+        """
+        if not items:
+            return
+        fresh = sorted(items, key=lambda item: (item.arrival, item.item_id))
+        previous = self._items[-1]
+        for item in fresh:
+            if (item.arrival, item.item_id) <= (previous.arrival,
+                                                previous.item_id):
                 raise SimulationError(
-                    f"simulation exceeded max_ticks={self.config.max_ticks} "
-                    f"({self.state.total_pending_items()} items pending, "
-                    f"{len(self._active)} missions active)")
-            if self._can_dispatch():
-                self._sync_world(t)
-                self._dispatch(t)
-            self._run_motion_events(t)
-            self._run_picker_events(t)
-            self._account(t)
-            next_t = self._next_active_tick(t)
-            self.planner.advance(t, next_t - 1)
-            if self._trace is not None and next_t > t + 1:
-                self._trace.record_run(t + 1, next_t - 1,
-                                       self._n_transporting, self._n_queuing,
-                                       self._n_processing)
-            self._events_processed += 1
-            t = next_t
-        return self._result(t)
+                    f"extended item {item.item_id} (arrival "
+                    f"{item.arrival}) does not sort after the current "
+                    f"tail item {previous.item_id} (arrival "
+                    f"{previous.arrival})")
+            if item.arrival < self._t:
+                raise SimulationError(
+                    f"extended item {item.item_id} arrives at "
+                    f"{item.arrival}, before the clock ({self._t}) — "
+                    f"past arrivals would diverge from an up-front feed")
+            previous = item
+        self._items.extend(fresh)
+        self._recorder.extend_total(len(self._items))
+
+    def sample_window(self, tracker: SteadyStateTracker) -> WindowSample:
+        """Close a steady-state window at the clock (service telemetry).
+
+        Flushes the lazy busy intervals through the last decided tick so
+        the cumulative busy totals are exact, then hands the totals to
+        ``tracker`` (a :class:`~repro.sim.metrics.SteadyStateTracker`).
+        Flushing only realises accounting the run would perform anyway,
+        so sampling never perturbs the deterministic view.
+        """
+        if self._t > 0:
+            self._flush_busy_counters(self._t - 1)
+        return tracker.sample(
+            tick=self._t,
+            picker_busy_ticks=[p.busy_ticks for p in self.state.pickers],
+            robot_busy_ticks=[r.busy_ticks for r in self.state.robots],
+            items_processed=self._recorder.items_processed,
+            legs_planned=self.planner.stats.legs_planned,
+            memory_bytes=self.planner.memory_bytes())
+
+    def result(self) -> SimulationResult:
+        """The final metrics of a drained run (service-mode epilogue)."""
+        if not self._finished():
+            raise SimulationError(
+                "result requested before the workload drained "
+                f"({self.state.total_pending_items()} items pending, "
+                f"{len(self._active)} missions active)")
+        return self._result(self._t)
 
     def _finished(self) -> bool:
         return (self._next_item >= len(self._items)

@@ -112,6 +112,26 @@ class RunMetrics:
         return self.selection_seconds + self.planning_seconds
 
 
+def _checkpoint_grid(total_items: int, n_checkpoints: int) -> List[int]:
+    """Evenly spaced item-count thresholds ending exactly at the total.
+
+    ``ceil(total · i / n)`` for ``i = 1..n``, deduplicated.  Strictly
+    increasing by construction and always finishing at ``total_items``,
+    so the final checkpoint is reachable for every workload size — the
+    old ``step = total // n`` grid was non-monotonic when
+    ``total < n`` (its clamp pulled the last threshold *below* earlier
+    ones, so it never fired) and stopped short of the run's end whenever
+    ``total % n != 0``.  When ``total`` is a multiple of ``n`` the grid
+    equals the old one, keeping historical checkpoint series identical.
+    """
+    grid: List[int] = []
+    for i in range(1, n_checkpoints + 1):
+        threshold = -(-total_items * i // n_checkpoints)
+        if not grid or threshold > grid[-1]:
+            grid.append(threshold)
+    return grid
+
+
 class MetricsRecorder:
     """Accumulates metrics during a run and snapshots checkpoints.
 
@@ -129,13 +149,39 @@ class MetricsRecorder:
         if n_checkpoints < 1:
             raise ValueError("n_checkpoints must be >= 1")
         self.total_items = total_items
-        step = max(1, total_items // n_checkpoints)
-        self._thresholds = [step * (i + 1) for i in range(n_checkpoints)]
-        self._thresholds[-1] = min(self._thresholds[-1], total_items)
+        self.n_checkpoints = n_checkpoints
+        self._thresholds = _checkpoint_grid(total_items, n_checkpoints)
         self._next_checkpoint = 0
         self.samples: List[CheckpointSample] = []
         self.items_processed = 0
         self.peak_memory = 0
+
+    @property
+    def thresholds(self) -> List[int]:
+        """The item-count checkpoint grid (ascending, ends at the total)."""
+        return list(self._thresholds)
+
+    def extend_total(self, new_total: int) -> None:
+        """Grow the grid for a workload extended mid-run (service mode).
+
+        The remaining thresholds are recomputed over ``new_total`` so the
+        final checkpoint still lands exactly on the last item; thresholds
+        at or below the items already processed are skipped — their
+        samples belong to the grid that was in force when they crossed.
+        """
+        if new_total < self.total_items:
+            raise ValueError(
+                f"cannot shrink total_items from {self.total_items} "
+                f"to {new_total}")
+        if new_total == self.total_items:
+            return
+        self.total_items = new_total
+        self._thresholds = _checkpoint_grid(new_total, self.n_checkpoints)
+        self._next_checkpoint = 0
+        while (self._next_checkpoint < len(self._thresholds)
+               and self._thresholds[self._next_checkpoint]
+               <= self.items_processed):
+            self._next_checkpoint += 1
 
     def note_items_processed(self, count: int) -> None:
         """Record that ``count`` more items finished processing."""
@@ -201,3 +247,91 @@ def robot_working_rate(busy_ticks_per_robot: List[int],
     if elapsed <= 0 or not busy_ticks_per_robot:
         return 0.0
     return sum(b / elapsed for b in busy_ticks_per_robot) / len(busy_ticks_per_robot)
+
+
+# -- steady-state windows (service mode) -------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Metrics over one tick window ``[window_start, window_end)``.
+
+    The since-tick-0 rates of :class:`CheckpointSample` converge to the
+    lifetime mean on an open-ended run and stop saying anything about the
+    *current* regime after a few hours of stream; the window sample is
+    the same PPR/RWR definitions with the window's own length as the
+    denominator, plus the throughput rates a service operator actually
+    watches (items and planned legs per tick) and the live structure
+    footprint at the window boundary.
+    """
+
+    window_start: Tick
+    window_end: Tick
+    items_processed: int
+    legs_planned: int
+    ppr: float
+    rwr: float
+    items_per_tick: float
+    legs_per_tick: float
+    memory_bytes: int
+
+
+class SteadyStateTracker:
+    """Turns cumulative counters into rolling per-window rates.
+
+    The engine (or the soak harness) feeds it the *cumulative* totals at
+    each window boundary — picker/robot busy ticks, items processed, legs
+    planned — and the tracker differences them against the previous
+    boundary, so the instrumented loop never maintains per-window state
+    itself.  Window boundaries need not be exactly ``window_ticks`` apart
+    (the event engine lands on the first executed tick at or past each
+    boundary); rates always use the *actual* span between samples.
+    """
+
+    def __init__(self, window_ticks: int) -> None:
+        if window_ticks < 1:
+            raise ValueError(
+                f"window_ticks must be >= 1, got {window_ticks}")
+        self.window_ticks = window_ticks
+        self.samples: List[WindowSample] = []
+        self._last_tick: Tick = 0
+        self._last_picker_busy = 0
+        self._last_robot_busy = 0
+        self._last_items = 0
+        self._last_legs = 0
+
+    @property
+    def next_boundary(self) -> Tick:
+        """The first tick at or past which the next sample is due."""
+        return self._last_tick + self.window_ticks
+
+    def sample(self, tick: Tick, picker_busy_ticks: List[int],
+               robot_busy_ticks: List[int], items_processed: int,
+               legs_planned: int, memory_bytes: int) -> WindowSample:
+        """Close the window ending at ``tick`` from cumulative totals."""
+        span = tick - self._last_tick
+        if span < 1:
+            raise ValueError(
+                f"window sample at tick {tick} does not advance past the "
+                f"previous boundary {self._last_tick}")
+        picker_busy = sum(picker_busy_ticks)
+        robot_busy = sum(robot_busy_ticks)
+        n_pickers = max(len(picker_busy_ticks), 1)
+        n_robots = max(len(robot_busy_ticks), 1)
+        window = WindowSample(
+            window_start=self._last_tick,
+            window_end=tick,
+            items_processed=items_processed - self._last_items,
+            legs_planned=legs_planned - self._last_legs,
+            ppr=(picker_busy - self._last_picker_busy) / (span * n_pickers),
+            rwr=(robot_busy - self._last_robot_busy) / (span * n_robots),
+            items_per_tick=(items_processed - self._last_items) / span,
+            legs_per_tick=(legs_planned - self._last_legs) / span,
+            memory_bytes=memory_bytes)
+        self.samples.append(window)
+        self._last_tick = tick
+        self._last_picker_busy = picker_busy
+        self._last_robot_busy = robot_busy
+        self._last_items = items_processed
+        self._last_legs = legs_planned
+        return window

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from .engine import SimulationResult
 from .metrics import (BATCH_KEYS, FALLBACK_KEYS, FASTPATH_KEYS,
-                      CheckpointSample, RunMetrics)
+                      CheckpointSample, RunMetrics, WindowSample)
 from .trace import BottleneckTrace
 
 #: Keys holding wall-clock measurements, excluded from exact comparisons.
@@ -82,6 +82,26 @@ def trace_from_dict(samples: List[Dict[str, int]]) -> BottleneckTrace:
                      queuing=sample["queuing"],
                      processing=sample["processing"])
     return trace
+
+
+def window_to_dict(sample: WindowSample) -> Dict[str, Any]:
+    """Serialise one steady-state window (service-mode telemetry)."""
+    return {
+        "window_start": sample.window_start,
+        "window_end": sample.window_end,
+        "items_processed": sample.items_processed,
+        "legs_planned": sample.legs_planned,
+        "ppr": sample.ppr,
+        "rwr": sample.rwr,
+        "items_per_tick": sample.items_per_tick,
+        "legs_per_tick": sample.legs_per_tick,
+        "memory_bytes": sample.memory_bytes,
+    }
+
+
+def window_from_dict(payload: Dict[str, Any]) -> WindowSample:
+    """Rebuild a :class:`WindowSample` from :func:`window_to_dict` output."""
+    return WindowSample(**payload)
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:

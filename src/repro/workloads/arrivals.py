@@ -13,6 +13,7 @@ streams in every experiment.
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 from typing import Callable, List, Optional, Sequence
@@ -164,3 +165,159 @@ def resolve_generator(name: str) -> Callable[..., List[Item]]:
         raise ConfigurationError(
             f"unknown arrival generator {name!r}; "
             f"choose from {sorted(GENERATORS)}") from None
+
+
+# -- open-ended streams (service mode) ---------------------------------------
+#
+# The batch generators above materialise a fixed item count; an always-on
+# run has no item count.  A *stream* is a stateful, picklable iterator
+# over the same arrival processes: ``take(n)`` yields the next ``n``
+# items, and chunked consumption is byte-identical to one big draw
+# (``take(a); take(b)`` ≡ ``take(a + b)``) because the RNG state lives in
+# the stream.  Picklability is a hard requirement — the soak harness
+# checkpoints the stream next to the engine so a restored run replays
+# the exact item sequence.
+
+
+class ItemStream:
+    """Base open-ended item source: deterministic, chunked, picklable."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+
+    @property
+    def emitted(self) -> int:
+        """Items produced so far (also the next item id)."""
+        return self._next_id
+
+    def take(self, n: int) -> List[Item]:
+        """The next ``n`` items of the stream, in arrival order."""
+        if n < 0:
+            raise ConfigurationError(f"take(n) needs n >= 0, got {n}")
+        items = [self._emit(self._next_id + i) for i in range(n)]
+        self._next_id += n
+        return items
+
+    def _emit(self, item_id: int) -> Item:
+        raise NotImplementedError
+
+
+class PoissonStream(ItemStream):
+    """Unbounded homogeneous Poisson stream (the open-ended ``poisson``).
+
+    Same per-item draw sequence as :func:`poisson_arrivals` — gap, rack,
+    processing time — so the first ``n`` items of the stream equal the
+    batch generator's output for the same seed.
+    """
+
+    def __init__(self, n_racks: int, rate: float, seed: int,
+                 processing_low: int = PROCESSING_TIME_RANGE[0],
+                 processing_high: int = PROCESSING_TIME_RANGE[1]) -> None:
+        if n_racks < 1:
+            raise ConfigurationError("n_racks must be >= 1")
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        super().__init__()
+        self.n_racks = n_racks
+        self.rate = rate
+        self.processing_low = processing_low
+        self.processing_high = processing_high
+        self._rng = random.Random(seed)
+        self._t = 0.0
+
+    def _emit(self, item_id: int) -> Item:
+        self._t += self._rng.expovariate(self.rate)
+        return Item(item_id=item_id,
+                    rack_id=self._rng.randrange(self.n_racks),
+                    arrival=int(self._t),
+                    processing_time=uniform_processing_time(
+                        self._rng, self.processing_low,
+                        self.processing_high))
+
+
+class CycleStream(ItemStream):
+    """Shift-shaped demand: rates cycling over a fixed period of ticks.
+
+    Models the day-curve arrival profiles of staffed-warehouse traces (a
+    quiet night shift, a morning ramp, an afternoon peak) without any
+    proprietary data: ``rates[k]`` is the Poisson rate in force during
+    segment ``k`` of each ``period``-tick cycle, segments of equal
+    length.  Each inter-arrival gap is drawn at the rate of the segment
+    containing the *current* stream time — a piecewise approximation
+    (a gap spanning a boundary uses the departing segment's rate) that
+    is deterministic, picklable, and keeps the chunk-invariance
+    contract.  Rack popularity is Zipf like :func:`surge_arrivals`.
+    """
+
+    def __init__(self, n_racks: int, rates: Sequence[float], period: int,
+                 seed: int, zipf_s: float = 0.7,
+                 processing_low: int = PROCESSING_TIME_RANGE[0],
+                 processing_high: int = PROCESSING_TIME_RANGE[1]) -> None:
+        if n_racks < 1:
+            raise ConfigurationError("n_racks must be >= 1")
+        if not rates or any(rate <= 0 for rate in rates):
+            raise ConfigurationError("rates must be non-empty and positive")
+        if period < len(rates):
+            raise ConfigurationError(
+                f"period ({period}) must cover the {len(rates)} segments")
+        super().__init__()
+        self.n_racks = n_racks
+        self.rates = tuple(float(rate) for rate in rates)
+        self.period = period
+        self.processing_low = processing_low
+        self.processing_high = processing_high
+        self._rng = random.Random(seed)
+        self._t = 0.0
+        weights = [1.0 / (k ** zipf_s) for k in range(1, n_racks + 1)]
+        total = sum(weights)
+        cumulative, acc = [], 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        self._cumulative = cumulative
+        rack_order = list(range(n_racks))
+        self._rng.shuffle(rack_order)
+        self._rack_order = rack_order
+
+    def _current_rate(self) -> float:
+        phase = self._t % self.period
+        segment = int(phase * len(self.rates) / self.period)
+        return self.rates[min(segment, len(self.rates) - 1)]
+
+    def _emit(self, item_id: int) -> Item:
+        self._t += self._rng.expovariate(self._current_rate())
+        rank = min(bisect.bisect_left(self._cumulative, self._rng.random()),
+                   self.n_racks - 1)
+        return Item(item_id=item_id,
+                    rack_id=self._rack_order[rank],
+                    arrival=int(self._t),
+                    processing_time=uniform_processing_time(
+                        self._rng, self.processing_low,
+                        self.processing_high))
+
+
+STREAMS: dict = {
+    "poisson": PoissonStream,
+    "cycle": CycleStream,
+}
+
+
+def register_stream(name: str, stream: Callable[..., ItemStream]) -> None:
+    """Add an open-ended stream factory to the registry.
+
+    The factory must return a picklable :class:`ItemStream` whose output
+    is a pure function of its arguments and draw count.
+    """
+    if name in STREAMS:
+        raise ConfigurationError(f"item stream {name!r} already registered")
+    STREAMS[name] = stream
+
+
+def resolve_stream(name: str) -> Callable[..., ItemStream]:
+    """Look up a registered open-ended stream factory by name."""
+    try:
+        return STREAMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown item stream {name!r}; "
+            f"choose from {sorted(STREAMS)}") from None

@@ -1,11 +1,14 @@
 """Unit tests for the arrival processes and dataset generators."""
 
+import pickle
+
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.workloads.arrivals import (PROCESSING_TIME_RANGE,
-                                      deterministic_arrivals,
-                                      poisson_arrivals, surge_arrivals)
+from repro.workloads.arrivals import (PROCESSING_TIME_RANGE, CycleStream,
+                                      PoissonStream, deterministic_arrivals,
+                                      poisson_arrivals, register_stream,
+                                      resolve_stream, surge_arrivals)
 from repro.workloads.datasets import (all_datasets, make_mini,
                                       make_real_large, make_real_norm,
                                       make_syn_a, make_syn_b)
@@ -152,3 +155,91 @@ class TestScenarioValidation:
             n_robots=1, items=ItemStreamSpec.of("deterministic", schedule=[]))
         with pytest.raises(ConfigurationError):
             scenario.build()
+
+
+class TestItemStreams:
+    """Open-ended streams: chunk invariance, picklability, registry."""
+
+    def test_chunked_take_equals_one_big_take(self):
+        whole = PoissonStream(n_racks=10, rate=0.5, seed=3).take(50)
+        chunked = PoissonStream(n_racks=10, rate=0.5, seed=3)
+        assert chunked.take(7) + chunked.take(0) + chunked.take(43) == whole
+
+    def test_poisson_stream_prefix_matches_batch_generator(self):
+        stream = PoissonStream(n_racks=10, rate=0.5, seed=1)
+        assert stream.take(200) == poisson_arrivals(
+            n_items=200, n_racks=10, rate=0.5, seed=1)
+
+    def test_item_ids_are_sequential(self):
+        stream = PoissonStream(n_racks=4, rate=1.0, seed=9)
+        stream.take(5)
+        items = stream.take(5)
+        assert [item.item_id for item in items] == [5, 6, 7, 8, 9]
+        assert stream.emitted == 10
+
+    def test_pickle_preserves_the_exact_continuation(self):
+        stream = PoissonStream(n_racks=10, rate=0.5, seed=3)
+        stream.take(20)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.take(30) == stream.take(30)
+
+    def test_cycle_stream_pickles_mid_run(self):
+        stream = CycleStream(n_racks=10, rates=[0.1, 0.8, 0.3],
+                             period=600, seed=5)
+        stream.take(40)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.take(40) == stream.take(40)
+
+    def test_cycle_stream_rates_shape_the_arrivals(self):
+        # Segment rates 0.05 vs 1.0: the dense segment must pack far
+        # more arrivals per tick than the sparse one.
+        stream = CycleStream(n_racks=6, rates=[0.05, 1.0], period=1000,
+                             seed=11)
+        items = stream.take(400)
+        per_segment = [0, 0]
+        for item in items:
+            per_segment[(item.arrival % 1000) * 2 // 1000] += 1
+        assert per_segment[1] > per_segment[0] * 2
+
+    def test_arrivals_non_decreasing(self):
+        for stream in (PoissonStream(n_racks=3, rate=0.2, seed=2),
+                       CycleStream(n_racks=3, rates=[0.2, 0.6],
+                                   period=100, seed=2)):
+            items = stream.take(100)
+            assert all(a.arrival <= b.arrival
+                       for a, b in zip(items, items[1:]))
+
+    def test_negative_take_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonStream(n_racks=3, rate=0.2, seed=2).take(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_racks=0, rate=0.5, seed=1),
+        dict(n_racks=3, rate=0.0, seed=1),
+    ])
+    def test_poisson_stream_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PoissonStream(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_racks=3, rates=[], period=10, seed=1),
+        dict(n_racks=3, rates=[0.5, -0.1], period=10, seed=1),
+        dict(n_racks=3, rates=[0.5, 0.5, 0.5], period=2, seed=1),
+    ])
+    def test_cycle_stream_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CycleStream(**kwargs)
+
+
+class TestStreamRegistry:
+    def test_named_streams_resolve(self):
+        assert resolve_stream("poisson") is PoissonStream
+        assert resolve_stream("cycle") is CycleStream
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_stream("lognormal")
+
+    def test_reregistration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_stream("poisson", PoissonStream)

@@ -19,7 +19,8 @@ from repro.experiments.harness import (DEFAULT_PLANNERS, SLOW_PLANNERS,
                                        MatrixCell, execute_cell, plan_cells,
                                        run_comparison, run_matrix)
 from repro.experiments.matrix import render_matrix_summary
-from repro.experiments.store import ResultStore, cell_filename
+from repro.experiments.store import (ResultStore, assert_unique_filenames,
+                                     cell_filename)
 from repro.sim.serialize import deterministic_view
 from repro.workloads.datasets import all_datasets, fleet_ladder, make_mini
 from repro.workloads.scenario import TAG_SKIP_SLOW_PLANNERS
@@ -58,6 +59,24 @@ class TestResultStore:
         assert "/" not in cell_filename("weird/../name")
         with pytest.raises(ConfigurationError):
             cell_filename("///")
+
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        # A crash between the temp write and the rename leaves a
+        # *.json.tmp behind; opening the store cleans it up.
+        root = tmp_path / "m"
+        root.mkdir()
+        (root / "cell.json.tmp").write_text("{half")
+        (root / "done.json").write_text("{}")
+        ResultStore(root)
+        assert not list(root.glob("*.json.tmp"))
+        assert (root / "done.json").is_file()
+
+    def test_unique_filenames_helper(self):
+        assert_unique_filenames(["a", "b", "c"])
+        with pytest.raises(ConfigurationError, match="collide"):
+            assert_unique_filenames(["a b", "a_b"])
+        with pytest.raises(ConfigurationError, match="collide"):
+            assert_unique_filenames(["a", "b", "a"])
 
 
 class TestRunComparison:
@@ -175,6 +194,23 @@ class TestMatrixExecution:
         payloads = run_matrix(mini_cells(planners=("NTP", "EATP")))
         out = render_matrix_summary(payloads, "T")
         assert "Mini" in out and "NTP" in out and "EATP" in out
+
+    def test_resume_rejects_foreign_payload(self, tmp_path):
+        # A stored file claiming a different cell id (a past sanitiser
+        # collision) must not be silently served as this cell's result.
+        cells = mini_cells(planners=("NTP",))
+        store = ResultStore(tmp_path)
+        store.save(cells[0].cell_id, {"cell_id": "Other--EATP"})
+        with pytest.raises(ConfigurationError, match="written by"):
+            run_matrix(cells, store=store)
+
+    def test_resume_tolerates_legacy_payload_without_cell_id(self, tmp_path):
+        cells = mini_cells(planners=("NTP",))
+        store = ResultStore(tmp_path)
+        legacy = {"scenario": "Mini", "planner": "NTP"}  # pre-provenance
+        store.save(cells[0].cell_id, legacy)
+        payloads = run_matrix(cells, store=store)
+        assert payloads[cells[0].cell_id] == legacy
 
 
 @pytest.mark.slow

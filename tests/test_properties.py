@@ -242,3 +242,36 @@ class TestQTableProperties:
             assert best >= table.get(state, ACTION_REQUEST) - 1e-9
             assert best in (table.get(state, ACTION_WAIT),
                             table.get(state, ACTION_REQUEST))
+
+
+class TestTraceSerialisationProperties:
+    """``trace_from_dict(trace_to_dict(t))`` reproduces the trace exactly.
+
+    Both representations must survive: the expanded per-tick ``samples``
+    (what Fig. 13 consumers read) and the run-length ``runs`` structure
+    (the canonical merged segments — rebuilding from per-tick samples
+    must re-merge adjacent identical ticks into the same runs).
+    """
+
+    #: Per-segment decomposition counts plus the segment length.
+    segments = st.lists(
+        st.tuples(st.integers(1, 6),                    # run length
+                  st.integers(0, 3), st.integers(0, 3),  # tr, qu
+                  st.integers(0, 3)),                    # pr
+        min_size=1, max_size=12)
+
+    @given(segments=segments)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_reproduces_samples_and_runs(self, segments):
+        from repro.sim.serialize import trace_from_dict, trace_to_dict
+        from repro.sim.trace import BottleneckTrace
+
+        trace = BottleneckTrace()
+        tick = 0
+        for length, tr, qu, pr in segments:
+            trace.record_run(tick, tick + length - 1, tr, qu, pr)
+            tick += length
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.samples == trace.samples
+        assert rebuilt.runs == trace.runs
+        assert len(rebuilt) == len(trace)
