@@ -63,11 +63,14 @@ sys.path.insert(0, str(_REPO / "benchmarks"))
 from _bench_common import crossing_traffic, dense_traffic  # noqa: E402
 from repro.experiments.soak import (SoakSpec, render_soak, run_soak,  # noqa: E402
                                     smoke_spec, soak_ok)
+from repro.pathfinding._kernel import build_and_load  # noqa: E402
 from repro.pathfinding._legacy import (LegacyConflictDetectionTable,  # noqa: E402
                                        legacy_find_path,
                                        seed_planner_patches)
 from repro.pathfinding.cdt import ConflictDetectionTable  # noqa: E402
-from repro.pathfinding.st_astar import SearchStats, find_path  # noqa: E402
+from repro.pathfinding.st_astar import (SearchStats, find_path,  # noqa: E402
+                                        search_kernel_name,
+                                        set_search_kernel)
 from repro.warehouse.grid import Grid  # noqa: E402
 
 GRID = Grid(64, 40)
@@ -130,6 +133,24 @@ SOAK_DURATION_TICKS = 220_000
 #: story from the planning-layer scaling this kernel measures.)
 BIG_LADDER_PLANNERS = ("NTP", "EATP")
 
+#: CI floor for the native search kernel's expansions/s over the pure-
+#: python bucket-queue core, measured in-process on the same workload
+#: (the PR-8 gate, written to ``BENCH_PR8.json``).  Recorded speedups
+#: are 4-6x; the 3x floor is the ROADMAP target with margin for noisy
+#: shared runners.  The gate only arms when the extension builds — the
+#: pure-python CI job (``REPRO_KERNEL_BUILD=0``) skips it by design.
+SMOKE_MIN_COMPILED_SPEEDUP = 3.0
+
+#: CI floor for the sharded reservation structure's *memory* advantage
+#: over the global dense table at the paper-scale audit load.  Memory —
+#: not audit latency — is the quantity sharding optimises (see
+#: ``bench_sharded_audit``); the recorded advantage is ~2.3-5.7x.
+SMOKE_MIN_SHARDED_MEMORY_ADVANTAGE = 1.5
+
+#: Rungs of the PR-8 kernel ladder: the paper-floor fleet sizes where a
+#: planning-seconds drop from the native kernel must be measurable.
+KERNEL_LADDER_FLEETS = (500, 1000, 3000)
+
 #: Wall-clock ceiling of the ``--smoke`` 500-robot paper-floor rung.
 #: The recorded NTP run drains in ~60 s on the dev machine; the ceiling
 #: leaves generous headroom for slow shared runners while still failing
@@ -173,15 +194,27 @@ def _calls_per_expansion(search_fn, make_table):
 
 
 def bench_st_astar(rounds=30):
-    seed_s, seed_exp = _time_search(legacy_find_path,
-                                    LegacyConflictDetectionTable, rounds)
-    packed_s, packed_exp = _time_search(find_path, ConflictDetectionTable,
-                                        rounds)
+    # Pinned to the pure-python core: this section records the *packed
+    # rewrite's* gain over the seed.  The native kernel's gain over the
+    # packed core is bench_search_kernels' number (BENCH_PR8.json).
+    previous = search_kernel_name()
+    set_search_kernel("python")
+    try:
+        seed_s, seed_exp = _time_search(legacy_find_path,
+                                        LegacyConflictDetectionTable, rounds)
+        packed_s, packed_exp = _time_search(find_path,
+                                            ConflictDetectionTable, rounds)
+    finally:
+        set_search_kernel(previous)
     assert seed_exp == packed_exp, (
         f"expansion counts diverged: seed {seed_exp} vs packed {packed_exp}")
-    seed_cpe = _calls_per_expansion(legacy_find_path,
-                                    LegacyConflictDetectionTable)
-    packed_cpe = _calls_per_expansion(find_path, ConflictDetectionTable)
+    set_search_kernel("python")
+    try:
+        seed_cpe = _calls_per_expansion(legacy_find_path,
+                                        LegacyConflictDetectionTable)
+        packed_cpe = _calls_per_expansion(find_path, ConflictDetectionTable)
+    finally:
+        set_search_kernel(previous)
     return {
         "workload": "3 endpoints x 30 rounds on 64x40 with crossing traffic",
         "expansions": packed_exp,
@@ -194,6 +227,49 @@ def bench_st_astar(rounds=30):
         "speedup": (packed_exp / packed_s) / (seed_exp / seed_s),
         "calls_per_expansion_ratio": seed_cpe / packed_cpe,
     }
+
+
+def bench_search_kernels(rounds=30):
+    """The PR-8 micro: ``st_astar.packed.expansions_per_s`` per kernel.
+
+    Same workload as :func:`bench_st_astar`, run once under each search
+    core selected via :func:`set_search_kernel` — so the recorded
+    compiled-vs-python speedup is in-process and machine-independent.
+    The expansion counts must agree exactly (the kernel is bit-identical
+    by contract; the equivalence suite pins the full outcome).
+    """
+    compiled_available = build_and_load() is not None
+    previous = search_kernel_name()
+    results = {}
+    try:
+        for kernel in (("python", "compiled") if compiled_available
+                       else ("python",)):
+            set_search_kernel(kernel)
+            seconds, expansions = _time_search(find_path,
+                                               ConflictDetectionTable,
+                                               rounds)
+            results[kernel] = {"seconds": seconds,
+                               "expansions": expansions,
+                               "expansions_per_s": expansions / seconds}
+    finally:
+        set_search_kernel(previous)
+    payload = {
+        "workload": f"3 endpoints x {rounds} rounds on 64x40 with "
+                    "crossing traffic, per search kernel",
+        "compiled_available": compiled_available,
+        "python": results["python"],
+    }
+    if compiled_available:
+        assert (results["python"]["expansions"]
+                == results["compiled"]["expansions"]), (
+            "kernel expansion counts diverged: "
+            f"python {results['python']['expansions']} vs "
+            f"compiled {results['compiled']['expansions']}")
+        payload["compiled"] = results["compiled"]
+        payload["compiled_speedup"] = (
+            results["compiled"]["expansions_per_s"]
+            / results["python"]["expansions_per_s"])
+    return payload
 
 
 def _time_purges(make_table, rounds=12):
@@ -470,33 +546,45 @@ def bench_planning_fastpath(scale=1.0, fleets=FASTPATH_FLEETS,
     section's number.  Makespans must be bit-identical between the two
     configurations — the fast path is provably behaviour-neutral — and
     the per-cell payload records the check.
+
+    The python search kernel is pinned for both configurations: the
+    fast path's value is *skipping a search*, so the native kernel
+    making searches ~7x cheaper legitimately compresses the measured
+    contrast below the PR-5 floor.  Pinning keeps this gate guarding
+    the fast-path machinery itself (the kernel's own gate is
+    ``bench_search_kernels``).
     """
     from repro.workloads.datasets import fleet_ladder
 
     specs = fleet_ladder(scale=scale, fleets=fleets, large_fleets=())
     cells = []
-    for spec in specs:
-        for planner_name in planners:
-            chain = _fastpath_cell(spec, planner_name, free_flow=False)
-            fast = _fastpath_cell(spec, planner_name, free_flow=True)
-            attempts = (fast["legs_free_flow"]
-                        + fast["fastpath_audit_rejects"]
-                        + fast["fastpath_misses"])
-            cells.append({
-                "scenario": spec.name,
-                "planner": planner_name,
-                "n_robots": spec.n_robots,
-                "pr4_chain": chain,
-                "fastpath": fast,
-                "planning_speedup":
-                    chain["planning_s"] / max(fast["planning_s"], 1e-9),
-                "wall_speedup":
-                    chain["wall_s"] / max(fast["wall_s"], 1e-9),
-                "hit_rate":
-                    fast["legs_free_flow"] / max(attempts, 1),
-                "makespans_bit_identical":
-                    chain["makespan_ticks"] == fast["makespan_ticks"],
-            })
+    previous = search_kernel_name()
+    set_search_kernel("python")
+    try:
+        for spec in specs:
+            for planner_name in planners:
+                chain = _fastpath_cell(spec, planner_name, free_flow=False)
+                fast = _fastpath_cell(spec, planner_name, free_flow=True)
+                attempts = (fast["legs_free_flow"]
+                            + fast["fastpath_audit_rejects"]
+                            + fast["fastpath_misses"])
+                cells.append({
+                    "scenario": spec.name,
+                    "planner": planner_name,
+                    "n_robots": spec.n_robots,
+                    "pr4_chain": chain,
+                    "fastpath": fast,
+                    "planning_speedup":
+                        chain["planning_s"] / max(fast["planning_s"], 1e-9),
+                    "wall_speedup":
+                        chain["wall_s"] / max(fast["wall_s"], 1e-9),
+                    "hit_rate":
+                        fast["legs_free_flow"] / max(attempts, 1),
+                    "makespans_bit_identical":
+                        chain["makespan_ticks"] == fast["makespan_ticks"],
+                })
+    finally:
+        set_search_kernel(previous)
     return {
         "workload": f"fleet-ladder live planning kernel at scale "
                     f"{scale:g}, tier-0 fast path off vs on, planners "
@@ -619,6 +707,9 @@ def _big_ladder_cell(spec, planner_name):
         "batched_legs": stats.batched_legs,
         "batch_conflicts": stats.batch_conflicts,
         "search_expansions": stats.search_expansions,
+        "search_kernel": search_kernel_name(),
+        "searches": {"compiled": stats.searches_compiled,
+                     "python": stats.searches_python},
         "peak_memory_bytes": result.metrics.peak_memory_bytes,
         # Process-wide high watermark (KB on Linux).  Monotone across
         # cells — only the first cell to reach a level "pays" it — so
@@ -653,16 +744,121 @@ def bench_big_ladder(fleets=BIG_LADDER_FLEETS, planners=BIG_LADDER_PLANNERS):
     }
 
 
+def bench_kernel_ladder(fleets=KERNEL_LADDER_FLEETS, planners=("NTP",)):
+    """The PR-8 ladder: paper-floor rungs under each search kernel.
+
+    Each (rung × planner) cell runs live twice — once with the pure-
+    python search core pinned, once with the native kernel — so the
+    recorded ``planning_speedup`` isolates the kernel itself on the
+    exact regime the ROADMAP targets (the 541×302 floor the paper
+    excluded).  Makespans must be bit-identical between the two runs:
+    the kernel changes how fast searches run, never what they return.
+    """
+    from repro.workloads.datasets import fleet_ladder
+
+    if build_and_load() is None:
+        return {"workload": "paper-floor kernel ladder",
+                "compiled_available": False, "cells": []}
+    specs = fleet_ladder(scale=1.0, fleets=(), large_fleets=tuple(fleets))
+    previous = search_kernel_name()
+    cells = []
+    try:
+        for spec in specs:
+            for planner_name in planners:
+                cell = {"scenario": spec.name, "planner": planner_name,
+                        "n_robots": spec.n_robots}
+                for kernel in ("python", "compiled"):
+                    set_search_kernel(kernel)
+                    cell[kernel] = _big_ladder_cell(spec, planner_name)
+                if "error" not in cell["python"] \
+                        and "error" not in cell["compiled"]:
+                    cell["planning_speedup"] = (
+                        cell["python"]["planning_s"]
+                        / max(cell["compiled"]["planning_s"], 1e-9))
+                    cell["wall_speedup"] = (
+                        cell["python"]["wall_s"]
+                        / max(cell["compiled"]["wall_s"], 1e-9))
+                    cell["makespans_bit_identical"] = (
+                        cell["python"]["makespan_ticks"]
+                        == cell["compiled"]["makespan_ticks"])
+                cells.append(cell)
+    finally:
+        set_search_kernel(previous)
+    return {
+        "workload": "paper-floor (541x302) ladder, python vs compiled "
+                    f"search kernel, planners {'/'.join(planners)}",
+        "compiled_available": True,
+        "fleets": list(fleets),
+        "cells": cells,
+    }
+
+
+def report_kernels(kernels, out_path):
+    """Write the PR-8 report and print one line per section.
+
+    Returns the failing items (expansion-throughput floor, makespan
+    divergence, or a rung that errored) so the smoke gate can fail the
+    build on them.
+    """
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "search_kernels": kernels["search_kernels"],
+    }
+    if "kernel_ladder" in kernels:
+        report["kernel_ladder"] = kernels["kernel_ladder"]
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    failed = []
+    micro = kernels["search_kernels"]
+    if micro["compiled_available"]:
+        print(f"kernel   : compiled "
+              f"{micro['compiled']['expansions_per_s']:,.0f} exp/s vs "
+              f"python {micro['python']['expansions_per_s']:,.0f} exp/s "
+              f"— {micro['compiled_speedup']:.2f}x "
+              f"(floor {SMOKE_MIN_COMPILED_SPEEDUP}x)")
+        if micro["compiled_speedup"] < SMOKE_MIN_COMPILED_SPEEDUP:
+            failed.append({"section": "search_kernels",
+                           "speedup": micro["compiled_speedup"]})
+    else:
+        print("kernel   : native kernel unavailable — pure-python core "
+              f"at {micro['python']['expansions_per_s']:,.0f} exp/s "
+              "(speedup gate skipped)")
+    for cell in kernels.get("kernel_ladder", {}).get("cells", []):
+        label = f"{cell['scenario']:>10} {cell['planner']:>4}"
+        if "planning_speedup" not in cell:
+            failed.append(cell)
+            error = (cell.get("python", {}).get("error")
+                     or cell.get("compiled", {}).get("error"))
+            print(f"kernel   : {label} FAILED — {error}")
+            continue
+        print(f"kernel   : {label} ({cell['n_robots']:>4} robots) plan "
+              f"{cell['python']['planning_s']:7.1f}s -> "
+              f"{cell['compiled']['planning_s']:7.1f}s "
+              f"({cell['planning_speedup']:.2f}x, wall "
+              f"{cell['wall_speedup']:.2f}x) "
+              f"identical={cell['makespans_bit_identical']}")
+        if not cell["makespans_bit_identical"]:
+            failed.append(cell)
+    print(f"wrote {out_path}")
+    return failed
+
+
 def bench_sharded_audit(n_paths=400, n_audits=400, seed=20220606):
     """Sharded-vs-global reservation micro on the paper-true floor.
 
     Loads both spatiotemporal-graph variants with the same pseudo-random
-    staircase legs, then times ``audit_path`` over a fresh batch of legs
-    on each.  The audit itself is O(leg) on both structures — what the
-    sharding changes is the *constant* (bytearray tile probes vs. one
-    big per-tick set) and, far more importantly, the per-tick memory the
-    global table would allocate on a 163k-cell floor.  Verdict equality
-    over every audited leg rides along as a correctness check.
+    staircase legs, then times ``reserve_path`` over the load and
+    ``audit_path`` over a fresh batch of legs on each.  Per-probe the
+    sharded audit is *expected* to trail the global one by ~10-25%
+    (``audit_speedup`` below 1): a tile-dict indirection sits in front
+    of every bytearray index.  That is not the quantity sharding
+    optimises — the global table densifies every intermediate 163 KB
+    layer on this floor, so sharding wins ``reserve_speedup`` and,
+    decisively, ``memory_advantage``; that trade is why the planner gate
+    (``Planner.sharded_reservations``) arms sharding only at paper scale
+    and keeps the global table below the gate, where the audit constant
+    is the only term that matters.  Verdict equality over every audited
+    leg rides along as a correctness check.
     """
     import random
 
@@ -692,11 +888,14 @@ def bench_sharded_audit(n_paths=400, n_audits=400, seed=20220606):
     verdicts = {}
     for label, table in (("global", SpatiotemporalGraph(grid)),
                          ("sharded", ShardedSpatiotemporalGraph())):
+        started = time.perf_counter()
         for path in load:
             table.reserve_path(path)
+        reserve_s = time.perf_counter() - started
         started = time.perf_counter()
         verdicts[label] = [table.audit_path(path) for path in probes]
         timings[label] = {
+            "reserve_s": reserve_s,
             "audit_s": time.perf_counter() - started,
             "memory_bytes": table.memory_bytes(),
         }
@@ -706,8 +905,14 @@ def bench_sharded_audit(n_paths=400, n_audits=400, seed=20220606):
                     "spatiotemporal graph",
         "global": timings["global"],
         "sharded": timings["sharded"],
+        "reserve_speedup": (timings["global"]["reserve_s"]
+                            / max(timings["sharded"]["reserve_s"], 1e-9)),
+        # Expected < 1 (tile indirection); see the docstring.  The gates
+        # below are the quantities sharding exists to win.
         "audit_speedup": (timings["global"]["audit_s"]
                           / max(timings["sharded"]["audit_s"], 1e-9)),
+        "memory_advantage": (timings["global"]["memory_bytes"]
+                             / max(timings["sharded"]["memory_bytes"], 1)),
         "verdicts_identical": verdicts["global"] == verdicts["sharded"],
     }
 
@@ -838,7 +1043,7 @@ def report_soak(report, out_path):
 
 def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
               fastpath_out="BENCH_PR5.json", big_out="BENCH_PR6.json",
-              soak_out="BENCH_PR7.json"):
+              soak_out="BENCH_PR7.json", kernel_out="BENCH_PR8.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
     Four gates: the PR-1 packed-search speedup over the in-process seed
@@ -864,6 +1069,18 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
         raise SystemExit(
             f"st_astar.packed.expansions_per_s regressed: speedup "
             f"{st['speedup']:.2f}x < {SMOKE_MIN_SEARCH_SPEEDUP}x floor")
+
+    # The PR-8 gate: the native kernel must clear the ROADMAP's 3x
+    # expansions/s floor over the pure-python core.  The smoke report
+    # carries the micro only; the paper-floor kernel ladder is the full
+    # run's (or --kernel-only's) job.
+    kernels = {"search_kernels": bench_search_kernels(rounds=8)}
+    kernels["search_kernels"]["smoke"] = True
+    failed = report_kernels(kernels, kernel_out)
+    if failed:
+        raise SystemExit(
+            f"native-kernel gate failed: compiled speedup below "
+            f"{SMOKE_MIN_COMPILED_SPEEDUP}x floor")
 
     engine = bench_engine(scale=0.35, fleets=(200,))
     engine["smoke"] = True
@@ -913,16 +1130,27 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
     big = bench_big_ladder(fleets=(500,), planners=("NTP",))
     big["smoke"] = True
     big["ceiling_s"] = SMOKE_BIG_RUNG_CEILING_S
-    big["sharded_audit"] = bench_sharded_audit(n_paths=100, n_audits=100)
+    big["sharded_audit"] = bench_sharded_audit()
     failed = report_big_ladder(big, big_out)
     if failed:
         names = [f"{cell['scenario']}/{cell['planner']}" for cell in failed]
         raise SystemExit(
             f"paper-floor gate failed: {names} did not drain the "
             f"500-robot rung under {SMOKE_BIG_RUNG_CEILING_S:.0f}s")
-    if not big["sharded_audit"]["verdicts_identical"]:
+    audit = big["sharded_audit"]
+    print(f"sharded  : reserve {audit['reserve_speedup']:.2f}x, audit "
+          f"{audit['audit_speedup']:.2f}x (sub-1 by design: tile "
+          f"indirection), memory {audit['memory_advantage']:.1f}x "
+          f"(floor {SMOKE_MIN_SHARDED_MEMORY_ADVANTAGE}x), "
+          f"verdicts identical={audit['verdicts_identical']}")
+    if not audit["verdicts_identical"]:
         raise SystemExit(
             "sharded-vs-global audit verdicts diverged in the PR-6 micro")
+    if audit["memory_advantage"] < SMOKE_MIN_SHARDED_MEMORY_ADVANTAGE:
+        raise SystemExit(
+            f"sharded reservation memory advantage regressed: "
+            f"{audit['memory_advantage']:.2f}x < "
+            f"{SMOKE_MIN_SHARDED_MEMORY_ADVANTAGE}x floor")
 
     # The PR-7 gate: a bounded service-mode soak must hold the
     # reservation footprint flat and survive a mid-run
@@ -957,6 +1185,17 @@ def main(argv=None):
     parser.add_argument("--soak-out", default="BENCH_PR7.json",
                         help="output path of the service-mode soak report "
                              "(default BENCH_PR7.json)")
+    parser.add_argument("--kernel-out", default="BENCH_PR8.json",
+                        help="output path of the native-kernel report "
+                             "(default BENCH_PR8.json)")
+    parser.add_argument("--kernel-only", action="store_true",
+                        help="run only the native-kernel micro plus the "
+                             "paper-floor kernel ladder (500/1000/3000 "
+                             "robots, python vs compiled) and write "
+                             "BENCH_PR8.json")
+    parser.add_argument("--kernel-fleets", default=None,
+                        help="comma-separated rungs of the --kernel-only "
+                             "ladder (default 500,1000,3000)")
     parser.add_argument("--soak-only", action="store_true",
                         help="run only the service-mode soak "
                              f"({SOAK_DURATION_TICKS:,} ticks of stream, "
@@ -1000,7 +1239,17 @@ def main(argv=None):
 
     if args.smoke:
         run_smoke(args.engine_out, args.ladder_out, args.fastpath_out,
-                  args.big_out, args.soak_out)
+                  args.big_out, args.soak_out, args.kernel_out)
+        return
+
+    if args.kernel_only:
+        fleets = (tuple(int(n) for n in args.kernel_fleets.split(","))
+                  if args.kernel_fleets else KERNEL_LADDER_FLEETS)
+        kernels = {"search_kernels": bench_search_kernels(),
+                   "kernel_ladder": bench_kernel_ladder(fleets=fleets)}
+        failed = report_kernels(kernels, args.kernel_out)
+        if failed:
+            raise SystemExit(f"native-kernel gates failed: {failed}")
         return
 
     if args.soak_only:
@@ -1040,6 +1289,9 @@ def main(argv=None):
     big = bench_big_ladder()
     big["sharded_audit"] = bench_sharded_audit()
     report_big_ladder(big, args.big_out)
+    kernels = {"search_kernels": bench_search_kernels(),
+               "kernel_ladder": bench_kernel_ladder()}
+    report_kernels(kernels, args.kernel_out)
     if report_soak(bench_soak(), args.soak_out):
         raise SystemExit("service-mode soak gate failed")
 

@@ -8,6 +8,7 @@ value fails at construction time, not three minutes into a simulation.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -17,6 +18,29 @@ from .errors import ConfigurationError
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigurationError(message)
+
+
+#: Valid values of the ``REPRO_KERNEL`` environment variable.
+SEARCH_KERNEL_CHOICES = ("auto", "compiled", "python")
+
+
+def search_kernel_choice() -> str:
+    """Resolve the ``REPRO_KERNEL`` search-kernel override.
+
+    ``auto`` (the default) uses the compiled C expansion loop when a built
+    artefact is importable and falls back to the pure-python core silently
+    otherwise.  ``compiled`` demands the native kernel (selection fails
+    loudly when it is absent — see
+    :func:`repro.pathfinding.st_astar.set_search_kernel`); ``python``
+    forces the pure-python core even when the extension is available.  The
+    two cores are pinned bit-identical by the equivalence suite, so the
+    knob is a pure performance control.
+    """
+    choice = os.environ.get("REPRO_KERNEL", "auto").strip().lower()
+    _require(choice in SEARCH_KERNEL_CHOICES,
+             f"REPRO_KERNEL must be one of {SEARCH_KERNEL_CHOICES}, "
+             f"got {choice!r}")
+    return choice
 
 
 #: Floor size (in cells) past which the "paper-scale" machinery switches on

@@ -1,0 +1,51 @@
+"""Optional native search kernel for the spatiotemporal A* core.
+
+``load_compiled()`` is a pure import probe: it returns the compiled
+``_stsearch`` module when a built artefact is importable and ``None``
+otherwise — it never invokes a compiler.  Building is always an explicit
+act (``scripts/build_kernel.py``, the test/bench harnesses, or CI) via
+:func:`repro.pathfinding._kernel.build.build_extension`, so importing the
+library on a machine without a toolchain stays side-effect free and the
+pure-python core remains the always-working fallback.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Optional
+
+#: Result of the last probe: ``False`` = not probed yet, ``None`` =
+#: probed and absent, module = probed and loaded.
+_probed = False
+_module = None
+
+
+def load_compiled(refresh: bool = False):
+    """Import-probe the compiled kernel; ``None`` when unavailable.
+
+    ``refresh=True`` re-probes after an explicit build (the module is
+    cached after the first successful import; a failed probe is retried
+    only on refresh so steady-state callers pay one cached lookup).
+    """
+    global _probed, _module
+    if _probed and not refresh:
+        return _module
+    if _module is None:
+        try:
+            _module = importlib.import_module(
+                "repro.pathfinding._kernel._stsearch")
+        except ImportError:
+            _module = None
+    _probed = True
+    return _module
+
+
+def build_and_load(force: bool = False):
+    """Best-effort build then probe; ``None`` when either step fails."""
+    from .build import build_extension
+    if build_extension(force=force) is None:
+        return None
+    return load_compiled(refresh=True)
+
+
+__all__ = ["load_compiled", "build_and_load"]

@@ -1,0 +1,1233 @@
+/* _stsearch — native expansion loop for repro.pathfinding.st_astar.
+ *
+ * Implements the packed-integer spatiotemporal A* core (bucket queue,
+ * epoch-stamped flat workspace, per-tick reservation probes) in C, with
+ * results bit-identical to the pure-python cores in st_astar.py:
+ *
+ *   - flat + FIFO   == _search_packed   (sub-gate floors, layer-capped)
+ *   - hash + FIFO   == _search_heap, deep_ties=False  (overflow restarts)
+ *   - hash + deep   == _search_heap, deep_ties=True   (paper-scale floors)
+ *
+ * "Bit-identical" covers expansion order, tie breaking, the produced
+ * path, and every SearchStats counter.  The FIFO bucket order reproduces
+ * the heap's (f, tie) order; the deep-tie order (f, -g, tie) is realised
+ * as per-f sub-buckets indexed by h = f - g, consumed smallest-h (i.e.
+ * deepest-g) first, FIFO within a sub-bucket.  The stale-entry test
+ * ``g_best + h != f_bucket`` is the same g-dominance restatement the
+ * python cores use.
+ *
+ * Reservation probes run natively for the library's own structures
+ * (probe modes 1-4 below) and through the generic packed-probe callables
+ * otherwise (mode 0), so third-party ReservationTable subclasses keep
+ * working unmodified.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define GRID_CAPSULE_NAME "repro.pathfinding._kernel.grid"
+
+/* Cell-key packing, mirrored from repro.types (x << 16 | y). */
+#define CELL_KEY_SHIFT 16
+#define CELL_KEY_MASK 0xFFFF
+
+/* Probe modes, mirrored from ReservationTable.kernel_probe_spec(). */
+enum {
+    PROBE_CALLABLE = 0,     /* (is_free_packed, edge_free_packed)        */
+    PROBE_CDT = 1,          /* ({t: set(key)}, {t: set(edge)})           */
+    PROBE_DENSE = 2,        /* ({t: bytearray[ci]}, {t: set(edge)})      */
+    PROBE_TILED_SET = 3,    /* ({tile: {t: set(key)}}, {t: set(edge)})   */
+    PROBE_TILED_DENSE = 4,  /* ({t: {tile: bytearray}}, {t: set(edge)})  */
+};
+
+/* run() statuses, mapped to SearchOutcome by the python wrapper. */
+enum {
+    ST_COMPLETE = 0,
+    ST_BUDGET = 1,
+    ST_EXHAUSTED = 2,
+    ST_OVERFLOW = 3,   /* flat workspace hit the layer cap: restart on hash */
+    ST_FINISHER = 4,   /* finisher produced the tail; head steps attached */
+};
+
+/* ------------------------------------------------------------------ */
+/* Prepared grid: flattened adjacency + cached per-cell key objects.   */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t n_cells;
+    int64_t height;
+    Py_ssize_t *adj_off;   /* n_cells + 1 offsets into adj_nci/adj_nkey */
+    int32_t *adj_nci;
+    int64_t *adj_nkey;
+    int64_t *cell_keys;
+    PyObject **key_objs;   /* owned PyLong per cell's packed key */
+} GridData;
+
+static void
+grid_capsule_destroy(PyObject *capsule)
+{
+    GridData *gd = PyCapsule_GetPointer(capsule, GRID_CAPSULE_NAME);
+    if (gd == NULL)
+        return;
+    if (gd->key_objs != NULL) {
+        for (Py_ssize_t i = 0; i < gd->n_cells; i++)
+            Py_XDECREF(gd->key_objs[i]);
+        PyMem_Free(gd->key_objs);
+    }
+    PyMem_Free(gd->adj_off);
+    PyMem_Free(gd->adj_nci);
+    PyMem_Free(gd->adj_nkey);
+    PyMem_Free(gd->cell_keys);
+    PyMem_Free(gd);
+}
+
+static PyObject *
+stsearch_prepare_grid(PyObject *self, PyObject *args)
+{
+    long long height;
+    PyObject *adjacency, *cell_keys;
+    if (!PyArg_ParseTuple(args, "LOO", &height, &adjacency, &cell_keys))
+        return NULL;
+
+    PyObject *adj_fast = PySequence_Fast(adjacency, "adjacency not a sequence");
+    if (adj_fast == NULL)
+        return NULL;
+    PyObject *keys_fast = PySequence_Fast(cell_keys, "cell_keys not a sequence");
+    if (keys_fast == NULL) {
+        Py_DECREF(adj_fast);
+        return NULL;
+    }
+
+    Py_ssize_t n_cells = PySequence_Fast_GET_SIZE(keys_fast);
+    if (PySequence_Fast_GET_SIZE(adj_fast) != n_cells) {
+        PyErr_SetString(PyExc_ValueError,
+                        "adjacency and cell_keys length mismatch");
+        goto parse_fail;
+    }
+
+    GridData *gd = PyMem_Calloc(1, sizeof(GridData));
+    if (gd == NULL) {
+        PyErr_NoMemory();
+        goto parse_fail;
+    }
+    gd->n_cells = n_cells;
+    gd->height = (int64_t)height;
+
+    Py_ssize_t total = 0;
+    for (Py_ssize_t i = 0; i < n_cells; i++) {
+        Py_ssize_t row_len = PySequence_Size(
+            PySequence_Fast_GET_ITEM(adj_fast, i));
+        if (row_len < 0)
+            goto gd_fail;
+        total += row_len;
+    }
+
+    gd->adj_off = PyMem_Malloc((n_cells + 1) * sizeof(Py_ssize_t));
+    gd->adj_nci = PyMem_Malloc((total ? total : 1) * sizeof(int32_t));
+    gd->adj_nkey = PyMem_Malloc((total ? total : 1) * sizeof(int64_t));
+    gd->cell_keys = PyMem_Malloc((n_cells ? n_cells : 1) * sizeof(int64_t));
+    gd->key_objs = PyMem_Calloc((n_cells ? n_cells : 1), sizeof(PyObject *));
+    if (gd->adj_off == NULL || gd->adj_nci == NULL || gd->adj_nkey == NULL
+            || gd->cell_keys == NULL || gd->key_objs == NULL) {
+        PyErr_NoMemory();
+        goto gd_fail;
+    }
+
+    Py_ssize_t at = 0;
+    for (Py_ssize_t i = 0; i < n_cells; i++) {
+        gd->adj_off[i] = at;
+        PyObject *key_obj = PySequence_Fast_GET_ITEM(keys_fast, i);
+        int64_t key = (int64_t)PyLong_AsLongLong(key_obj);
+        if (key == -1 && PyErr_Occurred())
+            goto gd_fail;
+        gd->cell_keys[i] = key;
+        Py_INCREF(key_obj);
+        gd->key_objs[i] = key_obj;
+
+        PyObject *row = PySequence_Fast(
+            PySequence_Fast_GET_ITEM(adj_fast, i), "adjacency row");
+        if (row == NULL)
+            goto gd_fail;
+        Py_ssize_t row_len = PySequence_Fast_GET_SIZE(row);
+        for (Py_ssize_t j = 0; j < row_len; j++) {
+            PyObject *pair = PySequence_Fast_GET_ITEM(row, j);
+            PyObject *pair_fast = PySequence_Fast(pair, "adjacency pair");
+            if (pair_fast == NULL || PySequence_Fast_GET_SIZE(pair_fast) != 2) {
+                Py_XDECREF(pair_fast);
+                Py_DECREF(row);
+                if (!PyErr_Occurred())
+                    PyErr_SetString(PyExc_ValueError, "bad adjacency pair");
+                goto gd_fail;
+            }
+            long long nci = PyLong_AsLongLong(
+                PySequence_Fast_GET_ITEM(pair_fast, 0));
+            long long nkey = PyLong_AsLongLong(
+                PySequence_Fast_GET_ITEM(pair_fast, 1));
+            Py_DECREF(pair_fast);
+            if (PyErr_Occurred()) {
+                Py_DECREF(row);
+                goto gd_fail;
+            }
+            gd->adj_nci[at] = (int32_t)nci;
+            gd->adj_nkey[at] = (int64_t)nkey;
+            at++;
+        }
+        Py_DECREF(row);
+    }
+    gd->adj_off[n_cells] = at;
+
+    PyObject *capsule = PyCapsule_New(gd, GRID_CAPSULE_NAME,
+                                      grid_capsule_destroy);
+    if (capsule == NULL)
+        goto gd_fail;
+    Py_DECREF(adj_fast);
+    Py_DECREF(keys_fast);
+    return capsule;
+
+gd_fail:
+    if (gd->key_objs != NULL)
+        for (Py_ssize_t i = 0; i < n_cells; i++)
+            Py_XDECREF(gd->key_objs[i]);
+    PyMem_Free(gd->adj_off);
+    PyMem_Free(gd->adj_nci);
+    PyMem_Free(gd->adj_nkey);
+    PyMem_Free(gd->cell_keys);
+    PyMem_Free(gd->key_objs);
+    PyMem_Free(gd);
+parse_fail:
+    Py_DECREF(adj_fast);
+    Py_DECREF(keys_fast);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* Open-set containers.                                                */
+/* ------------------------------------------------------------------ */
+
+typedef struct {           /* one FIFO list of packed rel-states */
+    int64_t *items;
+    Py_ssize_t len, cap, pos;
+} Bucket;
+
+typedef struct {           /* per-f bucket array (FIFO / seed order) */
+    Bucket *b;
+    Py_ssize_t len, cap;
+} BArray;
+
+typedef struct {           /* per-f sub-buckets by h (deep-tie order) */
+    Bucket *by_h;
+    Py_ssize_t h_len, h_cap;
+    int64_t lo_h;          /* smallest h with possibly-unread entries */
+    int64_t live;          /* unread entries across all sub-buckets */
+} FBucket;
+
+typedef struct {
+    FBucket *b;
+    Py_ssize_t len, cap;
+} FBArray;
+
+static int
+bucket_push(Bucket *bk, int64_t value)
+{
+    if (bk->len == bk->cap) {
+        Py_ssize_t ncap = bk->cap ? bk->cap * 2 : 8;
+        int64_t *ni = PyMem_Realloc(bk->items, ncap * sizeof(int64_t));
+        if (ni == NULL)
+            return -1;
+        bk->items = ni;
+        bk->cap = ncap;
+    }
+    bk->items[bk->len++] = value;
+    return 0;
+}
+
+static int
+barray_ensure(BArray *ba, Py_ssize_t f)
+{
+    if (f < ba->len)
+        return 0;
+    if (f >= ba->cap) {
+        Py_ssize_t ncap = ba->cap ? ba->cap : 16;
+        while (ncap <= f)
+            ncap *= 2;
+        Bucket *nb = PyMem_Realloc(ba->b, ncap * sizeof(Bucket));
+        if (nb == NULL)
+            return -1;
+        ba->b = nb;
+        ba->cap = ncap;
+    }
+    memset(ba->b + ba->len, 0, (f + 1 - ba->len) * sizeof(Bucket));
+    ba->len = f + 1;
+    return 0;
+}
+
+static void
+barray_free_items(BArray *ba)
+{
+    for (Py_ssize_t i = 0; i < ba->len; i++)
+        PyMem_Free(ba->b[i].items);
+    PyMem_Free(ba->b);
+    ba->b = NULL;
+    ba->len = ba->cap = 0;
+}
+
+static int
+fbarray_ensure(FBArray *fa, Py_ssize_t f)
+{
+    if (f < fa->len)
+        return 0;
+    if (f >= fa->cap) {
+        Py_ssize_t ncap = fa->cap ? fa->cap : 16;
+        while (ncap <= f)
+            ncap *= 2;
+        FBucket *nb = PyMem_Realloc(fa->b, ncap * sizeof(FBucket));
+        if (nb == NULL)
+            return -1;
+        fa->b = nb;
+        fa->cap = ncap;
+    }
+    for (Py_ssize_t i = fa->len; i <= f; i++) {
+        memset(&fa->b[i], 0, sizeof(FBucket));
+        fa->b[i].lo_h = INT64_MAX;
+    }
+    fa->len = f + 1;
+    return 0;
+}
+
+static int
+fbucket_ensure_h(FBucket *fb, Py_ssize_t h)
+{
+    if (h < fb->h_len)
+        return 0;
+    if (h >= fb->h_cap) {
+        Py_ssize_t ncap = fb->h_cap ? fb->h_cap : 8;
+        while (ncap <= h)
+            ncap *= 2;
+        Bucket *nb = PyMem_Realloc(fb->by_h, ncap * sizeof(Bucket));
+        if (nb == NULL)
+            return -1;
+        fb->by_h = nb;
+        fb->h_cap = ncap;
+    }
+    memset(fb->by_h + fb->h_len, 0, (h + 1 - fb->h_len) * sizeof(Bucket));
+    fb->h_len = h + 1;
+    return 0;
+}
+
+static void
+fbarray_free(FBArray *fa)
+{
+    for (Py_ssize_t i = 0; i < fa->len; i++) {
+        FBucket *fb = &fa->b[i];
+        for (Py_ssize_t h = 0; h < fb->h_len; h++)
+            PyMem_Free(fb->by_h[h].items);
+        PyMem_Free(fb->by_h);
+    }
+    PyMem_Free(fa->b);
+    fa->b = NULL;
+    fa->len = fa->cap = 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Open-addressing int64 -> (g, parent) map for the hash backends.     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int64_t *keys;     /* -1 == empty (rel states are non-negative) */
+    int64_t *g;
+    int64_t *parent;
+    Py_ssize_t cap, mask, used;
+} HMap;
+
+static int
+hmap_init(HMap *m, Py_ssize_t cap)
+{
+    m->cap = cap;
+    m->mask = cap - 1;
+    m->used = 0;
+    m->keys = PyMem_Malloc(cap * sizeof(int64_t));
+    m->g = PyMem_Malloc(cap * sizeof(int64_t));
+    m->parent = PyMem_Malloc(cap * sizeof(int64_t));
+    if (m->keys == NULL || m->g == NULL || m->parent == NULL) {
+        PyMem_Free(m->keys);
+        PyMem_Free(m->g);
+        PyMem_Free(m->parent);
+        m->keys = m->g = m->parent = NULL;
+        return -1;
+    }
+    memset(m->keys, 0xFF, cap * sizeof(int64_t));  /* all -1 */
+    return 0;
+}
+
+static void
+hmap_free(HMap *m)
+{
+    PyMem_Free(m->keys);
+    PyMem_Free(m->g);
+    PyMem_Free(m->parent);
+    m->keys = m->g = m->parent = NULL;
+}
+
+static inline Py_ssize_t
+hmap_slot(const HMap *m, int64_t key)
+{
+    uint64_t h = (uint64_t)key * 0x9E3779B97F4A7C15ULL;
+    Py_ssize_t i = (Py_ssize_t)((h ^ (h >> 29)) & (uint64_t)m->mask);
+    while (m->keys[i] != -1 && m->keys[i] != key)
+        i = (i + 1) & m->mask;
+    return i;
+}
+
+static int
+hmap_grow(HMap *m)
+{
+    HMap bigger;
+    if (hmap_init(&bigger, m->cap * 2) < 0)
+        return -1;
+    for (Py_ssize_t i = 0; i < m->cap; i++) {
+        if (m->keys[i] == -1)
+            continue;
+        Py_ssize_t slot = hmap_slot(&bigger, m->keys[i]);
+        bigger.keys[slot] = m->keys[i];
+        bigger.g[slot] = m->g[i];
+        bigger.parent[slot] = m->parent[i];
+    }
+    bigger.used = m->used;
+    hmap_free(m);
+    *m = bigger;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Persistent flat workspace (epoch-stamped arrays + bucket skeletons) */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t n_cells;
+    Py_ssize_t size;       /* allocated entries (layers * n_cells) */
+    int64_t *g, *gen, *parent;
+    int64_t epoch;
+    BArray fifo;
+    int active;
+} Workspace;
+
+static Workspace global_ws;  /* one shape slot; reset on shape change */
+
+static void
+ws_reset(Workspace *w, Py_ssize_t n_cells)
+{
+    PyMem_Free(w->g);
+    PyMem_Free(w->gen);
+    PyMem_Free(w->parent);
+    barray_free_items(&w->fifo);
+    memset(w, 0, sizeof(Workspace));
+    w->n_cells = n_cells;
+}
+
+static int
+ws_grow(Workspace *w, Py_ssize_t rel, int64_t max_layers,
+        int64_t chunk_layers)
+{
+    Py_ssize_t cap = (Py_ssize_t)max_layers * w->n_cells;
+    Py_ssize_t need = rel + 1 - w->size;
+    Py_ssize_t chunk = (Py_ssize_t)chunk_layers * w->n_cells;
+    if (need > chunk)
+        chunk = need;
+    if (chunk > cap - w->size)
+        chunk = cap - w->size;
+    Py_ssize_t nsize = w->size + chunk;
+    int64_t *ng = PyMem_Realloc(w->g, nsize * sizeof(int64_t));
+    if (ng == NULL)
+        return -1;
+    w->g = ng;
+    int64_t *ngen = PyMem_Realloc(w->gen, nsize * sizeof(int64_t));
+    if (ngen == NULL)
+        return -1;
+    w->gen = ngen;
+    int64_t *np = PyMem_Realloc(w->parent, nsize * sizeof(int64_t));
+    if (np == NULL)
+        return -1;
+    w->parent = np;
+    memset(w->gen + w->size, 0, chunk * sizeof(int64_t));
+    w->size = nsize;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Reservation probes.                                                 */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int mode;
+    int tile_bits;
+    PyObject *vertex_obj;  /* borrowed from args */
+    PyObject *edge_obj;    /* borrowed from args */
+    /* per-expansion context */
+    int guarded;
+    PyObject *occupied;    /* borrowed: mode 1 vertex set for t1 */
+    const char *layer1;    /* mode 2 dense layer bytes for t1 */
+    PyObject *layer_tiles; /* borrowed: mode 4 tile dict for t1 */
+    PyObject *swaps;       /* borrowed: modes 1-4 edge set for t1 - 1 */
+    PyObject *t1_obj;      /* owned */
+    PyObject *t0_obj;      /* owned */
+    int64_t memo_tile_id;  /* modes 3/4 last-tile memo */
+    PyObject *memo_tile;   /* borrowed */
+} Probe;
+
+static inline int64_t
+tile_of_key(int64_t key, int bits)
+{
+    return ((key >> (CELL_KEY_SHIFT + bits)) << CELL_KEY_SHIFT)
+        | ((key & CELL_KEY_MASK) >> bits);
+}
+
+/* Fetch the per-tick context for one expansion.  Returns -1 on error. */
+static int
+probe_setup(Probe *p, int64_t t1, int guarded)
+{
+    p->guarded = guarded;
+    p->occupied = NULL;
+    p->layer1 = NULL;
+    p->layer_tiles = NULL;
+    p->swaps = NULL;
+    p->t1_obj = NULL;
+    p->t0_obj = NULL;
+    if (p->mode == PROBE_TILED_DENSE)
+        p->memo_tile_id = -1;  /* memo is per time layer */
+    if (!guarded)
+        return 0;
+    p->t1_obj = PyLong_FromLongLong((long long)t1);
+    if (p->t1_obj == NULL)
+        return -1;
+    p->t0_obj = PyLong_FromLongLong((long long)(t1 - 1));
+    if (p->t0_obj == NULL)
+        return -1;
+    switch (p->mode) {
+    case PROBE_CALLABLE:
+        return 0;
+    case PROBE_CDT:
+        p->occupied = PyDict_GetItemWithError(p->vertex_obj, p->t1_obj);
+        if (p->occupied == NULL && PyErr_Occurred())
+            return -1;
+        break;
+    case PROBE_DENSE: {
+        PyObject *layer = PyDict_GetItemWithError(p->vertex_obj, p->t1_obj);
+        if (layer == NULL) {
+            if (PyErr_Occurred())
+                return -1;
+        } else {
+            if (!PyByteArray_Check(layer)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "dense layer is not a bytearray");
+                return -1;
+            }
+            p->layer1 = PyByteArray_AS_STRING(layer);
+        }
+        break;
+    }
+    case PROBE_TILED_SET:
+        break;  /* tiles probed per cell */
+    case PROBE_TILED_DENSE:
+        p->layer_tiles = PyDict_GetItemWithError(p->vertex_obj, p->t1_obj);
+        if (p->layer_tiles == NULL && PyErr_Occurred())
+            return -1;
+        break;
+    }
+    p->swaps = PyDict_GetItemWithError(p->edge_obj, p->t0_obj);
+    if (p->swaps == NULL && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static void
+probe_teardown(Probe *p)
+{
+    Py_CLEAR(p->t1_obj);
+    Py_CLEAR(p->t0_obj);
+    p->occupied = NULL;
+    p->layer1 = NULL;
+    p->layer_tiles = NULL;
+    p->swaps = NULL;
+}
+
+/* Whether arriving on cell ``ci`` at t1 hits a vertex reservation.
+ * Returns 1 blocked, 0 free, -1 error.  Callers skip when unguarded. */
+static int
+probe_vertex(Probe *p, const GridData *gd, Py_ssize_t ci)
+{
+    switch (p->mode) {
+    case PROBE_CALLABLE: {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            p->vertex_obj, p->t1_obj, gd->key_objs[ci], NULL);
+        if (res == NULL)
+            return -1;
+        int truthy = PyObject_IsTrue(res);
+        Py_DECREF(res);
+        if (truthy < 0)
+            return -1;
+        return !truthy;
+    }
+    case PROBE_CDT:
+        if (p->occupied == NULL)
+            return 0;
+        return PySet_Contains(p->occupied, gd->key_objs[ci]);
+    case PROBE_DENSE:
+        return p->layer1 != NULL && p->layer1[ci] != 0;
+    case PROBE_TILED_SET: {
+        int64_t tile_id = tile_of_key(gd->cell_keys[ci], p->tile_bits);
+        PyObject *tile;
+        if (tile_id == p->memo_tile_id) {
+            tile = p->memo_tile;
+        } else {
+            PyObject *tid = PyLong_FromLongLong((long long)tile_id);
+            if (tid == NULL)
+                return -1;
+            tile = PyDict_GetItemWithError(p->vertex_obj, tid);
+            Py_DECREF(tid);
+            if (tile == NULL && PyErr_Occurred())
+                return -1;
+            p->memo_tile_id = tile_id;
+            p->memo_tile = tile;
+        }
+        if (tile == NULL)
+            return 0;
+        PyObject *bucket = PyDict_GetItemWithError(tile, p->t1_obj);
+        if (bucket == NULL)
+            return PyErr_Occurred() ? -1 : 0;
+        return PySet_Contains(bucket, gd->key_objs[ci]);
+    }
+    case PROBE_TILED_DENSE: {
+        if (p->layer_tiles == NULL)
+            return 0;
+        int64_t key = gd->cell_keys[ci];
+        int64_t tile_id = tile_of_key(key, p->tile_bits);
+        PyObject *tile;
+        if (tile_id == p->memo_tile_id) {
+            tile = p->memo_tile;
+        } else {
+            PyObject *tid = PyLong_FromLongLong((long long)tile_id);
+            if (tid == NULL)
+                return -1;
+            tile = PyDict_GetItemWithError(p->layer_tiles, tid);
+            Py_DECREF(tid);
+            if (tile == NULL && PyErr_Occurred())
+                return -1;
+            p->memo_tile_id = tile_id;
+            p->memo_tile = tile;
+        }
+        if (tile == NULL)
+            return 0;
+        if (!PyByteArray_Check(tile)) {
+            PyErr_SetString(PyExc_TypeError, "tile block is not a bytearray");
+            return -1;
+        }
+        int64_t x = key >> CELL_KEY_SHIFT;
+        int64_t y = key & CELL_KEY_MASK;
+        int64_t mask = ((int64_t)1 << p->tile_bits) - 1;
+        Py_ssize_t slot = (Py_ssize_t)(((x & mask) << p->tile_bits)
+                                       | (y & mask));
+        return PyByteArray_AS_STRING(tile)[slot] != 0;
+    }
+    }
+    PyErr_SetString(PyExc_SystemError, "unknown probe mode");
+    return -1;
+}
+
+/* Whether the move sci -> nci departing at t1 - 1 hits a swap.
+ * Returns 1 blocked, 0 free, -1 error. */
+static int
+probe_edge(Probe *p, const GridData *gd, Py_ssize_t sci, Py_ssize_t nci)
+{
+    if (p->mode == PROBE_CALLABLE) {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            p->edge_obj, p->t0_obj, gd->key_objs[sci], gd->key_objs[nci],
+            NULL);
+        if (res == NULL)
+            return -1;
+        int truthy = PyObject_IsTrue(res);
+        Py_DECREF(res);
+        if (truthy < 0)
+            return -1;
+        return !truthy;
+    }
+    if (p->swaps == NULL)
+        return 0;
+    int64_t combined = (gd->cell_keys[nci] << 32) | gd->cell_keys[sci];
+    PyObject *probe = PyLong_FromLongLong((long long)combined);
+    if (probe == NULL)
+        return -1;
+    int hit = PySet_Contains(p->swaps, probe);
+    Py_DECREF(probe);
+    return hit;
+}
+
+/* ------------------------------------------------------------------ */
+/* The search itself.                                                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    /* problem */
+    const GridData *gd;
+    int64_t height;
+    Py_ssize_t n_cells;
+    PyObject *hlist;       /* h_mode 0: list field (borrowed) */
+    int h_mode;            /* 0 list, 1 native Manhattan */
+    int64_t gx, gy;        /* h_mode 1 goal coordinates */
+    /* backends */
+    int use_flat;          /* flat workspace vs hash map */
+    int deep;              /* deep-tie sub-bucket order vs FIFO */
+    Workspace *ws;         /* flat: the (global or temp) workspace */
+    int ws_is_temp;
+    int64_t epoch;
+    int64_t max_layers, chunk_layers;
+    HMap hm;
+    BArray hash_fifo;      /* hash + FIFO open set */
+    FBArray deepq;         /* hash + deep open set */
+    int64_t hi_f;
+    int64_t h0;
+} Search;
+
+static inline int64_t
+heuristic_at(const Search *s, Py_ssize_t ci, int *err)
+{
+    if (s->h_mode == 1) {
+        int64_t x = (int64_t)ci / s->height;
+        int64_t y = (int64_t)ci % s->height;
+        int64_t dx = x > s->gx ? x - s->gx : s->gx - x;
+        int64_t dy = y > s->gy ? y - s->gy : s->gy - y;
+        return dx + dy;
+    }
+    PyObject *item = PyList_GET_ITEM(s->hlist, ci);
+    int64_t h = (int64_t)PyLong_AsLongLong(item);
+    if (h == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return h;
+}
+
+/* Record/improve a successor and push it at f-offset ``nf``.
+ * ``h`` is the successor's heuristic (deep mode sub-bucket index).
+ * Returns 1 pushed, 0 dominated, -1 error. */
+static inline int
+relax(Search *s, int64_t nrel, int64_t g_next, int64_t rel,
+      int64_t nf, int64_t h)
+{
+    if (s->use_flat) {
+        Workspace *w = s->ws;
+        if (w->gen[nrel] == s->epoch && g_next >= w->g[nrel])
+            return 0;
+        w->gen[nrel] = s->epoch;
+        w->g[nrel] = g_next;
+        w->parent[nrel] = rel;
+        if (barray_ensure(&w->fifo, (Py_ssize_t)nf) < 0)
+            return -1;
+        if (bucket_push(&w->fifo.b[nf], nrel) < 0)
+            return -1;
+    } else {
+        if ((s->hm.used + 1) * 3 > s->hm.cap * 2 && hmap_grow(&s->hm) < 0)
+            return -1;
+        Py_ssize_t slot = hmap_slot(&s->hm, nrel);
+        if (s->hm.keys[slot] == -1) {
+            s->hm.keys[slot] = nrel;
+            s->hm.used++;
+        } else if (g_next >= s->hm.g[slot]) {
+            return 0;
+        }
+        s->hm.g[slot] = g_next;
+        s->hm.parent[slot] = rel;
+        if (s->deep) {
+            if (fbarray_ensure(&s->deepq, (Py_ssize_t)nf) < 0)
+                return -1;
+            FBucket *fb = &s->deepq.b[nf];
+            if (fbucket_ensure_h(fb, (Py_ssize_t)h) < 0)
+                return -1;
+            if (bucket_push(&fb->by_h[h], nrel) < 0)
+                return -1;
+            fb->live++;
+            if (h < fb->lo_h)
+                fb->lo_h = h;
+        } else {
+            if (barray_ensure(&s->hash_fifo, (Py_ssize_t)nf) < 0)
+                return -1;
+            if (bucket_push(&s->hash_fifo.b[nf], nrel) < 0)
+                return -1;
+        }
+    }
+    if (nf > s->hi_f)
+        s->hi_f = nf;
+    return 1;
+}
+
+static PyObject *
+reconstruct(const Search *s, int64_t rel, int64_t start_time)
+{
+    PyObject *steps = PyList_New(0);
+    if (steps == NULL)
+        return NULL;
+    while (rel >= 0) {
+        int64_t t_rel = rel / s->n_cells;
+        int64_t ci = rel % s->n_cells;
+        int64_t x = ci / s->height;
+        int64_t y = ci % s->height;
+        PyObject *step = Py_BuildValue("(LLL)",
+                                       (long long)(start_time + t_rel),
+                                       (long long)x, (long long)y);
+        if (step == NULL || PyList_Append(steps, step) < 0) {
+            Py_XDECREF(step);
+            Py_DECREF(steps);
+            return NULL;
+        }
+        Py_DECREF(step);
+        if (s->use_flat) {
+            rel = s->ws->parent[rel];
+        } else {
+            Py_ssize_t slot = hmap_slot(&s->hm, rel);
+            rel = s->hm.parent[slot];
+        }
+    }
+    if (PyList_Reverse(steps) < 0) {
+        Py_DECREF(steps);
+        return NULL;
+    }
+    return steps;
+}
+
+static PyObject *
+stsearch_run(PyObject *self, PyObject *args)
+{
+    PyObject *capsule, *probe_a, *probe_b, *h_arg, *finisher;
+    int probe_mode, tile_bits, h_mode, use_flat, deep;
+    Py_ssize_t source_ci, goal_ci;
+    long long start_time, probe_limit, max_expansions;
+    long long finisher_trigger, max_layers, chunk_layers;
+    long long init_expansions, init_peak_open;
+
+    if (!PyArg_ParseTuple(
+            args, "OiOOiiOnnLLLOLiiLLLL",
+            &capsule, &probe_mode, &probe_a, &probe_b, &tile_bits,
+            &h_mode, &h_arg, &source_ci, &goal_ci,
+            &start_time, &probe_limit, &max_expansions,
+            &finisher, &finisher_trigger, &use_flat, &deep,
+            &max_layers, &chunk_layers, &init_expansions, &init_peak_open))
+        return NULL;
+
+    GridData *gd = PyCapsule_GetPointer(capsule, GRID_CAPSULE_NAME);
+    if (gd == NULL)
+        return NULL;
+
+    /* Validate the probe spec shape up front, then trust it in the loop. */
+    switch (probe_mode) {
+    case PROBE_CALLABLE:
+        if (!PyCallable_Check(probe_a) || !PyCallable_Check(probe_b)) {
+            PyErr_SetString(PyExc_TypeError, "probe callables expected");
+            return NULL;
+        }
+        break;
+    case PROBE_CDT:
+    case PROBE_DENSE:
+    case PROBE_TILED_SET:
+    case PROBE_TILED_DENSE:
+        if (!PyDict_Check(probe_a) || !PyDict_Check(probe_b)) {
+            PyErr_SetString(PyExc_TypeError, "probe dicts expected");
+            return NULL;
+        }
+        break;
+    default:
+        PyErr_SetString(PyExc_ValueError, "unknown probe mode");
+        return NULL;
+    }
+
+    Search s;
+    memset(&s, 0, sizeof(Search));
+    s.gd = gd;
+    s.height = gd->height;
+    s.n_cells = gd->n_cells;
+    s.h_mode = h_mode;
+    s.use_flat = use_flat;
+    s.deep = deep;
+    s.max_layers = max_layers;
+    s.chunk_layers = chunk_layers;
+    s.hi_f = 0;
+
+    if (h_mode == 1) {
+        long long gx, gy;
+        if (!PyArg_ParseTuple(h_arg, "LL", &gx, &gy))
+            return NULL;
+        s.gx = (int64_t)gx;
+        s.gy = (int64_t)gy;
+    } else {
+        if (!PyList_Check(h_arg)
+                || PyList_GET_SIZE(h_arg) != s.n_cells) {
+            PyErr_SetString(PyExc_TypeError,
+                            "h field must be a list of n_cells ints");
+            return NULL;
+        }
+        s.hlist = h_arg;
+    }
+
+    Probe probe;
+    memset(&probe, 0, sizeof(Probe));
+    probe.mode = probe_mode;
+    probe.tile_bits = tile_bits;
+    probe.vertex_obj = probe_a;
+    probe.edge_obj = probe_b;
+    probe.memo_tile_id = -1;
+
+    int herr = 0;
+    s.h0 = heuristic_at(&s, source_ci, &herr);
+    if (herr)
+        return NULL;
+
+    /* Backend setup. */
+    Workspace temp_ws;
+    memset(&temp_ws, 0, sizeof(Workspace));
+    if (use_flat) {
+        Workspace *w = &global_ws;
+        if (w->active) {
+            /* Re-entrant search (a finisher that searches): hand out a
+             * throwaway workspace rather than corrupting the live one.
+             * This must be decided before any shape-change reset — the
+             * outer search owns the global arrays right now. */
+            temp_ws.n_cells = s.n_cells;
+            w = &temp_ws;
+            s.ws_is_temp = 1;
+        } else if (w->n_cells != s.n_cells) {
+            ws_reset(w, s.n_cells);
+        }
+        s.ws = w;
+        w->epoch += 1;
+        s.epoch = w->epoch;
+        w->active = 1;
+        if (w->size < s.n_cells
+                && ws_grow(w, s.n_cells - 1, max_layers, chunk_layers) < 0) {
+            w->active = 0;
+            return PyErr_NoMemory();
+        }
+        w->gen[source_ci] = s.epoch;
+        w->g[source_ci] = 0;
+        w->parent[source_ci] = -1;
+        if (barray_ensure(&w->fifo, 0) < 0
+                || bucket_push(&w->fifo.b[0], source_ci) < 0) {
+            w->active = 0;
+            return PyErr_NoMemory();
+        }
+    } else {
+        if (hmap_init(&s.hm, 4096) < 0)
+            return PyErr_NoMemory();
+        Py_ssize_t slot = hmap_slot(&s.hm, source_ci);
+        s.hm.keys[slot] = source_ci;
+        s.hm.g[slot] = 0;
+        s.hm.parent[slot] = -1;
+        s.hm.used = 1;
+        if (deep) {
+            if (fbarray_ensure(&s.deepq, 0) < 0
+                    || fbucket_ensure_h(&s.deepq.b[0], (Py_ssize_t)s.h0) < 0
+                    || bucket_push(&s.deepq.b[0].by_h[s.h0], source_ci) < 0) {
+                fbarray_free(&s.deepq);
+                hmap_free(&s.hm);
+                return PyErr_NoMemory();
+            }
+            s.deepq.b[0].live = 1;
+            s.deepq.b[0].lo_h = s.h0;
+        } else {
+            if (barray_ensure(&s.hash_fifo, 0) < 0
+                    || bucket_push(&s.hash_fifo.b[0], source_ci) < 0) {
+                barray_free_items(&s.hash_fifo);
+                hmap_free(&s.hm);
+                return PyErr_NoMemory();
+            }
+        }
+    }
+
+    int64_t f_off = 0;           /* bucket cursor (f - h0) */
+    int64_t f_abs = s.h0;        /* absolute f at the cursor */
+    int64_t open_size = 1;
+    int64_t expansions = (int64_t)init_expansions;
+    int64_t generated = 0;
+    int64_t peak_open = (int64_t)init_peak_open;
+    int64_t loop_ticker = 0;
+
+    int status = ST_EXHAUSTED;
+    int64_t result_rel = -1;
+    PyObject *steps = NULL;       /* owned on success */
+    PyObject *finisher_tail = NULL;
+
+    while (open_size > 0) {
+        if (((++loop_ticker) & 0x3FFF) == 0 && PyErr_CheckSignals() < 0)
+            goto fail;
+
+        /* -- pop ------------------------------------------------------ */
+        int64_t rel;
+        if (s.deep) {
+            while (f_off < s.deepq.len && s.deepq.b[f_off].live == 0) {
+                f_off++;
+                f_abs++;
+            }
+            if (f_off > s.hi_f || f_off >= s.deepq.len) {
+                PyErr_SetString(PyExc_AssertionError,
+                                "bucket queue underflow: heuristic field "
+                                "is not consistent");
+                goto fail;
+            }
+            FBucket *fb = &s.deepq.b[f_off];
+            while (fb->lo_h < fb->h_len
+                    && fb->by_h[fb->lo_h].pos >= fb->by_h[fb->lo_h].len)
+                fb->lo_h++;
+            if (fb->lo_h >= fb->h_len) {
+                PyErr_SetString(PyExc_AssertionError,
+                                "bucket queue underflow: heuristic field "
+                                "is not consistent");
+                goto fail;
+            }
+            Bucket *hb = &fb->by_h[fb->lo_h];
+            if (open_size > peak_open)
+                peak_open = open_size;
+            rel = hb->items[hb->pos++];
+            fb->live--;
+        } else {
+            BArray *ba = use_flat ? &s.ws->fifo : &s.hash_fifo;
+            while (f_off < ba->len
+                    && ba->b[f_off].pos >= ba->b[f_off].len) {
+                f_off++;
+                f_abs++;
+            }
+            if (f_off > s.hi_f || f_off >= ba->len) {
+                PyErr_SetString(PyExc_AssertionError,
+                                "bucket queue underflow: heuristic field "
+                                "is not consistent");
+                goto fail;
+            }
+            Bucket *bk = &ba->b[f_off];
+            if (open_size > peak_open)
+                peak_open = open_size;
+            rel = bk->items[bk->pos++];
+        }
+        open_size--;
+
+        int64_t t_rel = rel / s.n_cells;
+        Py_ssize_t ci = (Py_ssize_t)(rel % s.n_cells);
+        int64_t h_ci = heuristic_at(&s, ci, &herr);
+        if (herr)
+            goto fail;
+        int64_t g;
+        if (use_flat) {
+            g = s.ws->g[rel];
+        } else {
+            Py_ssize_t slot = hmap_slot(&s.hm, rel);
+            g = s.hm.g[slot];
+        }
+        if (g + h_ci != f_abs)
+            continue;  /* dominated by a later, cheaper push */
+        expansions++;
+        if (expansions > max_expansions) {
+            status = ST_BUDGET;
+            goto done;
+        }
+
+        if (ci == (Py_ssize_t)goal_ci) {
+            status = ST_COMPLETE;
+            result_rel = rel;
+            goto done;
+        }
+
+        if (finisher != Py_None && h_ci > 0 && h_ci <= finisher_trigger) {
+            PyObject *cell = Py_BuildValue("(LL)",
+                                           (long long)(ci / s.height),
+                                           (long long)(ci % s.height));
+            if (cell == NULL)
+                goto fail;
+            PyObject *t_obj = PyLong_FromLongLong(
+                (long long)(start_time + t_rel));
+            if (t_obj == NULL) {
+                Py_DECREF(cell);
+                goto fail;
+            }
+            PyObject *tail = PyObject_CallFunctionObjArgs(
+                finisher, cell, t_obj, NULL);
+            Py_DECREF(cell);
+            Py_DECREF(t_obj);
+            if (tail == NULL)
+                goto fail;
+            if (tail != Py_None) {
+                status = ST_FINISHER;
+                result_rel = rel;
+                finisher_tail = tail;
+                goto done;
+            }
+            Py_DECREF(tail);
+        }
+
+        int64_t g_next = g + 1;
+        int64_t t1 = start_time + t_rel + 1;
+        int64_t nxt_base = rel - ci + s.n_cells;
+        if (use_flat && nxt_base + s.n_cells > s.ws->size) {
+            if (t_rel + 2 > max_layers) {
+                status = ST_OVERFLOW;
+                goto done;
+            }
+            if (ws_grow(s.ws, (Py_ssize_t)(nxt_base + s.n_cells - 1),
+                        max_layers, chunk_layers) < 0) {
+                PyErr_NoMemory();
+                goto fail;
+            }
+        }
+        int guarded = t1 <= probe_limit;
+        int64_t base_f = g_next - s.h0;
+
+        if (probe_setup(&probe, t1, guarded) < 0)
+            goto fail;
+
+        /* Wait in place (the fifth action) — vertex check only. */
+        int blocked = guarded ? probe_vertex(&probe, gd, ci) : 0;
+        if (blocked < 0)
+            goto expand_fail;
+        if (!blocked) {
+            int pushed = relax(&s, nxt_base + ci, g_next, rel,
+                               base_f + h_ci, h_ci);
+            if (pushed < 0) {
+                PyErr_NoMemory();
+                goto expand_fail;
+            }
+            if (pushed) {
+                generated++;
+                open_size++;
+            }
+        }
+
+        /* The four moves, in adjacency order. */
+        for (Py_ssize_t a = gd->adj_off[ci]; a < gd->adj_off[ci + 1]; a++) {
+            Py_ssize_t nci = (Py_ssize_t)gd->adj_nci[a];
+            if (guarded) {
+                blocked = probe_vertex(&probe, gd, nci);
+                if (blocked < 0)
+                    goto expand_fail;
+                if (blocked)
+                    continue;
+                blocked = probe_edge(&probe, gd, ci, nci);
+                if (blocked < 0)
+                    goto expand_fail;
+                if (blocked)
+                    continue;
+            }
+            int64_t nh = heuristic_at(&s, nci, &herr);
+            if (herr)
+                goto expand_fail;
+            int pushed = relax(&s, nxt_base + nci, g_next, rel,
+                               base_f + nh, nh);
+            if (pushed < 0) {
+                PyErr_NoMemory();
+                goto expand_fail;
+            }
+            if (pushed) {
+                generated++;
+                open_size++;
+            }
+        }
+        probe_teardown(&probe);
+    }
+
+done:
+    if (result_rel >= 0) {
+        steps = reconstruct(&s, result_rel, start_time);
+        if (steps == NULL)
+            goto fail;
+    }
+    {
+        PyObject *out = Py_BuildValue(
+            "iOOLLL", status,
+            steps ? steps : Py_None,
+            finisher_tail ? finisher_tail : Py_None,
+            (long long)expansions, (long long)generated,
+            (long long)peak_open);
+        Py_XDECREF(steps);
+        Py_XDECREF(finisher_tail);
+        steps = NULL;
+        finisher_tail = NULL;
+        /* cleanup below runs with `out` ready */
+        if (use_flat) {
+            Workspace *w = s.ws;
+            for (Py_ssize_t i = 0; i <= (Py_ssize_t)s.hi_f
+                     && i < w->fifo.len; i++) {
+                w->fifo.b[i].len = 0;
+                w->fifo.b[i].pos = 0;
+            }
+            w->active = 0;
+            if (s.ws_is_temp)
+                ws_reset(&temp_ws, 0);
+        } else {
+            hmap_free(&s.hm);
+            if (s.deep)
+                fbarray_free(&s.deepq);
+            else
+                barray_free_items(&s.hash_fifo);
+        }
+        return out;
+    }
+
+expand_fail:
+    probe_teardown(&probe);
+fail:
+    Py_XDECREF(steps);
+    Py_XDECREF(finisher_tail);
+    if (use_flat) {
+        Workspace *w = s.ws;
+        if (w != NULL) {
+            for (Py_ssize_t i = 0; i <= (Py_ssize_t)s.hi_f
+                     && i < w->fifo.len; i++) {
+                w->fifo.b[i].len = 0;
+                w->fifo.b[i].pos = 0;
+            }
+            w->active = 0;
+        }
+        if (s.ws_is_temp)
+            ws_reset(&temp_ws, 0);
+    } else {
+        hmap_free(&s.hm);
+        if (s.deep)
+            fbarray_free(&s.deepq);
+        else
+            barray_free_items(&s.hash_fifo);
+    }
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef stsearch_methods[] = {
+    {"prepare_grid", stsearch_prepare_grid, METH_VARARGS,
+     "prepare_grid(height, adjacency, cell_keys) -> capsule\n"
+     "Flatten a grid's adjacency table into native arrays."},
+    {"run", stsearch_run, METH_VARARGS,
+     "run(grid_capsule, probe_mode, probe_a, probe_b, tile_bits,\n"
+     "    h_mode, h_arg, source_ci, goal_ci, start_time, probe_limit,\n"
+     "    max_expansions, finisher, finisher_trigger, use_flat, deep,\n"
+     "    max_layers, chunk_layers, init_expansions, init_peak_open)\n"
+     " -> (status, steps, finisher_tail, expansions, generated, peak_open)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef stsearch_module = {
+    PyModuleDef_HEAD_INIT,
+    "_stsearch",
+    "Native spatiotemporal A* expansion loop (bit-identical to the\n"
+    "pure-python cores in repro.pathfinding.st_astar).",
+    -1,
+    stsearch_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__stsearch(void)
+{
+    PyObject *mod = PyModule_Create(&stsearch_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(mod, "KERNEL_ABI", 1) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

@@ -1,0 +1,105 @@
+"""Build helper for the native search kernel.
+
+Compiles ``_stsearchmodule.c`` into ``_stsearch<EXT_SUFFIX>`` next to this
+file by invoking the C compiler recorded in ``sysconfig`` directly — no
+setuptools invocation, no network, no temp build trees left behind.  The
+compiled artefact is written via a temp file + atomic ``os.replace`` so
+concurrent builders (a pytest-xdist swarm, parallel bench jobs) can race
+harmlessly.
+
+``setup.py`` in this directory remains the documented setuptools route
+(``python setup.py build_ext --inplace``); this module is what the test
+suite, the bench harness and CI actually call because it works on a bare
+compiler with no build backend installed.
+
+Set ``REPRO_KERNEL_BUILD=0`` to forbid build attempts entirely (the CI
+pure-python job uses this to prove the fallback path never needs a
+compiler).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sysconfig
+import tempfile
+from typing import List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SOURCE = os.path.join(_HERE, "_stsearchmodule.c")
+
+
+def extension_filename() -> str:
+    """The platform-tagged filename the import system expects."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return "_stsearch" + suffix
+
+
+def extension_path() -> str:
+    """Absolute path of the (possibly not yet built) extension."""
+    return os.path.join(_HERE, extension_filename())
+
+
+def build_allowed() -> bool:
+    """Whether the environment permits invoking a compiler."""
+    return os.environ.get("REPRO_KERNEL_BUILD", "1") != "0"
+
+
+def is_stale() -> bool:
+    """Whether the built artefact is missing or older than its source."""
+    target = extension_path()
+    if not os.path.exists(target):
+        return True
+    try:
+        return os.path.getmtime(target) < os.path.getmtime(_SOURCE)
+    except OSError:
+        return True
+
+
+def _compiler_command(output: str) -> Optional[List[str]]:
+    cc = sysconfig.get_config_var("CC") or os.environ.get("CC") or "cc"
+    include = sysconfig.get_paths().get("include")
+    if include is None:
+        return None
+    cmd = shlex.split(cc)
+    cmd += ["-O2", "-fPIC", "-shared", "-I" + include, _SOURCE, "-o", output]
+    return cmd
+
+
+def build_extension(force: bool = False, quiet: bool = True) -> Optional[str]:
+    """Compile the kernel if needed; return the artefact path or ``None``.
+
+    ``None`` means the kernel is unavailable: builds are forbidden by
+    ``REPRO_KERNEL_BUILD=0``, no compiler is present, or compilation
+    failed.  Callers treat that as "run pure python" — building is always
+    best-effort, never an error.
+    """
+    if not force and not is_stale():
+        return extension_path()
+    if not build_allowed():
+        return extension_path() if os.path.exists(extension_path()) else None
+    fd, temp_out = tempfile.mkstemp(suffix=".so", dir=_HERE)
+    os.close(fd)
+    try:
+        cmd = _compiler_command(temp_out)
+        if cmd is None:
+            return None
+        result = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        if result.returncode != 0:
+            if not quiet:
+                raise RuntimeError(
+                    "kernel build failed:\n" + result.stderr.decode(
+                        "utf-8", "replace"))
+            return None
+        os.replace(temp_out, extension_path())
+        temp_out = None
+        return extension_path()
+    except (OSError, subprocess.SubprocessError):
+        if not quiet:
+            raise
+        return None
+    finally:
+        if temp_out is not None and os.path.exists(temp_out):
+            os.unlink(temp_out)

@@ -1,0 +1,22 @@
+"""Setuptools build for the native search kernel (documented route).
+
+    cd src/repro/pathfinding/_kernel && python setup.py build_ext --inplace
+
+The repo's own tooling (tests, benches, CI) uses ``build.py`` instead,
+which drives the C compiler directly and needs no build backend; both
+produce the same ``_stsearch`` artefact in this directory.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    name="repro-stsearch-kernel",
+    version="1.0",
+    ext_modules=[
+        Extension(
+            "_stsearch",
+            sources=["_stsearchmodule.c"],
+            extra_compile_args=["-O2"],
+        )
+    ],
+)

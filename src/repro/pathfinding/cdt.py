@@ -266,6 +266,10 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
     def packed_buckets(self):
         return self._buckets, self._edge_buckets
 
+    def kernel_probe_spec(self):
+        # Mode 1: {tick: set(packed key)} vertices, {tick: set(edge)} swaps.
+        return 1, self._buckets, self._edge_buckets, 0
+
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
         buckets = self._buckets
@@ -398,6 +402,10 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
         return self._edge_free(t, source, target)
 
     edge_free_packed = _EdgeMixin._edge_free_packed
+
+    def kernel_probe_spec(self):
+        # Mode 3: {tile: {tick: set(packed key)}} vertices, shared swaps.
+        return 3, self._tiles, self._edge_buckets, self._tile_bits
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:

@@ -195,6 +195,21 @@ class ReservationTable(abc.ABC):
         """
         return None
 
+    def kernel_probe_spec(self):
+        """How the native search kernel should probe this structure.
+
+        Returns ``(mode, vertex_obj, edge_obj, tile_bits)`` matching the
+        probe modes of ``_kernel/_stsearchmodule.c``.  This base
+        implementation answers mode 0 — the generic packed-probe
+        callables — so any subclass works with the compiled kernel
+        unmodified (each probe calls back into Python, which still beats
+        the interpreted expansion loop).  The library's own structures
+        override it with their native container layouts (modes 1-4) so
+        the hot loop probes C containers directly.  The probe answers are
+        bit-identical across modes; the equivalence suite pins that.
+        """
+        return 0, self.is_free_packed, self.edge_free_packed, 0
+
     def audit_path(self, path: Path) -> bool:
         """Whether every arrival and move of ``path`` is conflict-free.
 

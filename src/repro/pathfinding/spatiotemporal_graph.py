@@ -82,6 +82,10 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
 
     edge_free_packed = _EdgeMixin._edge_free_packed
 
+    def kernel_probe_spec(self):
+        # Mode 2: {tick: bytearray[cell index]} layers, shared swaps.
+        return 2, self._layers, self._edge_buckets, 0
+
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
         height = self._grid.height
@@ -219,6 +223,10 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
         return self._edge_free(t, source, target)
 
     edge_free_packed = _EdgeMixin._edge_free_packed
+
+    def kernel_probe_spec(self):
+        # Mode 4: {tick: {tile: bytearray[tile slot]}} layers, shared swaps.
+        return 4, self._layers, self._edge_buckets, self._tile_bits
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:

@@ -71,11 +71,13 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..config import PAPER_SCALE_MIN_CELLS
-from ..errors import PathNotFoundError
+from ..config import (PAPER_SCALE_MIN_CELLS, SEARCH_KERNEL_CHOICES,
+                      search_kernel_choice)
+from ..errors import ConfigurationError, PathNotFoundError
 from ..types import Cell, Tick
 from ..warehouse.grid import Grid
-from .heuristics import Heuristic, HeuristicField
+from ._kernel import load_compiled as _load_compiled
+from .heuristics import Heuristic, HeuristicField, _LazyManhattanFlat
 from .paths import Path
 from .reservation import ReservationTable
 
@@ -102,6 +104,13 @@ class SearchStats:
     budget:
         The expansion budget that was in force (diagnostic; set by the
         packed core, left 0 by the frozen seed core).
+    kernel:
+        Which expansion loop answered this search: ``"compiled"`` (the
+        native C kernel), ``"python"`` (the pure-python cores), or ``""``
+        when no search loop ran at all (synthetic stats such as the
+        tier-0 free-flow fast path's).  The two kernels are bit-identical
+        in every other field; this one exists so planner stats and benches
+        can report which core actually executed.
     """
 
     expansions: int = 0
@@ -109,6 +118,7 @@ class SearchStats:
     cache_finished: bool = False
     peak_open: int = 0
     budget: int = 0
+    kernel: str = ""
 
 
 #: Outcome statuses of one spatiotemporal search.
@@ -193,6 +203,56 @@ class SearchOutcome:
                                  reason, stats=self.stats)
 
 
+# -- kernel selection ---------------------------------------------------------
+
+#: The compiled ``_stsearch`` module when loaded, else ``None``.
+_COMPILED = None
+
+#: The active kernel name: ``"compiled"`` or ``"python"``.
+_KERNEL = "python"
+
+
+def set_search_kernel(choice: str) -> str:
+    """Select the search kernel; returns the resolved kernel name.
+
+    ``choice`` follows the ``REPRO_KERNEL`` contract (see
+    :func:`repro.config.search_kernel_choice`): ``auto`` probes for the
+    compiled extension and falls back to pure python silently;
+    ``compiled`` raises :class:`~repro.errors.ConfigurationError` when the
+    extension is absent (an explicit demand must not degrade silently);
+    ``python`` forces the pure-python cores.  Tests and benches call this
+    directly to pin a kernel; normal runs inherit the environment default
+    resolved at import.
+    """
+    global _COMPILED, _KERNEL
+    if choice not in SEARCH_KERNEL_CHOICES:
+        raise ConfigurationError(
+            f"search kernel must be one of {SEARCH_KERNEL_CHOICES}, "
+            f"got {choice!r}")
+    if choice != "python" and _COMPILED is None:
+        _COMPILED = _load_compiled(refresh=True)
+    if choice == "compiled" and _COMPILED is None:
+        raise ConfigurationError(
+            "REPRO_KERNEL=compiled but the native kernel is not built; "
+            "run scripts/build_kernel.py (or python setup.py build_ext "
+            "--inplace in src/repro/pathfinding/_kernel) or use "
+            "REPRO_KERNEL=auto|python")
+    _KERNEL = ("compiled"
+               if choice == "compiled"
+               or (choice == "auto" and _COMPILED is not None)
+               else "python")
+    return _KERNEL
+
+
+def search_kernel_name() -> str:
+    """The kernel currently answering searches (``compiled``/``python``)."""
+    return _KERNEL
+
+
+#: Import-probe at module load, honouring the environment override.
+set_search_kernel(search_kernel_choice())
+
+
 def search(grid: Grid, reservation: ReservationTable,
            request: SearchRequest,
            heuristic: Optional[Heuristic] = None,
@@ -214,12 +274,29 @@ def search(grid: Grid, reservation: ReservationTable,
     stats.budget = request.max_expansions
 
     if source == goal:
+        # No expansion loop runs, so no kernel tag (stats.kernel == "").
         return SearchOutcome(request, SEARCH_COMPLETE,
                              Path(((start_time, source[0], source[1]),)),
                              stats)
+    stats.kernel = "python"
 
     hfield = _heuristic_field(grid, goal, heuristic)
-    if ((heuristic is None or isinstance(heuristic, HeuristicField))
+    library_field = heuristic is None or isinstance(heuristic, HeuristicField)
+    if _KERNEL == "compiled" and library_field:
+        # The native kernel handles exactly the searches whose heuristics
+        # the library controls (flat list fields and the lazy Manhattan
+        # field — both consistent by construction); arbitrary callables
+        # keep the pure-python heap core below.  Dispatch covers all
+        # three python regimes — flat bucket queue, overflow restart, and
+        # paper-scale deep ties — with bit-identical results.
+        h_spec = _kernel_h_spec(hfield)
+        if h_spec is not None:
+            use_flat = (grid.n_cells < PAPER_SCALE_MIN_CELLS
+                        and hfield[source[0] * grid.height + source[1]]
+                        < _MAX_LAYERS)
+            return _search_compiled(grid, reservation, request, hfield,
+                                    h_spec, stats, use_flat)
+    if (library_field
             and grid.n_cells < PAPER_SCALE_MIN_CELLS
             and hfield[source[0] * grid.height + source[1]] < _MAX_LAYERS):
         # The library's own fields are consistent by construction (exact
@@ -334,6 +411,102 @@ def _workspace(grid: Grid) -> _Workspace:
         # throwaway workspace instead of corrupting the live one.
         return _Workspace(grid.n_cells)
     return ws
+
+
+#: Per-grid prepared adjacency capsules for the native kernel, keyed by
+#: ``id(grid)`` with the grid kept alive alongside (Grid is ``__slots__``
+#: and unhashable-by-content; the identity check guards id reuse).  Same
+#: bounded-cache hygiene as the workspaces above.
+_GRID_PREP: Dict[int, Tuple[Grid, object]] = {}
+_GRID_PREP_CAP = 8
+
+
+def _grid_capsule(grid: Grid):
+    entry = _GRID_PREP.get(id(grid))
+    if entry is not None and entry[0] is grid:
+        return entry[1]
+    if len(_GRID_PREP) >= _GRID_PREP_CAP:
+        _GRID_PREP.clear()
+    capsule = _COMPILED.prepare_grid(grid.height, grid.adjacency,
+                                     grid.cell_keys)
+    _GRID_PREP[id(grid)] = (grid, capsule)
+    return capsule
+
+
+def _kernel_h_spec(hfield):
+    """Native heuristic encoding, or ``None`` when the kernel declines.
+
+    Mode 0 indexes a plain list field; mode 1 computes Manhattan distance
+    natively from the goal coordinates (the lazy paper-scale field, whose
+    ``__getitem__`` the hot loop must not call back into).  Anything else
+    — the ``_LazyField`` adapter over arbitrary callables — stays on the
+    pure-python heap core.
+    """
+    if type(hfield) is list:
+        return 0, hfield
+    if isinstance(hfield, _LazyManhattanFlat):
+        return 1, (hfield._gx, hfield._gy)
+    return None
+
+
+def _search_compiled(grid: Grid, reservation: ReservationTable,
+                     request: SearchRequest, hfield,
+                     h_spec, stats: SearchStats,
+                     use_flat: bool) -> SearchOutcome:
+    """Dispatch one search to the native kernel.
+
+    Mirrors the python routing exactly: ``use_flat`` selects the flat
+    epoch-stamped backend (== ``_search_packed``), a layer-cap overflow
+    restarts on the hash backend with the stats snapshot semantics of the
+    python :class:`_WorkspaceOverflow` handler (== ``_search_heap``), and
+    paper-scale floors run the hash backend with deep-tie ordering.  The
+    kernel returns raw counters; this wrapper folds them into ``stats``
+    the same way the python cores' ``finally`` blocks do.
+    """
+    source, goal = request.source, request.goal
+    height = grid.height
+    source_ci = source[0] * height + source[1]
+    goal_ci = goal[0] * height + goal[1]
+    deep = grid.n_cells >= PAPER_SCALE_MIN_CELLS
+    h_mode, h_arg = h_spec
+    mode, probe_a, probe_b, tile_bits = reservation.kernel_probe_spec()
+    capsule = _grid_capsule(grid)
+    stats.kernel = "compiled"
+
+    status, steps, tail, expansions, generated, peak_open = _COMPILED.run(
+        capsule, mode, probe_a, probe_b, tile_bits, h_mode, h_arg,
+        source_ci, goal_ci, request.start_time, request.probe_limit,
+        request.max_expansions, request.finisher, request.finisher_trigger,
+        1 if use_flat else 0, 1 if deep else 0,
+        _MAX_LAYERS, _CHUNK_LAYERS, stats.expansions, stats.peak_open)
+    if status == 3:
+        # Flat workspace hit the layer cap: the deep, sparse search
+        # restarts on the hash backend from the same stats snapshot,
+        # exactly like the python _WorkspaceOverflow handler (the first
+        # attempt's counters are discarded wholesale).
+        status, steps, tail, expansions, generated, peak_open = (
+            _COMPILED.run(
+                capsule, mode, probe_a, probe_b, tile_bits, h_mode, h_arg,
+                source_ci, goal_ci, request.start_time, request.probe_limit,
+                request.max_expansions, request.finisher,
+                request.finisher_trigger, 0, 1 if deep else 0,
+                _MAX_LAYERS, _CHUNK_LAYERS, stats.expansions,
+                stats.peak_open))
+
+    stats.expansions = expansions
+    stats.generated += generated
+    stats.peak_open = peak_open
+    if status == 0:
+        return SearchOutcome(request, SEARCH_COMPLETE, Path(tuple(steps)),
+                             stats)
+    if status == 4:
+        stats.cache_finished = True
+        head = Path(tuple(steps))
+        return SearchOutcome(request, SEARCH_COMPLETE,
+                             head.concat(Path(tuple(tail))), stats)
+    if status == 1:
+        return SearchOutcome(request, SEARCH_BUDGET, None, stats)
+    return SearchOutcome(request, SEARCH_EXHAUSTED, None, stats)
 
 
 def _search_packed(grid: Grid, reservation: ReservationTable,

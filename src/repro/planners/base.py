@@ -83,6 +83,11 @@ class PlannerStats:
     #: rescue (tier 0.5) instead of the full search; counted inside
     #: ``legs_free_flow`` in the tier histogram.
     rescued_legs: int = 0
+    #: Which expansion loop answered the searches that actually ran (the
+    #: two are bit-identical; see ``SearchStats.kernel``).  Tier-0 legs
+    #: run no search and count in neither.
+    searches_compiled: int = 0
+    searches_python: int = 0
 
 
 class Planner(abc.ABC):
@@ -514,6 +519,10 @@ class Planner(abc.ABC):
                                           search_stats.peak_open)
         if search_stats.cache_finished:
             self.stats.cache_finished_legs += 1
+        if search_stats.kernel == "compiled":
+            self.stats.searches_compiled += 1
+        elif search_stats.kernel == "python":
+            self.stats.searches_python += 1
 
     def picker_finish_time(self, picker_id: int) -> int:
         """f_p of Eq. 3 for one picker."""

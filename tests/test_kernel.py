@@ -1,0 +1,412 @@
+"""Native search kernel: selection, fallback, and bit-identity.
+
+The compiled expansion loop must be a drop-in for the pure-python cores:
+same :class:`SearchOutcome` (status, path steps), same
+:class:`SearchStats` counters, same expansion order — across every
+reservation structure, both queue regimes (flat bucket queue and hash
+backend), the overflow restart, windowed horizons, the cache-aided
+finisher, and the paper-scale deep-tie ordering.  The extension is built
+on the fly here; where no compiler is available the compiled half skips
+and the selection/fallback tests still run.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as hyp
+
+from repro.config import search_kernel_choice
+from repro.errors import ConfigurationError
+from repro.experiments.harness import run_planner
+from repro.pathfinding import st_astar
+from repro.pathfinding._kernel import build_and_load
+from repro.pathfinding._kernel.build import build_allowed
+from repro.pathfinding.cache import ShortestPathCache, make_wait_finisher
+from repro.pathfinding.cdt import (ConflictDetectionTable,
+                                   ShardedConflictDetectionTable)
+from repro.pathfinding.heuristics import HeuristicFieldCache
+from repro.pathfinding.paths import Path
+from repro.pathfinding.reservation import ReservationTable
+from repro.pathfinding.spatiotemporal_graph import (ShardedSpatiotemporalGraph,
+                                                    SpatiotemporalGraph)
+from repro.pathfinding.st_astar import (SearchRequest, SearchStats, search,
+                                        search_kernel_name, set_search_kernel)
+from repro.warehouse.grid import Grid
+from repro.workloads.datasets import make_mini
+
+COMPILED = build_and_load()
+
+needs_compiled = pytest.mark.skipif(
+    COMPILED is None,
+    reason="native kernel unavailable (no compiler or REPRO_KERNEL_BUILD=0)")
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel():
+    previous = search_kernel_name()
+    yield
+    set_search_kernel(previous)
+
+
+class GenericProbeCDT(ConflictDetectionTable):
+    """A table that only exposes the generic packed-probe callables.
+
+    Forces the kernel's mode-0 path — the coverage guarantee for any
+    out-of-tree :class:`ReservationTable` subclass.
+    """
+
+    kernel_probe_spec = ReservationTable.kernel_probe_spec
+
+
+TABLES = {
+    "cdt": lambda grid: ConflictDetectionTable(),
+    "sharded_cdt": lambda grid: ShardedConflictDetectionTable(3),
+    "stgraph": lambda grid: SpatiotemporalGraph(grid),
+    "sharded_stgraph": lambda grid: ShardedSpatiotemporalGraph(3),
+    "generic": lambda grid: GenericProbeCDT(),
+}
+
+
+def crossing_traffic(table, width=18, n=10):
+    for i in range(n):
+        row = 1 + (3 * i) % 11
+        cells = [(x, row) for x in range(width)]
+        table.reserve_path(Path.from_cells(cells, start_time=2 * i))
+
+
+def run_on(kernel, grid, make_table, request, heuristic=None):
+    """One search under an explicitly selected kernel; fresh table."""
+    set_search_kernel(kernel)
+    table = make_table()
+    crossing_traffic(table, grid.width)
+    stats = SearchStats()
+    outcome = search(grid, table, request, heuristic=heuristic, stats=stats)
+    return outcome, stats
+
+
+def assert_bit_identical(grid, make_table, request, heuristic=None):
+    py_out, py_stats = run_on("python", grid, make_table, request, heuristic)
+    c_out, c_stats = run_on("compiled", grid, make_table, request, heuristic)
+    assert c_out.status == py_out.status
+    if py_out.path is None:
+        assert c_out.path is None
+    else:
+        assert c_out.path.steps == py_out.path.steps
+    assert c_stats.expansions == py_stats.expansions
+    assert c_stats.generated == py_stats.generated
+    assert c_stats.peak_open == py_stats.peak_open
+    assert c_stats.cache_finished == py_stats.cache_finished
+    assert py_stats.kernel == "python"
+    assert c_stats.kernel == "compiled"
+    return py_out
+
+
+# -- selection and fallback -------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_env_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert search_kernel_choice() == "auto"
+
+    @pytest.mark.parametrize("value", ["auto", "compiled", "python"])
+    def test_env_accepts_documented_choices(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_KERNEL", value)
+        assert search_kernel_choice() == value
+
+    def test_env_rejects_unknown_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ConfigurationError):
+            search_kernel_choice()
+
+    def test_set_search_kernel_rejects_unknown_value(self):
+        with pytest.raises(ConfigurationError):
+            set_search_kernel("turbo")
+
+    def test_compiled_without_extension_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(st_astar, "_load_compiled",
+                            lambda refresh=False: None)
+        monkeypatch.setattr(st_astar, "_COMPILED", None)
+        with pytest.raises(ConfigurationError):
+            set_search_kernel("compiled")
+
+    def test_auto_without_extension_falls_back_silently(self, monkeypatch):
+        monkeypatch.setattr(st_astar, "_load_compiled",
+                            lambda refresh=False: None)
+        monkeypatch.setattr(st_astar, "_COMPILED", None)
+        assert set_search_kernel("auto") == "python"
+        stats = SearchStats()
+        outcome = search(Grid(8, 8), ConflictDetectionTable(),
+                         SearchRequest((0, 0), (7, 7), 0), stats=stats)
+        assert outcome.path is not None
+        assert stats.kernel == "python"
+
+    def test_build_forbidden_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BUILD", "0")
+        assert not build_allowed()
+
+    @needs_compiled
+    def test_explicit_choices_select_the_named_core(self):
+        assert set_search_kernel("compiled") == "compiled"
+        assert search_kernel_name() == "compiled"
+        assert set_search_kernel("python") == "python"
+        assert search_kernel_name() == "python"
+
+    @needs_compiled
+    def test_stats_report_which_core_ran(self):
+        grid = Grid(12, 12)
+        for kernel in ("python", "compiled"):
+            set_search_kernel(kernel)
+            stats = SearchStats()
+            search(grid, ConflictDetectionTable(),
+                   SearchRequest((0, 0), (11, 11), 0), stats=stats)
+            assert stats.kernel == kernel
+
+    def test_trivial_search_has_no_kernel_tag(self):
+        # source == goal short-circuits before either core runs.
+        stats = SearchStats()
+        search(Grid(6, 6), ConflictDetectionTable(),
+               SearchRequest((2, 2), (2, 2), 0), stats=stats)
+        assert stats.kernel == ""
+
+
+# -- bit-identity across probe modes and regimes ---------------------------
+
+
+@needs_compiled
+class TestKernelBitIdentity:
+    @pytest.mark.parametrize("table_name", sorted(TABLES))
+    def test_every_probe_mode_matches(self, table_name):
+        grid = Grid(18, 13, blocked=[(9, y) for y in range(13)
+                                     if y not in (3, 10)])
+        make_table = lambda: TABLES[table_name](grid)
+        for source, goal in [((0, 0), (17, 12)), ((17, 0), (0, 12)),
+                             ((2, 6), (16, 6))]:
+            assert_bit_identical(grid, make_table,
+                                 SearchRequest(source, goal, 0))
+
+    @pytest.mark.parametrize("horizon", [0, 3, 11, None])
+    def test_windowed_mode_matches(self, horizon):
+        grid = Grid(18, 13)
+        assert_bit_identical(
+            grid, ConflictDetectionTable,
+            SearchRequest((0, 0), (17, 12), 5, horizon=horizon))
+
+    def test_budget_outcome_matches(self):
+        grid = Grid(18, 13)
+        out = assert_bit_identical(
+            grid, ConflictDetectionTable,
+            SearchRequest((0, 0), (17, 12), 0, max_expansions=10))
+        assert out.status == st_astar.SEARCH_BUDGET
+
+    def test_exhausted_outcome_matches(self):
+        # Source walled in; waiting in place is reserved out too.
+        grid = Grid(10, 10, blocked=[(0, 1), (1, 0), (1, 1)])
+
+        def boxed_table():
+            table = ConflictDetectionTable()
+            table.reserve_path(Path.from_cells([(0, 0)] * 40, start_time=1))
+            return table
+
+        py_out, py_stats = [None], [None]
+        set_search_kernel("python")
+        py = search(grid, boxed_table(), SearchRequest((0, 0), (9, 9), 0),
+                    stats=SearchStats())
+        set_search_kernel("compiled")
+        comp = search(grid, boxed_table(), SearchRequest((0, 0), (9, 9), 0),
+                      stats=SearchStats())
+        assert py.status == st_astar.SEARCH_EXHAUSTED
+        assert comp.status == py.status
+
+    def test_overflow_restart_matches(self):
+        # A single doorway reserved past the flat backend's layer cap
+        # forces the overflow restart onto the hash backend in both cores.
+        grid = Grid(12, 7, blocked=[(6, y) for y in range(7) if y != 3])
+
+        def choked():
+            table = ConflictDetectionTable()
+            table.reserve_path(Path.from_cells(
+                [(6, 3)] * (st_astar._MAX_LAYERS + 30), start_time=0))
+            return table
+
+        set_search_kernel("python")
+        py_stats = SearchStats()
+        py = search(grid, choked(), SearchRequest((0, 3), (11, 3), 0),
+                    stats=py_stats)
+        set_search_kernel("compiled")
+        c_stats = SearchStats()
+        comp = search(grid, choked(), SearchRequest((0, 3), (11, 3), 0),
+                      stats=c_stats)
+        assert py.status == comp.status == st_astar.SEARCH_COMPLETE
+        assert comp.path.steps == py.path.steps
+        assert c_stats.expansions == py_stats.expansions
+        assert c_stats.generated == py_stats.generated
+        assert c_stats.peak_open == py_stats.peak_open
+
+    def test_exact_field_heuristic_matches(self):
+        grid = Grid(18, 13, blocked=[(9, y) for y in range(13)
+                                     if y not in (3, 10)])
+        cache = HeuristicFieldCache(grid)
+        assert_bit_identical(grid, ConflictDetectionTable,
+                             SearchRequest((0, 0), (17, 12), 0),
+                             heuristic=cache.field((17, 12)))
+
+    def test_arbitrary_callable_heuristic_stays_python(self):
+        # A raw callable is outside the kernel's contract: the compiled
+        # selection must decline and fall through to the python core.
+        set_search_kernel("compiled")
+        grid = Grid(12, 12)
+        stats = SearchStats()
+        outcome = search(grid, ConflictDetectionTable(),
+                         SearchRequest((0, 0), (11, 11), 0),
+                         heuristic=lambda cell: 0, stats=stats)
+        assert outcome.path is not None
+        assert stats.kernel == "python"
+
+    def test_cache_finisher_matches(self):
+        grid = Grid(18, 13)
+        goal = (17, 12)
+        cache = ShortestPathCache(grid, threshold=6)
+
+        def make_table():
+            table = ConflictDetectionTable()
+            return table
+
+        def run(kernel):
+            set_search_kernel(kernel)
+            table = ConflictDetectionTable()
+            crossing_traffic(table, grid.width)
+            finisher = make_wait_finisher(cache, goal, table)
+            stats = SearchStats()
+            outcome = search(grid, table,
+                             SearchRequest((0, 0), goal, 0,
+                                           finisher=finisher,
+                                           finisher_trigger=6),
+                             stats=stats)
+            return outcome, stats
+
+        py, py_stats = run("python")
+        comp, c_stats = run("compiled")
+        assert comp.status == py.status == st_astar.SEARCH_COMPLETE
+        assert comp.path.steps == py.path.steps
+        assert py_stats.cache_finished and c_stats.cache_finished
+        assert c_stats.expansions == py_stats.expansions
+
+    def test_deep_tie_paper_scale_matches(self):
+        # 129 * 128 = 16512 cells >= PAPER_SCALE_MIN_CELLS: the hash
+        # backend switches to the paper-scale (f, -g, tie) ordering.
+        grid = Grid(129, 128)
+        assert grid.n_cells >= st_astar.PAPER_SCALE_MIN_CELLS
+
+        def big_traffic():
+            table = ConflictDetectionTable()
+            for i in range(12):
+                row = 10 + 9 * i
+                cells = [(x, row) for x in range(0, 100)]
+                table.reserve_path(Path.from_cells(cells, start_time=3 * i))
+            return table
+
+        for source, goal in [((0, 0), (120, 119)), ((128, 0), (0, 127)),
+                             ((5, 60), (124, 60))]:
+            set_search_kernel("python")
+            py_stats = SearchStats()
+            py = search(grid, big_traffic(),
+                        SearchRequest(source, goal, 0), stats=py_stats)
+            set_search_kernel("compiled")
+            c_stats = SearchStats()
+            comp = search(grid, big_traffic(),
+                          SearchRequest(source, goal, 0), stats=c_stats)
+            assert comp.status == py.status
+            assert comp.path.steps == py.path.steps
+            assert c_stats.expansions == py_stats.expansions
+            assert c_stats.peak_open == py_stats.peak_open
+
+
+# -- randomized property ----------------------------------------------------
+
+
+def _random_problem(seed):
+    rng = random.Random(seed)
+    width, height = rng.randrange(8, 22), rng.randrange(8, 18)
+    blocked = set()
+    for __ in range(rng.randrange(0, (width * height) // 6)):
+        blocked.add((rng.randrange(width), rng.randrange(height)))
+    free = [(x, y) for x in range(width) for y in range(height)
+            if (x, y) not in blocked]
+    source, goal = rng.sample(free, 2)
+    grid = Grid(width, height, blocked=sorted(blocked))
+    paths = []
+    for __ in range(rng.randrange(0, 14)):
+        x, y = rng.choice(free)
+        cells = [(x, y)]
+        for __ in range(rng.randrange(2, 16)):
+            moves = list(grid.neighbours(cells[-1])) + [cells[-1]]
+            cells.append(moves[rng.randrange(len(moves))])
+        paths.append(Path.from_cells(cells, start_time=rng.randrange(20)))
+    horizon = rng.choice([None, None, rng.randrange(0, 25)])
+    budget = rng.choice([200_000, 200_000, rng.randrange(5, 400)])
+    request = SearchRequest(source, goal, rng.randrange(8),
+                            horizon=horizon, max_expansions=budget)
+    table_factory = rng.choice(sorted(TABLES))
+    return grid, paths, request, table_factory
+
+
+@needs_compiled
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=hyp.integers(min_value=0, max_value=10 ** 9))
+def test_property_compiled_matches_python(seed):
+    grid, paths, request, table_factory = _random_problem(seed)
+
+    def run(kernel):
+        set_search_kernel(kernel)
+        table = TABLES[table_factory](grid)
+        for path in paths:
+            table.reserve_path(path)
+        stats = SearchStats()
+        return search(grid, table, request, stats=stats), stats
+
+    try:
+        py, py_stats = run("python")
+        comp, c_stats = run("compiled")
+    finally:
+        set_search_kernel("auto")
+    assert comp.status == py.status
+    if py.path is None:
+        assert comp.path is None
+    else:
+        assert comp.path.steps == py.path.steps
+    assert c_stats.expansions == py_stats.expansions
+    assert c_stats.generated == py_stats.generated
+    assert c_stats.peak_open == py_stats.peak_open
+
+
+# -- planner integration ----------------------------------------------------
+
+
+@needs_compiled
+def test_planner_stats_count_kernel_usage():
+    from repro.config import PlannerConfig
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+
+    scenario = make_mini(n_items=12)
+    makespans = {}
+    counters = {}
+    for kernel in ("compiled", "python"):
+        set_search_kernel(kernel)
+        state, items = scenario.build()
+        planner = PLANNERS["NTP"](state, PlannerConfig(free_flow=False))
+        try:
+            result = Simulation(state, planner, items).run()
+            makespans[kernel] = result.metrics.makespan
+            counters[kernel] = (planner.stats.searches_compiled,
+                                planner.stats.searches_python)
+        finally:
+            planner.close()
+    assert counters["compiled"][0] > 0
+    assert counters["compiled"][1] == 0
+    assert counters["python"][1] > 0
+    assert counters["python"][0] == 0
+    assert makespans["compiled"] == makespans["python"]

@@ -13,6 +13,8 @@ import random
 import pytest
 
 from repro.experiments.harness import run_planner
+from repro.pathfinding._kernel import build_and_load
+from repro.pathfinding.st_astar import search_kernel_name, set_search_kernel
 from repro.pathfinding._legacy import (LegacyConflictDetectionTable,
                                        LegacySpatiotemporalGraph,
                                        legacy_find_path,
@@ -25,6 +27,19 @@ from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
 from repro.pathfinding.st_astar import SearchStats, find_path
 from repro.warehouse.grid import Grid
 from repro.workloads.datasets import make_mini
+
+#: Both search cores must hold the seed equivalences: the pure-python
+#: packed rewrite AND (where a compiler is available) the native kernel.
+KERNELS = ["python"] + (["compiled"] if build_and_load() else [])
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    previous = search_kernel_name()
+    set_search_kernel(request.param)
+    yield request.param
+    set_search_kernel(previous)
+
 
 OPEN_GRID = Grid(14, 11)
 WALLED_GRID = Grid(14, 11, blocked=[(7, y) for y in range(11) if y not in (2, 9)])
@@ -50,7 +65,7 @@ def both_tables(grid):
 
 class TestSearchEquivalence:
     @pytest.mark.parametrize("source,goal", ENDPOINTS)
-    def test_open_grid_bit_identical(self, source, goal):
+    def test_open_grid_bit_identical(self, kernel, source, goal):
         new_table, old_table = both_tables(OPEN_GRID)
         new_stats, old_stats = SearchStats(), SearchStats()
         ours = find_path(OPEN_GRID, new_table, source, goal, 0,
@@ -63,7 +78,7 @@ class TestSearchEquivalence:
         assert new_stats.peak_open == old_stats.peak_open
 
     @pytest.mark.parametrize("source,goal", ENDPOINTS)
-    def test_obstructed_grid_same_length(self, source, goal):
+    def test_obstructed_grid_same_length(self, kernel, source, goal):
         new_table, old_table = both_tables(WALLED_GRID)
         cache = HeuristicFieldCache(WALLED_GRID)
         ours = find_path(WALLED_GRID, new_table, source, goal, 0,
@@ -72,7 +87,7 @@ class TestSearchEquivalence:
         assert ours.duration == seed.duration
         assert ours.source == source and ours.goal == goal
 
-    def test_sequential_planning_stays_conflict_free(self):
+    def test_sequential_planning_stays_conflict_free(self, kernel):
         table = ConflictDetectionTable()
         paths = []
         for source, goal in ENDPOINTS:
@@ -81,7 +96,7 @@ class TestSearchEquivalence:
             paths.append(path)
         assert is_conflict_free(paths)
 
-    def test_manhattan_default_matches_exact_field_on_open_grid(self):
+    def test_manhattan_default_matches_exact_field_on_open_grid(self, kernel):
         table = ConflictDetectionTable()
         cache = HeuristicFieldCache(OPEN_GRID)
         default = find_path(OPEN_GRID, table, (0, 0), (13, 10), 0)
@@ -155,7 +170,7 @@ class TestEndToEndEquivalence:
     """A full mini simulation must be unchanged by the packed rewrite."""
 
     @pytest.mark.parametrize("planner", ["NTP", "EATP"])
-    def test_makespan_identical_to_seed_stack(self, planner, monkeypatch):
+    def test_makespan_identical_to_seed_stack(self, kernel, planner, monkeypatch):
         scenario = make_mini(n_items=40)
         packed = run_planner(scenario, planner)
 
