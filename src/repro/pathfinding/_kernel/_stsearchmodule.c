@@ -1196,6 +1196,1031 @@ fail:
 }
 
 /* ------------------------------------------------------------------ */
+/* Reservation mutation kernel (ABI 2).                                */
+/*                                                                     */
+/* Compiled twins of the pure-python reserve/unreserve/purge/audit     */
+/* bodies in cdt.py and spatiotemporal_graph.py.  The same probe-mode  */
+/* numbering as the search kernel selects the container layout; the    */
+/* python wrappers keep their incremental counters by folding in the   */
+/* delta tuples these entry points return.  Bit-identity with the      */
+/* python bodies is load-bearing: the equivalence suite pins the       */
+/* final container contents and every returned delta.                  */
+/* ------------------------------------------------------------------ */
+
+/* Mirrors of the PackedChain probe packing in reservation.py. */
+#define MUT_VERTEX_TICK_SHIFT 32
+#define MUT_EDGE_TICK_SHIFT 34
+#define MUT_CHAIN_TICK_LIMIT ((int64_t)1 << 28)
+
+/* DIR_CODES: packed-key delta of a cardinal move -> 2-bit code. */
+static inline int
+mut_dir_code(int64_t delta)
+{
+    if (delta == ((int64_t)1 << CELL_KEY_SHIFT))
+        return 0;
+    if (delta == -((int64_t)1 << CELL_KEY_SHIFT))
+        return 1;
+    if (delta == 1)
+        return 2;
+    if (delta == -1)
+        return 3;
+    return -1;
+}
+
+typedef struct {
+    Py_ssize_t n;
+    int64_t *t;
+    int64_t *x;
+    int64_t *y;
+} StepArray;
+
+static void
+steps_free(StepArray *sa)
+{
+    PyMem_Free(sa->t);
+    sa->t = sa->x = sa->y = NULL;
+    sa->n = 0;
+}
+
+/* Load ``path.steps`` — a sequence of (t, x, y) int triples — into flat
+ * arrays so the mutation loops never touch the tuple objects again. */
+static int
+steps_load(PyObject *steps_obj, StepArray *sa)
+{
+    sa->t = sa->x = sa->y = NULL;
+    sa->n = 0;
+    PyObject *fast = PySequence_Fast(steps_obj, "steps is not a sequence");
+    if (fast == NULL)
+        return -1;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    if (n > 0) {
+        int64_t *buf = PyMem_Malloc(3 * (size_t)n * sizeof(int64_t));
+        if (buf == NULL) {
+            Py_DECREF(fast);
+            PyErr_NoMemory();
+            return -1;
+        }
+        sa->t = buf;
+        sa->x = buf + n;
+        sa->y = buf + 2 * n;
+        PyObject **items = PySequence_Fast_ITEMS(fast);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *step = PySequence_Fast(items[i],
+                                             "step is not a sequence");
+            if (step == NULL)
+                goto fail;
+            if (PySequence_Fast_GET_SIZE(step) != 3) {
+                Py_DECREF(step);
+                PyErr_SetString(PyExc_ValueError,
+                                "step is not a (t, x, y) triple");
+                goto fail;
+            }
+            PyObject **fields = PySequence_Fast_ITEMS(step);
+            sa->t[i] = (int64_t)PyLong_AsLongLong(fields[0]);
+            sa->x[i] = (int64_t)PyLong_AsLongLong(fields[1]);
+            sa->y[i] = (int64_t)PyLong_AsLongLong(fields[2]);
+            Py_DECREF(step);
+            if (PyErr_Occurred())
+                goto fail;
+        }
+    }
+    Py_DECREF(fast);
+    sa->n = n;
+    return 0;
+fail:
+    Py_DECREF(fast);
+    steps_free(sa);
+    return -1;
+}
+
+/* dict[t] -> set, created on demand.  Adds ``key_obj``; *fresh reports a
+ * genuinely new member, *created a newly materialised bucket. */
+static int
+set_bucket_add(PyObject *dict, PyObject *t_obj, PyObject *key_obj,
+               int *fresh, int *created)
+{
+    *fresh = 0;
+    *created = 0;
+    PyObject *bucket = PyDict_GetItemWithError(dict, t_obj);
+    if (bucket == NULL) {
+        if (PyErr_Occurred())
+            return -1;
+        bucket = PySet_New(NULL);
+        if (bucket == NULL)
+            return -1;
+        if (PyDict_SetItem(dict, t_obj, bucket) < 0) {
+            Py_DECREF(bucket);
+            return -1;
+        }
+        Py_DECREF(bucket);  /* the dict keeps it alive */
+        *created = 1;
+    }
+    if (!PySet_Check(bucket)) {
+        PyErr_SetString(PyExc_TypeError, "tick bucket is not a set");
+        return -1;
+    }
+    Py_ssize_t before = PySet_GET_SIZE(bucket);
+    if (PySet_Add(bucket, key_obj) < 0)
+        return -1;
+    *fresh = PySet_GET_SIZE(bucket) != before;
+    return 0;
+}
+
+/* Discard ``key_obj`` from dict[t]'s set bucket, dropping the bucket
+ * when it empties.  Returns 0 absent, 1 removed, 2 removed + bucket
+ * deleted, -1 error. */
+static int
+set_bucket_discard(PyObject *dict, PyObject *t_obj, PyObject *key_obj)
+{
+    PyObject *bucket = PyDict_GetItemWithError(dict, t_obj);
+    if (bucket == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    if (!PySet_Check(bucket)) {
+        PyErr_SetString(PyExc_TypeError, "tick bucket is not a set");
+        return -1;
+    }
+    int removed = PySet_Discard(bucket, key_obj);
+    if (removed <= 0)
+        return removed;
+    if (PySet_GET_SIZE(bucket) == 0) {
+        if (PyDict_DelItem(dict, t_obj) < 0)
+            return -1;
+        return 2;
+    }
+    return 1;
+}
+
+static int
+probe_list_append(PyObject *list, int64_t value)
+{
+    PyObject *obj = PyLong_FromLongLong((long long)value);
+    if (obj == NULL)
+        return -1;
+    int rc = PyList_Append(list, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+/* Materialise a zeroed dense layer (bytearray of ``n`` cells) at
+ * dict[t].  Returns a borrowed reference, NULL on error. */
+static PyObject *
+dense_layer_new(PyObject *dict, PyObject *t_obj, Py_ssize_t n)
+{
+    PyObject *layer = PyByteArray_FromStringAndSize(NULL, n);
+    if (layer == NULL)
+        return NULL;
+    memset(PyByteArray_AS_STRING(layer), 0, (size_t)n);
+    if (PyDict_SetItem(dict, t_obj, layer) < 0) {
+        Py_DECREF(layer);
+        return NULL;
+    }
+    Py_DECREF(layer);
+    return layer;  /* borrowed: the dict holds it */
+}
+
+static int
+mut_check_args(int mode, PyObject *vertex_obj, PyObject *edge_obj)
+{
+    if (mode < PROBE_CDT || mode > PROBE_TILED_DENSE) {
+        PyErr_SetString(PyExc_ValueError, "unknown mutation mode");
+        return -1;
+    }
+    if (!PyDict_Check(vertex_obj) || !PyDict_Check(edge_obj)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "vertex/edge containers must be dicts");
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+stsearch_reserve_path(PyObject *self, PyObject *args)
+{
+    (void)self;
+    int mode, tile_bits, collect;
+    PyObject *vertex_obj, *edge_obj, *steps_obj;
+    long long height_ll, block_cells_ll, horizon_ll, vfloor_ll, efloor_ll,
+        high_ll;
+    if (!PyArg_ParseTuple(args, "iOOiLLOLLLLp:reserve_path",
+                          &mode, &vertex_obj, &edge_obj, &tile_bits,
+                          &height_ll, &block_cells_ll, &steps_obj,
+                          &horizon_ll, &vfloor_ll, &efloor_ll, &high_ll,
+                          &collect))
+        return NULL;
+    if (mut_check_args(mode, vertex_obj, edge_obj) < 0)
+        return NULL;
+    int64_t height = (int64_t)height_ll;
+    Py_ssize_t block_cells = (Py_ssize_t)block_cells_ll;
+    int64_t horizon = (int64_t)horizon_ll;  /* < 0 means None */
+    int64_t vfloor = (int64_t)vfloor_ll;
+    int64_t efloor = (int64_t)efloor_ll;
+    int64_t high = (int64_t)high_ll;
+
+    StepArray sa;
+    if (steps_load(steps_obj, &sa) < 0)
+        return NULL;
+
+    int64_t v_added = 0, vbuckets_added = 0, tiles_added = 0, e_added = 0;
+    int poison = 0;
+    PyObject *vprobes = NULL, *eprobes = NULL;
+    if (collect) {
+        vprobes = PyList_New(0);
+        eprobes = vprobes ? PyList_New(0) : NULL;
+        if (eprobes == NULL)
+            goto fail;
+    }
+
+    int64_t mask = ((int64_t)1 << tile_bits) - 1;
+    int64_t memo_tile_id = -1;
+    int64_t memo_t = -1;
+    int memo_valid = 0;
+    PyObject *memo_tile = NULL;  /* borrowed */
+
+    /* -- vertex pass (mirrors each table's reserve_path body) -------- */
+    for (Py_ssize_t i = 0; i < sa.n; i++) {
+        int64_t t = sa.t[i];
+        if (horizon >= 0 && t > horizon)
+            break;  /* timestamps are consecutive; the rest is later */
+        if (t < vfloor)
+            continue;
+        int64_t x = sa.x[i], y = sa.y[i];
+        int64_t key = (x << CELL_KEY_SHIFT) | y;
+        PyObject *t_obj = PyLong_FromLongLong((long long)t);
+        if (t_obj == NULL)
+            goto fail;
+        int fresh = 0, created = 0;
+        switch (mode) {
+        case PROBE_CDT:
+        case PROBE_TILED_SET: {
+            PyObject *target = vertex_obj;
+            if (mode == PROBE_TILED_SET) {
+                int64_t tile_id = tile_of_key(key, tile_bits);
+                if (!memo_valid || tile_id != memo_tile_id) {
+                    PyObject *tid =
+                        PyLong_FromLongLong((long long)tile_id);
+                    if (tid == NULL)
+                        goto step_fail;
+                    memo_tile = PyDict_GetItemWithError(vertex_obj, tid);
+                    if (memo_tile == NULL) {
+                        if (PyErr_Occurred()) {
+                            Py_DECREF(tid);
+                            goto step_fail;
+                        }
+                        memo_tile = PyDict_New();
+                        if (memo_tile == NULL
+                            || PyDict_SetItem(vertex_obj, tid,
+                                              memo_tile) < 0) {
+                            Py_XDECREF(memo_tile);
+                            Py_DECREF(tid);
+                            goto step_fail;
+                        }
+                        Py_DECREF(memo_tile);  /* borrowed via dict */
+                        tiles_added++;
+                    }
+                    Py_DECREF(tid);
+                    memo_tile_id = tile_id;
+                    memo_valid = 1;
+                }
+                target = memo_tile;
+            }
+            PyObject *key_obj = PyLong_FromLongLong((long long)key);
+            if (key_obj == NULL)
+                goto step_fail;
+            int rc = set_bucket_add(target, t_obj, key_obj,
+                                    &fresh, &created);
+            Py_DECREF(key_obj);
+            if (rc < 0)
+                goto step_fail;
+            vbuckets_added += created;
+            if (fresh) {
+                v_added++;
+                if (collect) {
+                    if (t >= MUT_CHAIN_TICK_LIMIT) {
+                        poison = 1;
+                        collect = 0;
+                        Py_CLEAR(vprobes);
+                        Py_CLEAR(eprobes);
+                    } else if (probe_list_append(
+                                   vprobes,
+                                   (t << MUT_VERTEX_TICK_SHIFT)
+                                   | key) < 0) {
+                        goto step_fail;
+                    }
+                }
+            }
+            break;
+        }
+        case PROBE_DENSE: {
+            PyObject *layer;
+            if (t > high) {
+                /* densify the gap, exactly like _layer() */
+                for (int64_t step = high + 1; step < t; step++) {
+                    if (step < vfloor)
+                        continue;
+                    PyObject *s_obj =
+                        PyLong_FromLongLong((long long)step);
+                    if (s_obj == NULL)
+                        goto step_fail;
+                    PyObject *have =
+                        PyDict_GetItemWithError(vertex_obj, s_obj);
+                    if (have == NULL) {
+                        if (PyErr_Occurred()
+                            || dense_layer_new(vertex_obj, s_obj,
+                                               block_cells) == NULL) {
+                            Py_DECREF(s_obj);
+                            goto step_fail;
+                        }
+                        vbuckets_added++;
+                    }
+                    Py_DECREF(s_obj);
+                }
+                layer = dense_layer_new(vertex_obj, t_obj, block_cells);
+                if (layer == NULL)
+                    goto step_fail;
+                vbuckets_added++;
+                high = t;
+            } else {
+                layer = PyDict_GetItemWithError(vertex_obj, t_obj);
+                if (layer == NULL) {
+                    if (PyErr_Occurred())
+                        goto step_fail;
+                    layer = dense_layer_new(vertex_obj, t_obj,
+                                            block_cells);
+                    if (layer == NULL)
+                        goto step_fail;
+                    vbuckets_added++;
+                }
+            }
+            if (!PyByteArray_Check(layer)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "dense layer is not a bytearray");
+                goto step_fail;
+            }
+            Py_ssize_t ci = (Py_ssize_t)(x * height + y);
+            if (ci < 0 || ci >= PyByteArray_GET_SIZE(layer)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "cell index outside dense layer");
+                goto step_fail;
+            }
+            PyByteArray_AS_STRING(layer)[ci] = 1;
+            break;
+        }
+        case PROBE_TILED_DENSE: {
+            int64_t tile_id = tile_of_key(key, tile_bits);
+            if (!memo_valid || t != memo_t || tile_id != memo_tile_id) {
+                PyObject *layer =
+                    PyDict_GetItemWithError(vertex_obj, t_obj);
+                if (layer == NULL) {
+                    if (PyErr_Occurred())
+                        goto step_fail;
+                    layer = PyDict_New();
+                    if (layer == NULL
+                        || PyDict_SetItem(vertex_obj, t_obj,
+                                          layer) < 0) {
+                        Py_XDECREF(layer);
+                        goto step_fail;
+                    }
+                    Py_DECREF(layer);  /* borrowed via dict */
+                }
+                PyObject *tid = PyLong_FromLongLong((long long)tile_id);
+                if (tid == NULL)
+                    goto step_fail;
+                memo_tile = PyDict_GetItemWithError(layer, tid);
+                if (memo_tile == NULL) {
+                    if (PyErr_Occurred()) {
+                        Py_DECREF(tid);
+                        goto step_fail;
+                    }
+                    memo_tile = dense_layer_new(layer, tid, block_cells);
+                    if (memo_tile == NULL) {
+                        Py_DECREF(tid);
+                        goto step_fail;
+                    }
+                    tiles_added++;
+                }
+                Py_DECREF(tid);
+                memo_t = t;
+                memo_tile_id = tile_id;
+                memo_valid = 1;
+            }
+            if (!PyByteArray_Check(memo_tile)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "tile block is not a bytearray");
+                goto step_fail;
+            }
+            Py_ssize_t slot =
+                (Py_ssize_t)(((x & mask) << tile_bits) | (y & mask));
+            if (slot < 0 || slot >= PyByteArray_GET_SIZE(memo_tile)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "slot outside tile block");
+                goto step_fail;
+            }
+            PyByteArray_AS_STRING(memo_tile)[slot] = 1;
+            break;
+        }
+        }
+        Py_DECREF(t_obj);
+        continue;
+step_fail:
+        Py_DECREF(t_obj);
+        goto fail;
+    }
+
+    /* -- edge pass (mirrors _EdgeMixin._reserve_edges) --------------- */
+    for (Py_ssize_t i = 0; i + 1 < sa.n; i++) {
+        int64_t t0 = sa.t[i];
+        if (horizon >= 0 && t0 >= horizon)
+            break;  /* timestamps are consecutive; the rest is later */
+        int64_t x0 = sa.x[i], y0 = sa.y[i];
+        int64_t x1 = sa.x[i + 1], y1 = sa.y[i + 1];
+        if (t0 < efloor || (x0 == x1 && y0 == y1))
+            continue;
+        int64_t key0 = (x0 << CELL_KEY_SHIFT) | y0;
+        int64_t key1 = (x1 << CELL_KEY_SHIFT) | y1;
+        PyObject *t_obj = PyLong_FromLongLong((long long)t0);
+        if (t_obj == NULL)
+            goto fail;
+        PyObject *key_obj =
+            PyLong_FromLongLong((long long)((key0 << 32) | key1));
+        if (key_obj == NULL) {
+            Py_DECREF(t_obj);
+            goto fail;
+        }
+        int fresh, created;
+        int rc = set_bucket_add(edge_obj, t_obj, key_obj,
+                                &fresh, &created);
+        Py_DECREF(key_obj);
+        Py_DECREF(t_obj);
+        if (rc < 0)
+            goto fail;
+        if (fresh) {
+            e_added++;
+            if (collect) {
+                int code = mut_dir_code(key1 - key0);
+                if (code < 0 || t0 >= MUT_CHAIN_TICK_LIMIT) {
+                    poison = 1;
+                    collect = 0;
+                    Py_CLEAR(vprobes);
+                    Py_CLEAR(eprobes);
+                } else if (probe_list_append(
+                               eprobes,
+                               (t0 << MUT_EDGE_TICK_SHIFT)
+                               | (key0 << 2) | code) < 0) {
+                    goto fail;
+                }
+            }
+        }
+    }
+    steps_free(&sa);
+    PyObject *out = Py_BuildValue(
+        "LLLLLOOi",
+        (long long)v_added, (long long)vbuckets_added,
+        (long long)tiles_added, (long long)e_added, (long long)high,
+        vprobes ? vprobes : Py_None, eprobes ? eprobes : Py_None,
+        poison);
+    Py_XDECREF(vprobes);
+    Py_XDECREF(eprobes);
+    return out;
+fail:
+    steps_free(&sa);
+    Py_XDECREF(vprobes);
+    Py_XDECREF(eprobes);
+    return NULL;
+}
+
+static PyObject *
+stsearch_unreserve_path(PyObject *self, PyObject *args)
+{
+    (void)self;
+    int mode, tile_bits;
+    PyObject *vertex_obj, *edge_obj, *steps_obj;
+    long long height_ll, horizon_ll, vfloor_ll, efloor_ll;
+    if (!PyArg_ParseTuple(args, "iOOiLOLLL:unreserve_path",
+                          &mode, &vertex_obj, &edge_obj, &tile_bits,
+                          &height_ll, &steps_obj, &horizon_ll,
+                          &vfloor_ll, &efloor_ll))
+        return NULL;
+    if (mut_check_args(mode, vertex_obj, edge_obj) < 0)
+        return NULL;
+    int64_t height = (int64_t)height_ll;
+    int64_t horizon = (int64_t)horizon_ll;  /* < 0 means None */
+    int64_t vfloor = (int64_t)vfloor_ll;
+    int64_t efloor = (int64_t)efloor_ll;
+
+    StepArray sa;
+    if (steps_load(steps_obj, &sa) < 0)
+        return NULL;
+
+    int64_t v_removed = 0, vbuckets_removed = 0, tiles_removed = 0;
+    int64_t e_removed = 0;
+    int64_t mask = ((int64_t)1 << tile_bits) - 1;
+
+    /* -- vertex pass -------------------------------------------------- */
+    for (Py_ssize_t i = 0; i < sa.n; i++) {
+        int64_t t = sa.t[i];
+        if (horizon >= 0 && t > horizon)
+            break;
+        if (t < vfloor)
+            continue;
+        int64_t x = sa.x[i], y = sa.y[i];
+        int64_t key = (x << CELL_KEY_SHIFT) | y;
+        PyObject *t_obj = PyLong_FromLongLong((long long)t);
+        if (t_obj == NULL)
+            goto fail;
+        switch (mode) {
+        case PROBE_CDT:
+        case PROBE_TILED_SET: {
+            PyObject *target = vertex_obj;
+            PyObject *tid = NULL;
+            if (mode == PROBE_TILED_SET) {
+                tid = PyLong_FromLongLong(
+                    (long long)tile_of_key(key, tile_bits));
+                if (tid == NULL)
+                    goto ustep_fail;
+                target = PyDict_GetItemWithError(vertex_obj, tid);
+                if (target == NULL) {
+                    Py_DECREF(tid);
+                    if (PyErr_Occurred())
+                        goto ustep_fail;
+                    break;  /* tile never materialised: nothing stored */
+                }
+            }
+            PyObject *key_obj = PyLong_FromLongLong((long long)key);
+            if (key_obj == NULL) {
+                Py_XDECREF(tid);
+                goto ustep_fail;
+            }
+            int rc = set_bucket_discard(target, t_obj, key_obj);
+            Py_DECREF(key_obj);
+            if (rc < 0) {
+                Py_XDECREF(tid);
+                goto ustep_fail;
+            }
+            if (rc >= 1)
+                v_removed++;
+            if (rc == 2) {
+                vbuckets_removed++;
+                if (mode == PROBE_TILED_SET
+                    && PyDict_GET_SIZE(target) == 0) {
+                    if (PyDict_DelItem(vertex_obj, tid) < 0) {
+                        Py_DECREF(tid);
+                        goto ustep_fail;
+                    }
+                    tiles_removed++;
+                }
+            }
+            Py_XDECREF(tid);
+            break;
+        }
+        case PROBE_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto ustep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(layer)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "dense layer is not a bytearray");
+                goto ustep_fail;
+            }
+            Py_ssize_t ci = (Py_ssize_t)(x * height + y);
+            if (ci < 0 || ci >= PyByteArray_GET_SIZE(layer)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "cell index outside dense layer");
+                goto ustep_fail;
+            }
+            char *bytes = PyByteArray_AS_STRING(layer);
+            if (bytes[ci]) {
+                bytes[ci] = 0;
+                v_removed++;
+            }
+            break;
+        }
+        case PROBE_TILED_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto ustep_fail;
+                break;
+            }
+            PyObject *tid = PyLong_FromLongLong(
+                (long long)tile_of_key(key, tile_bits));
+            if (tid == NULL)
+                goto ustep_fail;
+            PyObject *tile = PyDict_GetItemWithError(layer, tid);
+            Py_DECREF(tid);
+            if (tile == NULL) {
+                if (PyErr_Occurred())
+                    goto ustep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(tile)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "tile block is not a bytearray");
+                goto ustep_fail;
+            }
+            Py_ssize_t slot =
+                (Py_ssize_t)(((x & mask) << tile_bits) | (y & mask));
+            if (slot < 0 || slot >= PyByteArray_GET_SIZE(tile)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "slot outside tile block");
+                goto ustep_fail;
+            }
+            char *bytes = PyByteArray_AS_STRING(tile);
+            if (bytes[slot]) {
+                bytes[slot] = 0;
+                v_removed++;
+            }
+            break;
+        }
+        }
+        Py_DECREF(t_obj);
+        continue;
+ustep_fail:
+        Py_DECREF(t_obj);
+        goto fail;
+    }
+
+    /* -- edge pass (same bounds as _reserve_edges) -------------------- */
+    for (Py_ssize_t i = 0; i + 1 < sa.n; i++) {
+        int64_t t0 = sa.t[i];
+        if (horizon >= 0 && t0 >= horizon)
+            break;
+        int64_t x0 = sa.x[i], y0 = sa.y[i];
+        int64_t x1 = sa.x[i + 1], y1 = sa.y[i + 1];
+        if (t0 < efloor || (x0 == x1 && y0 == y1))
+            continue;
+        int64_t key0 = (x0 << CELL_KEY_SHIFT) | y0;
+        int64_t key1 = (x1 << CELL_KEY_SHIFT) | y1;
+        PyObject *t_obj = PyLong_FromLongLong((long long)t0);
+        if (t_obj == NULL)
+            goto fail;
+        PyObject *key_obj =
+            PyLong_FromLongLong((long long)((key0 << 32) | key1));
+        if (key_obj == NULL) {
+            Py_DECREF(t_obj);
+            goto fail;
+        }
+        int rc = set_bucket_discard(edge_obj, t_obj, key_obj);
+        Py_DECREF(key_obj);
+        Py_DECREF(t_obj);
+        if (rc < 0)
+            goto fail;
+        if (rc >= 1)
+            e_removed++;
+    }
+    steps_free(&sa);
+    return Py_BuildValue("LLLL",
+                         (long long)v_removed, (long long)vbuckets_removed,
+                         (long long)tiles_removed, (long long)e_removed);
+fail:
+    steps_free(&sa);
+    return NULL;
+}
+
+/* How purge_tick_dict tallies each removed bucket's contents. */
+typedef enum {
+    PURGE_COUNT_SET = 0,     /* value is a set: count its members */
+    PURGE_COUNT_BUCKET = 1,  /* count one per removed tick */
+    PURGE_COUNT_DICT = 2,    /* value is a dict: count its members */
+} PurgeCount;
+
+/* Remove every tick < t from a {tick: container} dict.  ``floor`` is
+ * the caller's known lower bound on live ticks; mirrors _stale_ticks()
+ * in choosing a range walk or a key scan.  Adds the removed-content
+ * tally to *items and the removed-bucket count to *buckets. */
+static int
+purge_tick_dict(PyObject *dict, int64_t floor, int64_t t, PurgeCount kind,
+                int64_t *items, int64_t *buckets)
+{
+    PyObject *stale = NULL;
+    if (t - floor <= (int64_t)PyDict_GET_SIZE(dict)) {
+        for (int64_t tick = floor; tick < t; tick++) {
+            PyObject *t_obj = PyLong_FromLongLong((long long)tick);
+            if (t_obj == NULL)
+                return -1;
+            PyObject *value = PyDict_GetItemWithError(dict, t_obj);
+            if (value == NULL) {
+                Py_DECREF(t_obj);
+                if (PyErr_Occurred())
+                    return -1;
+                continue;
+            }
+            switch (kind) {
+            case PURGE_COUNT_SET:
+                *items += PySet_Check(value) ? PySet_GET_SIZE(value) : 0;
+                break;
+            case PURGE_COUNT_BUCKET:
+                *items += 1;
+                break;
+            case PURGE_COUNT_DICT:
+                *items += PyDict_Check(value) ? PyDict_GET_SIZE(value) : 0;
+                break;
+            }
+            (*buckets)++;
+            int rc = PyDict_DelItem(dict, t_obj);
+            Py_DECREF(t_obj);
+            if (rc < 0)
+                return -1;
+        }
+        return 0;
+    }
+    /* Key scan: collect stale ticks first, never mutate mid-iteration. */
+    stale = PyList_New(0);
+    if (stale == NULL)
+        return -1;
+    PyObject *key, *value;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(dict, &pos, &key, &value)) {
+        int64_t tick = (int64_t)PyLong_AsLongLong(key);
+        if (tick == -1 && PyErr_Occurred())
+            goto fail;
+        if (tick < t && PyList_Append(stale, key) < 0)
+            goto fail;
+    }
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(stale); i++) {
+        PyObject *t_obj = PyList_GET_ITEM(stale, i);
+        PyObject *v = PyDict_GetItemWithError(dict, t_obj);
+        if (v == NULL) {
+            if (PyErr_Occurred())
+                goto fail;
+            continue;
+        }
+        switch (kind) {
+        case PURGE_COUNT_SET:
+            *items += PySet_Check(v) ? PySet_GET_SIZE(v) : 0;
+            break;
+        case PURGE_COUNT_BUCKET:
+            *items += 1;
+            break;
+        case PURGE_COUNT_DICT:
+            *items += PyDict_Check(v) ? PyDict_GET_SIZE(v) : 0;
+            break;
+        }
+        (*buckets)++;
+        if (PyDict_DelItem(dict, t_obj) < 0)
+            goto fail;
+    }
+    Py_DECREF(stale);
+    return 0;
+fail:
+    Py_XDECREF(stale);
+    return -1;
+}
+
+static PyObject *
+stsearch_purge_before(PyObject *self, PyObject *args)
+{
+    (void)self;
+    int mode, tile_bits;
+    PyObject *vertex_obj, *edge_obj;
+    long long t_ll, vfloor_ll, efloor_ll;
+    if (!PyArg_ParseTuple(args, "iOOiLLL:purge_before",
+                          &mode, &vertex_obj, &edge_obj, &tile_bits,
+                          &t_ll, &vfloor_ll, &efloor_ll))
+        return NULL;
+    (void)tile_bits;
+    if (mut_check_args(mode, vertex_obj, edge_obj) < 0)
+        return NULL;
+    int64_t t = (int64_t)t_ll;
+    int64_t vfloor = (int64_t)vfloor_ll;
+    int64_t efloor = (int64_t)efloor_ll;
+
+    int64_t v_removed = 0, vbuckets_removed = 0, tiles_removed = 0;
+    int64_t e_removed = 0, e_buckets = 0;
+
+    if (t > vfloor) {
+        switch (mode) {
+        case PROBE_CDT:
+            if (purge_tick_dict(vertex_obj, vfloor, t, PURGE_COUNT_SET,
+                                &v_removed, &vbuckets_removed) < 0)
+                return NULL;
+            break;
+        case PROBE_DENSE:
+            if (purge_tick_dict(vertex_obj, vfloor, t, PURGE_COUNT_BUCKET,
+                                &v_removed, &vbuckets_removed) < 0)
+                return NULL;
+            break;
+        case PROBE_TILED_SET: {
+            /* Tiles may empty and be deleted: snapshot their ids first. */
+            PyObject *tids = PyDict_Keys(vertex_obj);
+            if (tids == NULL)
+                return NULL;
+            for (Py_ssize_t i = 0; i < PyList_GET_SIZE(tids); i++) {
+                PyObject *tid = PyList_GET_ITEM(tids, i);
+                PyObject *tile = PyDict_GetItemWithError(vertex_obj, tid);
+                if (tile == NULL) {
+                    if (PyErr_Occurred()) {
+                        Py_DECREF(tids);
+                        return NULL;
+                    }
+                    continue;
+                }
+                if (!PyDict_Check(tile)) {
+                    PyErr_SetString(PyExc_TypeError,
+                                    "tile is not a dict");
+                    Py_DECREF(tids);
+                    return NULL;
+                }
+                if (purge_tick_dict(tile, vfloor, t, PURGE_COUNT_SET,
+                                    &v_removed, &vbuckets_removed) < 0) {
+                    Py_DECREF(tids);
+                    return NULL;
+                }
+                if (PyDict_GET_SIZE(tile) == 0) {
+                    if (PyDict_DelItem(vertex_obj, tid) < 0) {
+                        Py_DECREF(tids);
+                        return NULL;
+                    }
+                    tiles_removed++;
+                }
+            }
+            Py_DECREF(tids);
+            break;
+        }
+        case PROBE_TILED_DENSE:
+            if (purge_tick_dict(vertex_obj, vfloor, t, PURGE_COUNT_DICT,
+                                &tiles_removed, &vbuckets_removed) < 0)
+                return NULL;
+            break;
+        }
+    }
+    if (t > efloor
+        && purge_tick_dict(edge_obj, efloor, t, PURGE_COUNT_SET,
+                           &e_removed, &e_buckets) < 0)
+        return NULL;
+    return Py_BuildValue("LLLL",
+                         (long long)v_removed, (long long)vbuckets_removed,
+                         (long long)tiles_removed, (long long)e_removed);
+}
+
+static PyObject *
+stsearch_audit_path(PyObject *self, PyObject *args)
+{
+    (void)self;
+    int mode, tile_bits;
+    PyObject *vertex_obj, *edge_obj, *steps_obj;
+    long long height_ll;
+    if (!PyArg_ParseTuple(args, "iOOiLO:audit_path",
+                          &mode, &vertex_obj, &edge_obj, &tile_bits,
+                          &height_ll, &steps_obj))
+        return NULL;
+    if (mut_check_args(mode, vertex_obj, edge_obj) < 0)
+        return NULL;
+    int64_t height = (int64_t)height_ll;
+    int64_t mask = ((int64_t)1 << tile_bits) - 1;
+
+    StepArray sa;
+    if (steps_load(steps_obj, &sa) < 0)
+        return NULL;
+
+    int blocked = 0;
+    int64_t memo_tile_id = -1;
+    int memo_valid = 0;
+    PyObject *memo_tile = NULL;  /* borrowed; audits never mutate */
+
+    for (Py_ssize_t i = 1; i < sa.n && !blocked; i++) {
+        int64_t t0 = sa.t[i - 1];
+        int64_t x0 = sa.x[i - 1], y0 = sa.y[i - 1];
+        int64_t t1 = sa.t[i];
+        int64_t x1 = sa.x[i], y1 = sa.y[i];
+        int64_t key1 = (x1 << CELL_KEY_SHIFT) | y1;
+        PyObject *t1_obj = PyLong_FromLongLong((long long)t1);
+        if (t1_obj == NULL)
+            goto fail;
+        switch (mode) {
+        case PROBE_CDT:
+        case PROBE_TILED_SET: {
+            PyObject *target = vertex_obj;
+            if (mode == PROBE_TILED_SET) {
+                int64_t tile_id = tile_of_key(key1, tile_bits);
+                if (!memo_valid || tile_id != memo_tile_id) {
+                    PyObject *tid =
+                        PyLong_FromLongLong((long long)tile_id);
+                    if (tid == NULL)
+                        goto astep_fail;
+                    memo_tile = PyDict_GetItemWithError(vertex_obj, tid);
+                    Py_DECREF(tid);
+                    if (memo_tile == NULL && PyErr_Occurred())
+                        goto astep_fail;
+                    memo_tile_id = tile_id;
+                    memo_valid = 1;
+                }
+                target = memo_tile;
+                if (target == NULL) {
+                    /* tile never materialised: vertex is free */
+                    break;
+                }
+            }
+            PyObject *bucket = PyDict_GetItemWithError(target, t1_obj);
+            if (bucket == NULL) {
+                if (PyErr_Occurred())
+                    goto astep_fail;
+                break;
+            }
+            PyObject *key_obj = PyLong_FromLongLong((long long)key1);
+            if (key_obj == NULL)
+                goto astep_fail;
+            int hit = PySet_Contains(bucket, key_obj);
+            Py_DECREF(key_obj);
+            if (hit < 0)
+                goto astep_fail;
+            blocked = hit;
+            break;
+        }
+        case PROBE_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t1_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto astep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(layer)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "dense layer is not a bytearray");
+                goto astep_fail;
+            }
+            Py_ssize_t ci = (Py_ssize_t)(x1 * height + y1);
+            if (ci < 0 || ci >= PyByteArray_GET_SIZE(layer)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "cell index outside dense layer");
+                goto astep_fail;
+            }
+            blocked = PyByteArray_AS_STRING(layer)[ci] != 0;
+            break;
+        }
+        case PROBE_TILED_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t1_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto astep_fail;
+                break;
+            }
+            PyObject *tid = PyLong_FromLongLong(
+                (long long)tile_of_key(key1, tile_bits));
+            if (tid == NULL)
+                goto astep_fail;
+            PyObject *tile = PyDict_GetItemWithError(layer, tid);
+            Py_DECREF(tid);
+            if (tile == NULL) {
+                if (PyErr_Occurred())
+                    goto astep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(tile)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "tile block is not a bytearray");
+                goto astep_fail;
+            }
+            Py_ssize_t slot =
+                (Py_ssize_t)(((x1 & mask) << tile_bits) | (y1 & mask));
+            if (slot < 0 || slot >= PyByteArray_GET_SIZE(tile)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "slot outside tile block");
+                goto astep_fail;
+            }
+            blocked = PyByteArray_AS_STRING(tile)[slot] != 0;
+            break;
+        }
+        }
+        if (!blocked && (x0 != x1 || y0 != y1)) {
+            /* swap probe: the stored opposing traversal, reversed key */
+            PyObject *t0_obj = PyLong_FromLongLong((long long)t0);
+            if (t0_obj == NULL)
+                goto astep_fail;
+            PyObject *swaps = PyDict_GetItemWithError(edge_obj, t0_obj);
+            Py_DECREF(t0_obj);
+            if (swaps == NULL) {
+                if (PyErr_Occurred())
+                    goto astep_fail;
+            } else {
+                int64_t key0 = (x0 << CELL_KEY_SHIFT) | y0;
+                PyObject *probe = PyLong_FromLongLong(
+                    (long long)((key1 << 32) | key0));
+                if (probe == NULL)
+                    goto astep_fail;
+                int hit = PySet_Contains(swaps, probe);
+                Py_DECREF(probe);
+                if (hit < 0)
+                    goto astep_fail;
+                blocked = hit;
+            }
+        }
+        Py_DECREF(t1_obj);
+        continue;
+astep_fail:
+        Py_DECREF(t1_obj);
+        goto fail;
+    }
+    steps_free(&sa);
+    return PyBool_FromLong(!blocked);
+fail:
+    steps_free(&sa);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
 
 static PyMethodDef stsearch_methods[] = {
     {"prepare_grid", stsearch_prepare_grid, METH_VARARGS,
@@ -1207,6 +2232,29 @@ static PyMethodDef stsearch_methods[] = {
      "    max_expansions, finisher, finisher_trigger, use_flat, deep,\n"
      "    max_layers, chunk_layers, init_expansions, init_peak_open)\n"
      " -> (status, steps, finisher_tail, expansions, generated, peak_open)"},
+    {"reserve_path", stsearch_reserve_path, METH_VARARGS,
+     "reserve_path(mode, vertex_obj, edge_obj, tile_bits, height,\n"
+     "    block_cells, steps, horizon, vfloor, efloor, high, collect)\n"
+     " -> (v_added, vbuckets_added, tiles_added, e_added, new_high,\n"
+     "     vprobes, eprobes, poison)\n"
+     "Insert a path's vertices and edges, bit-identical to the python\n"
+     "reserve_path of the mode's table; horizon < 0 means unbounded."},
+    {"unreserve_path", stsearch_unreserve_path, METH_VARARGS,
+     "unreserve_path(mode, vertex_obj, edge_obj, tile_bits, height,\n"
+     "    steps, horizon, vfloor, efloor)\n"
+     " -> (v_removed, vbuckets_removed, tiles_removed, e_removed)\n"
+     "Remove a previously reserved path (same iteration bounds as\n"
+     "reserve_path; dense layers/blocks stay materialised)."},
+    {"purge_before", stsearch_purge_before, METH_VARARGS,
+     "purge_before(mode, vertex_obj, edge_obj, tile_bits, t, vfloor,\n"
+     "    efloor)\n"
+     " -> (v_removed, vbuckets_removed, tiles_removed, e_removed)\n"
+     "Drop all reservations strictly before t (the periodic update)."},
+    {"audit_path", stsearch_audit_path, METH_VARARGS,
+     "audit_path(mode, vertex_obj, edge_obj, tile_bits, height, steps)\n"
+     " -> bool\n"
+     "Bulk conflict audit: every arrival vertex at its arrival tick and\n"
+     "every traversed edge (reversed swap probe) at its departure tick."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -1225,7 +2273,7 @@ PyInit__stsearch(void)
     PyObject *mod = PyModule_Create(&stsearch_module);
     if (mod == NULL)
         return NULL;
-    if (PyModule_AddIntConstant(mod, "KERNEL_ABI", 1) < 0) {
+    if (PyModule_AddIntConstant(mod, "KERNEL_ABI", 2) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

@@ -95,6 +95,13 @@ class ShortestPathCache:
                 "blob_bytes": self._blob_bytes,
                 "memory_bytes": self.memory_bytes()}
 
+    def recount(self) -> Dict[str, int]:
+        """Recompute :meth:`live_counts` by walking the blobs (debug)."""
+        blob_bytes = sum(len(blob) for blob in self._paths.values())
+        return {"entries": len(self._paths),
+                "blob_bytes": blob_bytes,
+                "memory_bytes": 64 + 150 * len(self._paths) + blob_bytes}
+
 
 def follow_with_waits(reservation: ReservationTable, cells: Tuple[Cell, ...],
                       start_time: Tick,

@@ -51,6 +51,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
+from . import reservation as _rsv
 from .paths import Path
 from .reservation import (CHAIN_TICK_LIMIT, DIR_CODES, EDGE_TICK_SHIFT,
                           VERTEX_TICK_SHIFT, PackedChain, ReservationTable,
@@ -92,6 +93,15 @@ class _ProbeIndex:
 
     def add(self, combined: int) -> None:
         self._pending.append(combined)
+        self._pending_arr = None
+        if len(self._pending) >= self._MERGE_AT:
+            self._compact()
+
+    def add_many(self, values) -> None:
+        """Bulk :meth:`add` — one list extend per committed path (the
+        compiled mutation kernel returns a whole path's fresh probes at
+        once)."""
+        self._pending.extend(values)
         self._pending_arr = None
         if len(self._pending) >= self._MERGE_AT:
             self._compact()
@@ -183,6 +193,24 @@ class _VectorAuditMixin:
             self._vindex.drop_below(t << VERTEX_TICK_SHIFT)
             self._eindex.drop_below(t << EDGE_TICK_SHIFT)
 
+    def _fold_kernel_probes(self, vprobes, eprobes, poison: bool) -> None:
+        """Feed the probes a compiled ``reserve_path`` collected.
+
+        The kernel mirrors the per-insertion ``_note_vertex``/``_note_edge``
+        calls by returning the fresh probes in bulk; a poisoned batch (tick
+        overflow or a non-cardinal edge) kills the indexes exactly like the
+        per-call path would.
+        """
+        if self._vindex is None:
+            return
+        if poison:
+            self._poison_indexes()
+            return
+        if vprobes:
+            self._vindex.add_many(vprobes)
+        if eprobes:
+            self._eindex.add_many(eprobes)
+
     # -- bulk audits ---------------------------------------------------------
 
     def audit_chain(self, t: Tick, chain: PackedChain, limit: int) -> bool:
@@ -245,6 +273,7 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
         self._buckets: Dict[Tick, Set[int]] = {}
         self._floor: Tick = 0
         self._n_entries = 0
+        self.mutation_stamp = 0
         self._init_indexes(vector_audit)
 
     # -- ReservationTable -----------------------------------------------------
@@ -272,6 +301,20 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            (added, _, _, e_added, _, vprobes, eprobes,
+             poison) = kernel.reserve_path(
+                1, self._buckets, self._edge_buckets, 0, 0, 0, path.steps,
+                -1 if horizon is None else horizon, self._floor,
+                self._edge_floor, 0, self._vindex is not None)
+            self._n_entries += added
+            self._n_edges += e_added
+            self._fold_kernel_probes(vprobes, eprobes, poison)
+            return
+        self.mutation_kernel = "python"
         buckets = self._buckets
         floor = self._floor
         vindex = self._vindex
@@ -294,8 +337,55 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
                             vindex.add((t << VERTEX_TICK_SHIFT) | key)
         self._reserve_edges(path, horizon)
 
+    def unreserve_path(self, path: Path,
+                       horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        if self._vindex is not None:
+            self._poison_indexes()  # the probe index is append-only
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            removed, _, _, e_removed = kernel.unreserve_path(
+                1, self._buckets, self._edge_buckets, 0, 0, path.steps,
+                -1 if horizon is None else horizon, self._floor,
+                self._edge_floor)
+            self._n_entries -= removed
+            self._n_edges -= e_removed
+            return
+        self.mutation_kernel = "python"
+        buckets = self._buckets
+        floor = self._floor
+        for (t, x, y) in path.steps:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
+            if t >= floor:
+                key = (x << CELL_KEY_SHIFT) | y
+                bucket = buckets.get(t)
+                if bucket is not None and key in bucket:
+                    bucket.discard(key)
+                    self._n_entries -= 1
+                    if not bucket:
+                        del buckets[t]
+        self._unreserve_edges(path, horizon)
+
     def purge_before(self, t: Tick) -> None:
         """The periodic *update* operation: delete all passed timestamps."""
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            removed, _, _, e_removed = kernel.purge_before(
+                1, self._buckets, self._edge_buckets, 0, t, self._floor,
+                self._edge_floor)
+            if t > self._floor:
+                self._n_entries -= removed
+                self._floor = t
+                self._drop_indexes_below(t)
+            if t > self._edge_floor:
+                self._n_edges -= e_removed
+                self._edge_floor = t
+            return
+        self.mutation_kernel = "python"
         if t > self._floor:
             buckets = self._buckets
             for tick in _stale_ticks(buckets, self._floor, t):
@@ -314,6 +404,24 @@ class ConflictDetectionTable(_VectorAuditMixin, _EdgeMixin, ReservationTable):
         # simulation engine charges the MC metric on every event.
         return (64 + 100 * len(self._buckets) + 32 * self._n_entries
                 + self._edges_memory())
+
+    def _audit_path_buckets(self, path: Path) -> bool:
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            return kernel.audit_path(1, self._buckets, self._edge_buckets,
+                                     0, 0, path.steps)
+        return ReservationTable.audit_path(self, path)
+
+    def recount(self):
+        """Walk the buckets and recompute every incremental counter."""
+        counts = {"reservations": sum(len(bucket)
+                                      for bucket in self._buckets.values()),
+                  "ticks_live": len(self._buckets)}
+        counts.update(self._recount_edge_state())
+        counts["memory_bytes"] = (
+            64 + 100 * counts["ticks_live"] + 32 * counts["reservations"]
+            + 64 + 100 * counts["edges"] + 64 * counts["edge_ticks"])
+        return counts
 
     # -- introspection ----------------------------------------------------------
 
@@ -378,6 +486,7 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
         self._floor: Tick = 0
         self._n_entries = 0
         self._n_tick_buckets = 0
+        self.mutation_stamp = 0
         self._init_indexes()
 
     @property
@@ -409,6 +518,21 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            (added, buckets_added, _, e_added, _, vprobes, eprobes,
+             poison) = kernel.reserve_path(
+                3, self._tiles, self._edge_buckets, self._tile_bits, 0, 0,
+                path.steps, -1 if horizon is None else horizon,
+                self._floor, self._edge_floor, 0, self._vindex is not None)
+            self._n_entries += added
+            self._n_tick_buckets += buckets_added
+            self._n_edges += e_added
+            self._fold_kernel_probes(vprobes, eprobes, poison)
+            return
+        self.mutation_kernel = "python"
         tiles = self._tiles
         bits = self._tile_bits
         floor = self._floor
@@ -442,7 +566,65 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
                         vindex.add((t << VERTEX_TICK_SHIFT) | key)
         self._reserve_edges(path, horizon)
 
+    def unreserve_path(self, path: Path,
+                       horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        if self._vindex is not None:
+            self._poison_indexes()  # the probe index is append-only
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            removed, buckets_removed, _, e_removed = kernel.unreserve_path(
+                3, self._tiles, self._edge_buckets, self._tile_bits, 0,
+                path.steps, -1 if horizon is None else horizon,
+                self._floor, self._edge_floor)
+            self._n_entries -= removed
+            self._n_tick_buckets -= buckets_removed
+            self._n_edges -= e_removed
+            return
+        self.mutation_kernel = "python"
+        tiles = self._tiles
+        bits = self._tile_bits
+        floor = self._floor
+        for (t, x, y) in path.steps:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
+            if t < floor:
+                continue
+            key = (x << CELL_KEY_SHIFT) | y
+            tile_id = tile_of_key(key, bits)
+            tile = tiles.get(tile_id)
+            if tile is None:
+                continue
+            bucket = tile.get(t)
+            if bucket is not None and key in bucket:
+                bucket.discard(key)
+                self._n_entries -= 1
+                if not bucket:
+                    del tile[t]
+                    self._n_tick_buckets -= 1
+                    if not tile:
+                        del tiles[tile_id]
+        self._unreserve_edges(path, horizon)
+
     def purge_before(self, t: Tick) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            removed, buckets_removed, _, e_removed = kernel.purge_before(
+                3, self._tiles, self._edge_buckets, self._tile_bits, t,
+                self._floor, self._edge_floor)
+            if t > self._floor:
+                self._n_entries -= removed
+                self._n_tick_buckets -= buckets_removed
+                self._floor = t
+                self._drop_indexes_below(t)
+            if t > self._edge_floor:
+                self._n_edges -= e_removed
+                self._edge_floor = t
+            return
+        self.mutation_kernel = "python"
         if t > self._floor:
             floor = self._floor
             for tile_id, tile in list(self._tiles.items()):
@@ -463,8 +645,29 @@ class ShardedConflictDetectionTable(_VectorAuditMixin, _EdgeMixin,
         return (64 + 100 * self._n_tick_buckets + 32 * self._n_entries
                 + 64 * len(self._tiles) + self._edges_memory())
 
+    def recount(self):
+        """Walk every tile and recompute the incremental counters."""
+        entries = 0
+        buckets = 0
+        for tile in self._tiles.values():
+            buckets += len(tile)
+            for bucket in tile.values():
+                entries += len(bucket)
+        counts = {"reservations": entries, "ticks_live": buckets,
+                  "tiles_live": len(self._tiles)}
+        counts.update(self._recount_edge_state())
+        counts["memory_bytes"] = (
+            64 + 100 * counts["ticks_live"] + 32 * counts["reservations"]
+            + 64 * counts["tiles_live"]
+            + 64 + 100 * counts["edges"] + 64 * counts["edge_ticks"])
+        return counts
+
     def _audit_path_buckets(self, path: Path) -> bool:
-        """Pure-python audit: packed probes with a last-tile memo."""
+        """Bucket-walk audit: packed probes with a last-tile memo."""
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            return kernel.audit_path(3, self._tiles, self._edge_buckets,
+                                     self._tile_bits, 0, path.steps)
         tiles = self._tiles
         bits = self._tile_bits
         edge_buckets = self._edge_buckets

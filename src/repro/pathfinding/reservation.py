@@ -31,6 +31,41 @@ except ImportError:  # pragma: no cover - the toolchain ships numpy
     _np = None
 
 
+# -- native mutation kernel selection ----------------------------------------
+
+#: Minimum native-kernel ABI exposing the reservation *mutation* entry
+#: points (reserve/unreserve/purge/audit).  A stale ABI-1 artefact still
+#: accelerates the search but mutations silently stay pure-python.
+MUTATION_KERNEL_ABI = 2
+
+#: The compiled module whose mutation entry points the production tables
+#: call, or ``None`` for the pure-python bodies.  Installed by
+#: :func:`set_mutation_kernel` (wired from ``st_astar.set_search_kernel``
+#: so one ``REPRO_KERNEL`` switch governs both kernels); tables read it
+#: per call rather than capturing it, which keeps them picklable and lets
+#: a runtime switch take effect immediately.
+_MUTATION_MODULE = None
+
+
+def set_mutation_kernel(module) -> None:
+    """Install (or clear) the compiled mutation kernel.
+
+    ``module`` is the loaded ``_stsearch`` extension or ``None``.  Modules
+    predating :data:`MUTATION_KERNEL_ABI` are rejected silently — the
+    pure-python bodies are always a correct stand-in.
+    """
+    global _MUTATION_MODULE
+    if module is not None and getattr(
+            module, "KERNEL_ABI", 0) < MUTATION_KERNEL_ABI:
+        module = None
+    _MUTATION_MODULE = module
+
+
+def mutation_kernel_name() -> str:
+    """``"compiled"`` or ``"python"``: which mutation bodies run now."""
+    return "compiled" if _MUTATION_MODULE is not None else "python"
+
+
 # -- spatial tiles (region sharding) ----------------------------------------
 
 def tile_of_cell(x: int, y: int, bits: int) -> int:
@@ -128,6 +163,18 @@ class PackedChain:
 class ReservationTable(abc.ABC):
     """Abstract conflict bookkeeping for already-planned paths."""
 
+    #: Which kernel ran the *last* mutation (``"compiled"``/``"python"``),
+    #: or ``""`` for structures that never report.  Read by the planner's
+    #: per-op kernel tags in ``PlannerStats``.
+    mutation_kernel: str = ""
+
+    #: Monotonic mutation counter, bumped by every reserve/unreserve/
+    #: purge on the production tables; ``None`` on structures that do not
+    #: track it.  The planner keys its cached ``memory_bytes`` aggregate
+    #: on this stamp, so the class default keeps legacy tables (and old
+    #: pickles) on the always-recompute path.
+    mutation_stamp = None
+
     @abc.abstractmethod
     def is_free(self, t: Tick, cell: Cell) -> bool:
         """Whether ``cell`` is unreserved at time ``t``."""
@@ -152,9 +199,33 @@ class ReservationTable(abc.ABC):
     def purge_before(self, t: Tick) -> None:
         """Drop all reservations strictly before ``t`` (the periodic update)."""
 
+    def unreserve_path(self, path: Path,
+                       horizon: Optional[Tick] = None) -> None:
+        """Remove a previously reserved path (inverse of ``reserve_path``).
+
+        Iterates exactly the vertices and edges ``reserve_path(path,
+        horizon)`` would have inserted.  The caller must only unreserve
+        paths it exclusively owns: a vertex shared with another live path
+        is removed outright.  Production tables implement this; the
+        legacy structures raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support unreserve_path")
+
     @abc.abstractmethod
     def memory_bytes(self) -> int:
         """Approximate structure footprint, for the MC metric."""
+
+    def recount(self) -> Dict[str, int]:
+        """Recompute ``live_counts`` from scratch, ignoring counters.
+
+        The debug/verification twin of :meth:`live_counts`: walks the
+        underlying containers and tallies them directly, so the property
+        suite (and a suspicious operator) can assert the incremental
+        counters never drift.  Structures without incremental counters
+        simply answer :meth:`live_counts`.
+        """
+        return self.live_counts()
 
     def live_counts(self) -> Dict[str, int]:
         """Occupancy counters for service-mode telemetry.
@@ -387,6 +458,31 @@ class _EdgeMixin:
                     self._n_edges += 1
                     if note is not None:
                         note(t0, x0, y0, x1, y1)
+
+    def _unreserve_edges(self, path: Path,
+                         horizon: Optional[Tick] = None) -> None:
+        """Remove the edges ``_reserve_edges(path, horizon)`` inserted."""
+        buckets = self._edge_buckets
+        floor = self._edge_floor
+        ceiling = horizon if horizon is not None else None
+        for (t0, x0, y0), (__, x1, y1) in zip(path.steps, path.steps[1:]):
+            if ceiling is not None and t0 >= ceiling:
+                break  # timestamps are consecutive; the rest is later
+            if t0 >= floor and (x0 != x1 or y0 != y1):
+                key = ((((x0 << CELL_KEY_SHIFT) | y0) << 32)
+                       | ((x1 << CELL_KEY_SHIFT) | y1))
+                bucket = buckets.get(t0)
+                if bucket is not None and key in bucket:
+                    bucket.discard(key)
+                    self._n_edges -= 1
+                    if not bucket:
+                        del buckets[t0]
+
+    def _recount_edge_state(self) -> Dict[str, int]:
+        """Edge counters recomputed from the buckets (debug twin)."""
+        return {"edges": sum(len(bucket)
+                             for bucket in self._edge_buckets.values()),
+                "edge_ticks": len(self._edge_buckets)}
 
     def _purge_edges(self, t: Tick) -> None:
         if t <= self._edge_floor:

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from ..types import CELL_KEY_MASK, CELL_KEY_SHIFT, Cell, Tick
 from ..warehouse.grid import Grid
+from . import reservation as _rsv
 from .paths import Path
 from .reservation import ReservationTable, _EdgeMixin, tile_of_cell
 
@@ -38,6 +39,14 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         #: t -> dense one-byte-per-cell occupancy layer (cell-indexed).
         self._layers: Dict[Tick, bytearray] = {}
         self._floor: Tick = 0
+        #: Highest materialised layer tick; only meaningful while
+        #: ``_layers`` is non-empty.  The layers are always dense over
+        #: ``[_floor, _high]`` (``_layer`` densifies every gap and the
+        #: purge only trims from below), so tracking the top incrementally
+        #: replaces the ``max()`` scan that dominated reserve-loop
+        #: self-time at paper scale.
+        self._high: Tick = 0
+        self.mutation_stamp = 0
 
     def _layer(self, t: Tick) -> bytearray:
         """Materialise (densely!) the layer for timestep ``t``.
@@ -51,10 +60,11 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
             # A real time-expanded graph has *every* timestep's copy of the
             # grid, so create all missing layers up to t, not just t's.
             n_cells = self._grid.n_cells
-            high = max(self._layers, default=self._floor)
+            high = self._high if self._layers else self._floor
             for step in range(min(t, self._floor), max(t, high) + 1):
                 if step >= self._floor and step not in self._layers:
                     self._layers[step] = bytearray(n_cells)
+            self._high = max(t, high)
             layer = self._layers[t]
         return layer
 
@@ -88,13 +98,61 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            high = self._high if self._layers else self._floor - 1
+            res = kernel.reserve_path(
+                2, self._layers, self._edge_buckets, 0, self._grid.height,
+                self._grid.n_cells, path.steps,
+                -1 if horizon is None else horizon, self._floor,
+                self._edge_floor, high, False)
+            if self._layers:
+                self._high = res[4]
+            self._n_edges += res[3]
+            return
+        self.mutation_kernel = "python"
         height = self._grid.height
+        floor = self._floor
+        layers = self._layers
+        get = layers.get
         for (t, x, y) in path:
             if horizon is not None and t > horizon:
                 break  # consecutive timestamps: everything after is later
-            if t >= self._floor:
-                self._layer(t)[x * height + y] = 1
+            if t >= floor:
+                layer = get(t)
+                if layer is None:
+                    layer = self._layer(t)
+                layer[x * height + y] = 1
         self._reserve_edges(path, horizon)
+
+    def unreserve_path(self, path: Path,
+                       horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            res = kernel.unreserve_path(
+                2, self._layers, self._edge_buckets, 0, self._grid.height,
+                path.steps, -1 if horizon is None else horizon,
+                self._floor, self._edge_floor)
+            self._n_edges -= res[3]
+            return
+        self.mutation_kernel = "python"
+        # Layers stay materialised: a time-expanded graph keeps every
+        # timestep's grid copy; only the occupancy bytes are cleared.
+        height = self._grid.height
+        floor = self._floor
+        get = self._layers.get
+        for (t, x, y) in path:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
+            if t >= floor:
+                layer = get(t)
+                if layer is not None:
+                    layer[x * height + y] = 0
+        self._unreserve_edges(path, horizon)
 
     def audit_path(self, path: Path) -> bool:
         """Bulk conflict audit for the tier-0 free-flow fast path.
@@ -105,6 +163,10 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         layers below the floor are evicted) plus the shared tick-bucketed
         swap probe.
         """
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            return kernel.audit_path(2, self._layers, self._edge_buckets,
+                                     0, self._grid.height, path.steps)
         height = self._grid.height
         layers = self._layers
         edge_buckets = self._edge_buckets
@@ -126,6 +188,19 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
         return True
 
     def purge_before(self, t: Tick) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            res = kernel.purge_before(
+                2, self._layers, self._edge_buckets, 0, t, self._floor,
+                self._edge_floor)
+            self._floor = max(self._floor, t)
+            if t > self._edge_floor:
+                self._n_edges -= res[3]
+                self._edge_floor = t
+            return
+        self.mutation_kernel = "python"
         self._floor = max(self._floor, t)
         for stale in [step for step in self._layers if step < t]:
             del self._layers[stale]
@@ -133,9 +208,19 @@ class SpatiotemporalGraph(_EdgeMixin, ReservationTable):
 
     def memory_bytes(self) -> int:
         # One byte per cell per layer — identical accounting to the seed's
-        # uint8 ndarray layers.
-        layers = sum(len(layer) for layer in self._layers.values())
-        return layers + self._edges_memory()
+        # uint8 ndarray layers.  Every layer is exactly ``n_cells`` long,
+        # so the per-layer sum collapses to one O(1) multiply.
+        return (len(self._layers) * self._grid.n_cells
+                + self._edges_memory())
+
+    def recount(self):
+        """Walk the layers and recompute the footprint from scratch."""
+        counts = {"layers": len(self._layers)}
+        counts.update(self._recount_edge_state())
+        counts["memory_bytes"] = (
+            sum(len(layer) for layer in self._layers.values())
+            + 64 + 100 * counts["edges"] + 64 * counts["edge_ticks"])
+        return counts
 
     # -- introspection ---------------------------------------------------------
 
@@ -186,6 +271,7 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
         self._layers: Dict[Tick, Dict[int, bytearray]] = {}
         self._floor: Tick = 0
         self._n_tile_layers = 0
+        self.mutation_stamp = 0
 
     @property
     def tile_bits(self) -> int:
@@ -230,6 +316,19 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
 
     def reserve_path(self, path: Path,
                      horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            res = kernel.reserve_path(
+                4, self._layers, self._edge_buckets, self._tile_bits, 0,
+                self._tile_cells, path.steps,
+                -1 if horizon is None else horizon, self._floor,
+                self._edge_floor, 0, False)
+            self._n_tile_layers += res[2]
+            self._n_edges += res[3]
+            return
+        self.mutation_kernel = "python"
         layers = self._layers
         bits = self._tile_bits
         floor = self._floor
@@ -253,10 +352,45 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
             tile[self._tile_slot(x, y)] = 1
         self._reserve_edges(path, horizon)
 
+    def unreserve_path(self, path: Path,
+                       horizon: Optional[Tick] = None) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            res = kernel.unreserve_path(
+                4, self._layers, self._edge_buckets, self._tile_bits, 0,
+                path.steps, -1 if horizon is None else horizon,
+                self._floor, self._edge_floor)
+            self._n_edges -= res[3]
+            return
+        self.mutation_kernel = "python"
+        # Materialised tile blocks persist (mirroring the dense global
+        # table); only the occupancy bytes are cleared.
+        layers = self._layers
+        bits = self._tile_bits
+        floor = self._floor
+        for (t, x, y) in path:
+            if horizon is not None and t > horizon:
+                break  # consecutive timestamps: everything after is later
+            if t < floor:
+                continue
+            layer = layers.get(t)
+            if layer is None:
+                continue
+            tile = layer.get(tile_of_cell(x, y, bits))
+            if tile is not None:
+                tile[self._tile_slot(x, y)] = 0
+        self._unreserve_edges(path, horizon)
+
     def audit_path(self, path: Path) -> bool:
         """Bulk conflict audit: one tile probe per arrival plus the shared
         tick-bucketed swap probe (mirrors the global table's native
         audit, restricted to the tiles the path crosses)."""
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            return kernel.audit_path(4, self._layers, self._edge_buckets,
+                                     self._tile_bits, 0, path.steps)
         layers = self._layers
         bits = self._tile_bits
         edge_buckets = self._edge_buckets
@@ -280,6 +414,20 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
         return True
 
     def purge_before(self, t: Tick) -> None:
+        self.mutation_stamp += 1
+        kernel = _rsv._MUTATION_MODULE
+        if kernel is not None:
+            self.mutation_kernel = "compiled"
+            res = kernel.purge_before(
+                4, self._layers, self._edge_buckets, self._tile_bits, t,
+                self._floor, self._edge_floor)
+            self._floor = max(self._floor, t)
+            self._n_tile_layers -= res[2]
+            if t > self._edge_floor:
+                self._n_edges -= res[3]
+                self._edge_floor = t
+            return
+        self.mutation_kernel = "python"
         self._floor = max(self._floor, t)
         layers = self._layers
         for stale in [step for step in layers if step < t]:
@@ -291,6 +439,17 @@ class ShardedSpatiotemporalGraph(_EdgeMixin, ReservationTable):
         # One byte per *materialised tile* cell — the same accounting
         # unit as the global table, restricted to the blocks that exist.
         return self._n_tile_layers * self._tile_cells + self._edges_memory()
+
+    def recount(self):
+        """Walk the layers and recompute the incremental counters."""
+        counts = {"layers": len(self._layers),
+                  "tile_layers": sum(len(layer)
+                                     for layer in self._layers.values())}
+        counts.update(self._recount_edge_state())
+        counts["memory_bytes"] = (
+            counts["tile_layers"] * self._tile_cells
+            + 64 + 100 * counts["edges"] + 64 * counts["edge_ticks"])
+        return counts
 
     # -- introspection -------------------------------------------------------
 

@@ -79,7 +79,7 @@ from ..warehouse.grid import Grid
 from ._kernel import load_compiled as _load_compiled
 from .heuristics import Heuristic, HeuristicField, _LazyManhattanFlat
 from .paths import Path
-from .reservation import ReservationTable
+from .reservation import ReservationTable, set_mutation_kernel
 
 #: Sentinel "probe everything" horizon — any tick comparison loses to it.
 _NO_HORIZON = 1 << 62
@@ -241,6 +241,11 @@ def set_search_kernel(choice: str) -> str:
                if choice == "compiled"
                or (choice == "auto" and _COMPILED is not None)
                else "python")
+    # One REPRO_KERNEL switch governs both kernels: the reservation
+    # tables' mutation bodies follow the search-kernel selection (the
+    # setter itself rejects pre-mutation ABIs, so a stale artefact keeps
+    # mutations pure-python while still accelerating searches).
+    set_mutation_kernel(_COMPILED if _KERNEL == "compiled" else None)
     return _KERNEL
 
 

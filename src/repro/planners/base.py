@@ -88,6 +88,13 @@ class PlannerStats:
     #: run no search and count in neither.
     searches_compiled: int = 0
     searches_python: int = 0
+    #: Which reservation-mutation loop served the commits and purges (the
+    #: two are bit-identical; see ``ReservationTable.mutation_kernel``).
+    #: Legacy tables that predate the mutation kernel report neither.
+    reserves_compiled: int = 0
+    reserves_python: int = 0
+    purges_compiled: int = 0
+    purges_python: int = 0
 
 
 class Planner(abc.ABC):
@@ -108,6 +115,16 @@ class Planner(abc.ABC):
 
     #: Human-readable name used by experiment reports (override).
     name: str = "planner"
+
+    #: Reservation-footprint cache (see :meth:`memory_bytes`): the last
+    #: aggregate and the table ``mutation_stamp`` it was computed at.
+    #: Class-level defaults so checkpoints pickled before the cache
+    #: existed restore cleanly; ``None`` never matches a live stamp.
+    _memory_stamp = None
+    _memory_cache: int = 0
+    #: High-water mark of :meth:`memory_bytes`, maintained at every leg
+    #: commit (the only operation that grows the structures).
+    _peak_memory: int = 0
 
     #: Whether the planner's leg planning can run in a worker process of
     #: the in-run batch pool.  Requires leg planning to be a pure function
@@ -268,6 +285,14 @@ class Planner(abc.ABC):
                                   pickup_path=path))
         self.stats.schemes_emitted += 1
         self.stats.assignments_emitted += len(scheme)
+        # End-of-wake high-water update: a selection can grow subclass
+        # structures (ATP's Q-table) even when it commits no leg, so the
+        # commit-time peak tracking alone would miss it.  O(1): the
+        # reservation aggregate is stamp-cached and the extras hooks are
+        # all constant-time.
+        memory = self.memory_bytes()
+        if memory > self._peak_memory:
+            self._peak_memory = memory
         return scheme
 
     def plan_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
@@ -327,14 +352,48 @@ class Planner(abc.ABC):
         floor = last_cadence - self.config.reservation_horizon
         if floor > 0:
             self.reservation.purge_before(floor)
+            kernel = getattr(self.reservation, "mutation_kernel", "")
+            if kernel == "compiled":
+                self.stats.purges_compiled += 1
+            elif kernel == "python":
+                self.stats.purges_python += 1
 
     def end_of_tick(self, t: Tick) -> None:
         """Single-tick :meth:`advance` (kept for external callers)."""
         self.advance(t, t)
 
     def memory_bytes(self) -> int:
-        """Total live structure footprint — the Fig. 12 MC sample."""
-        return self.reservation.memory_bytes() + self._extra_memory_bytes()
+        """Total live structure footprint — the Fig. 12 MC sample.
+
+        The reservation aggregate is cached against the table's
+        ``mutation_stamp`` (bumped by every reserve / unreserve / purge),
+        so repeated samples between mutations cost one integer compare.
+        Only the reservation term is cached: the subclass extras are all
+        O(1) *and* can mutate outside the stamp's visibility (ATP's
+        learner updates during selection), so they are re-read fresh.
+        Legacy tables without a stamp (``mutation_stamp is None``) are
+        never cached.
+        """
+        stamp = getattr(self.reservation, "mutation_stamp", None)
+        if stamp is None:
+            reserved = self.reservation.memory_bytes()
+        elif stamp == self._memory_stamp:
+            reserved = self._memory_cache
+        else:
+            reserved = self.reservation.memory_bytes()
+            self._memory_cache = reserved
+            self._memory_stamp = stamp
+        return reserved + self._extra_memory_bytes()
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """High-water mark of :meth:`memory_bytes` across all commits.
+
+        Maintained inside :meth:`_commit_leg`; the engine folds it into
+        the run's recorded peak so checkpoint-boundary memory sampling
+        (instead of per-event) cannot under-report the maximum.
+        """
+        return self._peak_memory
 
     def _extra_memory_bytes(self) -> int:
         """Subclass hook for additional structures (cache, Q-table, KNN).
@@ -467,6 +526,14 @@ class Planner(abc.ABC):
             self.reservation.reserve_path(leg.commit_path)
         else:
             self.reservation.reserve_path(leg.commit_path, leg.commit_until)
+        kernel = getattr(self.reservation, "mutation_kernel", "")
+        if kernel == "compiled":
+            self.stats.reserves_compiled += 1
+        elif kernel == "python":
+            self.stats.reserves_python += 1
+        memory = self.memory_bytes()
+        if memory > self._peak_memory:
+            self._peak_memory = memory
         self.stats.legs_planned += 1
         if leg.tier == TIER_FREE_FLOW:
             self.stats.legs_free_flow += 1

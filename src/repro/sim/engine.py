@@ -72,6 +72,11 @@ from ..types import Tick
 from ..warehouse.entities import Item, RackPhase, RobotState
 from ..warehouse.state import WarehouseState
 
+#: ``MissionStage.moving`` as a set, so the per-wake world-sync loop pays
+#: one containment test per active mission instead of a property call.
+_MOVING_STAGES = frozenset((MissionStage.TO_RACK, MissionStage.TO_PICKER,
+                            MissionStage.RETURNING))
+
 
 @dataclass
 class SimulationResult:
@@ -362,9 +367,23 @@ class Simulation:
                 advance_picker_span(picker, racks, (t - 1) - synced[pid])
                 synced[pid] = t - 1
         robots = self.state.robots
+        moving_stages = _MOVING_STAGES
         for mission in self._active.values():
-            if mission.stage.moving:
-                robots[mission.robot_id].location = mission.path.cell_at(t)
+            if mission.stage in moving_stages:
+                # Inlined Path.cell_at (clamped step lookup): this loop
+                # touches every moving mission on every planner wake, and
+                # the call + endpoint-property overhead is measurable at
+                # fleet scale.
+                path = mission.path
+                steps = path.steps
+                i = t - path.start_time
+                if i <= 0:
+                    __, x, y = steps[0]
+                elif i >= len(steps) - 1:
+                    __, x, y = steps[-1]
+                else:
+                    __, x, y = steps[i]
+                robots[mission.robot_id].location = (x, y)
 
     def _dispatch(self, t: Tick) -> None:
         scheme = self.planner.plan(t)
@@ -548,9 +567,26 @@ class Simulation:
 
     # -- stage 5: accounting ------------------------------------------------------------
 
+    #: Whether :meth:`_account` has sampled the opening footprint (class
+    #: default so checkpoints pickled before the attribute existed
+    #: restore cleanly — they re-sample a live value, which is a no-op
+    #: for the peak).
+    _accounted = False
+
     def _account(self, t: Tick) -> None:
-        memory = self.planner.memory_bytes()
-        self._recorder.note_memory(memory)
+        # Memory is no longer sampled at every event: the planner tracks
+        # its own high-water mark at each leg commit and wake (the only
+        # operations that grow the structures), and `_result` folds that
+        # peak into the recorder.  The per-event sample here reduces to
+        # one opening-footprint reading — the only value a commit-driven
+        # peak cannot see on a run that never commits a leg — plus the
+        # checkpoint-boundary sample the Fig. 12 series is built from,
+        # which reads the exact end-of-event value the per-event sampling
+        # recorded (memory only changes at commits and purges, and both
+        # precede this hook within the event).
+        if not self._accounted:
+            self._recorder.note_memory(self.planner.memory_bytes())
+            self._accounted = True
         if self._recorder.would_checkpoint():
             self._flush_busy_counters(t)
             elapsed = t + 1
@@ -562,7 +598,7 @@ class Simulation:
                     [r.busy_ticks for r in self.state.robots], elapsed),
                 selection_seconds=self.planner.stats.selection_seconds,
                 planning_seconds=self.planner.stats.planning_seconds,
-                memory_bytes=memory)
+                memory_bytes=self.planner.memory_bytes())
         if self._trace is not None:
             self._trace.record(t, self._n_transporting, self._n_queuing,
                                self._n_processing)
@@ -589,6 +625,12 @@ class Simulation:
             raise SimulationError(
                 f"drained run ended at tick {final_tick} but the last rack "
                 f"returned at {makespan} — elapsed-time accounting bug")
+        # Fold the planner's commit-time high-water mark into the
+        # recorder's peak: with per-event sampling gone, the recorder has
+        # only seen the opening footprint and the checkpoint boundaries.
+        # Planners without the hook (replays) contribute 0 — a no-op.
+        self._recorder.note_memory(
+            getattr(self.planner, "peak_memory_bytes", 0))
         # The same denominator rule the checkpoints use (elapsed ticks at
         # sample time, here the full run), so the final PPR/RWR and a
         # checkpoint landing on the final accounted tick agree exactly.

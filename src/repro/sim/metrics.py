@@ -190,10 +190,12 @@ class MetricsRecorder:
     def note_memory(self, memory_bytes: int) -> None:
         """Fold one memory sample into the running peak.
 
-        The event-driven engine samples memory only at ticks where a
-        planner structure can have grown (every tick would be wasted
-        work: between events reservations only shrink), so peak tracking
-        is decoupled from checkpoint emission.
+        Peak tracking is decoupled from checkpoint emission: the
+        event-driven engine feeds one opening-footprint sample, the
+        checkpoint-boundary values, and — at result assembly — the
+        planner's own commit-time high-water mark
+        (``Planner.peak_memory_bytes``), which is where the per-event
+        memory sweep of earlier engine generations moved.
         """
         if memory_bytes > self.peak_memory:
             self.peak_memory = memory_bytes

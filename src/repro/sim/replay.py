@@ -74,6 +74,10 @@ class RecordingPlanner:
     def memory_bytes(self) -> int:
         return self._inner.memory_bytes()
 
+    @property
+    def peak_memory_bytes(self) -> int:
+        return getattr(self._inner, "peak_memory_bytes", 0)
+
     def plan(self, t: Tick) -> PlanningScheme:
         scheme = self._inner.plan(t)
         self.log.schemes[t] = scheme
@@ -115,6 +119,12 @@ class ReplayPlanner:
 
     def memory_bytes(self) -> int:
         return 0
+
+    #: Replays carry no reservation structures, so the recorded peak is
+    #: deliberately not replayed either — the memory metric reads zero,
+    #: matching :meth:`memory_bytes` (the deterministic-view comparison
+    #: already excludes it).
+    peak_memory_bytes = 0
 
     def plan(self, t: Tick) -> PlanningScheme:
         scheme = self.log.schemes.get(t)

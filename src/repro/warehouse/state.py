@@ -91,7 +91,7 @@ class WarehouseState:
     def selectable_racks(self) -> List[Rack]:
         """Racks that are home (STORED) and carry at least one pending item."""
         return [rack for rack in self.racks
-                if rack.phase is RackPhase.STORED and rack.has_pending]
+                if rack.phase is RackPhase.STORED and rack.pending_items]
 
     def racks_of_picker(self, picker_id: int) -> List[Rack]:
         """All racks associated with ``picker_id`` (fixed association)."""

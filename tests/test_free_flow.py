@@ -141,6 +141,56 @@ class TestDescentMatchesSearch:
         assert make_cache(GRIDS["open"]).descent((3, 3), (3, 3)) == ((3, 3),)
 
 
+class TestManhattanClosedForm:
+    """The closed-form descent equals the generic loop, every field.
+
+    Paper-scale unobstructed floors carry the lazy Manhattan field and
+    `_walk` answers with `_walk_manhattan` — all-of-x-then-all-of-y by
+    construction.  The generic descent loop run on the *same* lazy field
+    must produce the identical chain in every representation the audits
+    consume (cells, packed keys, flat indices), or tier-0 behaviour
+    would silently depend on floor size.
+    """
+
+    def test_paper_floor_random_pairs(self):
+        from repro.pathfinding.heuristics import _LazyManhattanFlat
+
+        grid = Grid(541, 302)
+        cache = make_cache(grid)
+        rng = random.Random(20220808)
+        pairs = [((rng.randrange(541), rng.randrange(302)),
+                  (rng.randrange(541), rng.randrange(302)))
+                 for __ in range(40)]
+        # Degenerate axes: same cell, same column, same row, reversed.
+        pairs += [((7, 9), (7, 9)), ((7, 9), (7, 200)), ((7, 9), (400, 9)),
+                  ((400, 200), (7, 9))]
+        for source, goal in pairs:
+            flat = cache._heuristics.field(goal).flat
+            assert isinstance(flat, _LazyManhattanFlat)
+            fast = cache._walk_manhattan(source, goal)
+            slow = cache._walk_generic(source, goal, flat)
+            assert fast.cells == slow.cells, (source, goal)
+            assert fast.keys == slow.keys, (source, goal)
+            assert fast.flat == slow.flat, (source, goal)
+
+    def test_dispatch_selects_closed_form_on_paper_floor(self):
+        grid = Grid(541, 302)
+        cache = make_cache(grid)
+        chain = cache.packed((3, 5), (10, 2))
+        assert chain.cells == cache._walk_manhattan((3, 5), (10, 2)).cells
+
+    def test_small_floors_keep_the_generic_walk(self):
+        # Sub-paper floors build eager fields; the descent there still
+        # matches the search (TestDescentMatchesSearch) — here we only
+        # pin that the closed form is not involved.
+        from repro.pathfinding.heuristics import _LazyManhattanFlat
+
+        grid = GRIDS["open"]
+        cache = make_cache(grid)
+        assert not isinstance(cache._heuristics.field((5, 5)).flat,
+                              _LazyManhattanFlat)
+
+
 class TestFreeFlowCache:
     def test_memoises_per_pair(self):
         cache = make_cache(GRIDS["open"])

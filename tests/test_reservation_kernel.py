@@ -1,0 +1,393 @@
+"""Native reservation-mutation kernel: equivalence and accounting.
+
+The compiled reserve / unreserve / purge / audit entry points must be
+drop-ins for the pure-python mutation loops on every production table —
+same container contents bit for bit, same incremental counters, same
+probe-index feed (including poisoning), same audit answers — and the
+incremental occupancy counters every structure now maintains must never
+drift from a walk-from-scratch recount.  The equivalence half builds the
+extension on the fly (skipping where no compiler is available); the
+counter-drift property and the planner accounting tests run under
+whichever kernel is selected, so the pure-python CI job exercises them
+with the extension never built.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as hyp
+
+from repro.config import PlannerConfig
+from repro.pathfinding._kernel import build_and_load
+from repro.pathfinding.cdt import (ConflictDetectionTable,
+                                   ShardedConflictDetectionTable)
+from repro.pathfinding.free_flow import FreeFlowPathCache
+from repro.pathfinding.heuristics import HeuristicFieldCache
+from repro.pathfinding.paths import Path
+from repro.pathfinding.reservation import (ReservationTable,
+                                           mutation_kernel_name,
+                                           set_mutation_kernel)
+from repro.pathfinding.spatiotemporal_graph import (ShardedSpatiotemporalGraph,
+                                                    SpatiotemporalGraph)
+from repro.pathfinding.st_astar import search_kernel_name, set_search_kernel
+from repro.planners import PLANNERS
+from repro.sim.engine import Simulation
+from repro.warehouse.grid import Grid
+from repro.workloads.datasets import make_mini
+
+COMPILED = build_and_load()
+
+needs_compiled = pytest.mark.skipif(
+    COMPILED is None,
+    reason="native kernel unavailable (no compiler or REPRO_KERNEL_BUILD=0)")
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel():
+    # set_search_kernel rewires the mutation kernel too, so restoring the
+    # search selection restores everything a test switched.
+    previous = search_kernel_name()
+    yield
+    set_search_kernel(previous)
+
+
+WIDTH, HEIGHT = 12, 10
+
+TABLES = {
+    "cdt": lambda: ConflictDetectionTable(),
+    "cdt-vector": lambda: ConflictDetectionTable(vector_audit=True),
+    "sharded-cdt": lambda: ShardedConflictDetectionTable(tile_bits=2),
+    "stgraph": lambda: SpatiotemporalGraph(Grid(WIDTH, HEIGHT)),
+    "sharded-stgraph": lambda: ShardedSpatiotemporalGraph(tile_bits=2),
+}
+
+
+def random_walk(rng, max_len=14, t_max=48):
+    """A random wait-allowing lattice walk as a timed Path."""
+    x, y = rng.randrange(WIDTH), rng.randrange(HEIGHT)
+    cells = [(x, y)]
+    for _ in range(rng.randrange(1, max_len)):
+        options = [(x, y)]
+        if x + 1 < WIDTH:
+            options.append((x + 1, y))
+        if x > 0:
+            options.append((x - 1, y))
+        if y + 1 < HEIGHT:
+            options.append((x, y + 1))
+        if y > 0:
+            options.append((x, y - 1))
+        x, y = rng.choice(options)
+        cells.append((x, y))
+    return Path.from_cells(cells, start_time=rng.randrange(t_max))
+
+
+def random_ops(seed, n=60):
+    """A concrete op tape: replayable against any table, any kernel.
+
+    Mixes full and windowed reserves, unreserves of previously reserved
+    paths (with their original horizon), and purges — the full mutation
+    surface of the compiled entry points.
+    """
+    rng = random.Random(seed)
+    ops = []
+    live = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            path = random_walk(rng)
+            horizon = (None if rng.random() < 0.6
+                       else path.start_time + rng.randrange(1, 8))
+            ops.append(("reserve", path, horizon))
+            live.append((path, horizon))
+        elif roll < 0.8:
+            path, horizon = live.pop(rng.randrange(len(live)))
+            ops.append(("unreserve", path, horizon))
+        else:
+            ops.append(("purge", rng.randrange(40)))
+    return ops
+
+
+def apply_ops(table, ops):
+    for op in ops:
+        if op[0] == "reserve":
+            if op[2] is None:
+                table.reserve_path(op[1])
+            else:
+                table.reserve_path(op[1], op[2])
+        elif op[0] == "unreserve":
+            if op[2] is None:
+                table.unreserve_path(op[1])
+            else:
+                table.unreserve_path(op[1], op[2])
+        else:
+            table.purge_before(op[1])
+
+
+def containers(table):
+    """The raw vertex/edge containers (compare by deep value equality)."""
+    _, vertices, edges, _ = table.kernel_probe_spec()
+    return vertices, edges
+
+
+class TestMutationKernelSelection:
+    def test_search_selection_drives_mutations(self):
+        if COMPILED is not None:
+            set_search_kernel("compiled")
+            assert mutation_kernel_name() == "compiled"
+        set_search_kernel("python")
+        assert mutation_kernel_name() == "python"
+
+    def test_rejects_pre_mutation_abi(self):
+        class StaleModule:
+            KERNEL_ABI = 1
+
+        set_mutation_kernel(StaleModule())
+        # A pre-mutation ABI module must degrade to the python bodies.
+        assert mutation_kernel_name() == "python"
+
+    def test_base_table_has_no_unreserve(self):
+        class Minimal(SpatiotemporalGraph):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            ReservationTable.unreserve_path(
+                Minimal(Grid(4, 4)), Path.from_cells([(0, 0), (1, 0)], 0))
+
+
+@needs_compiled
+@pytest.mark.parametrize("name", sorted(TABLES))
+class TestMutationBitIdentity:
+    """Twin tables, identical op tapes, one per kernel — equal states."""
+
+    def twins(self, name, seed, n=60):
+        ops = random_ops(seed, n)
+        set_mutation_kernel(COMPILED)
+        compiled_table = TABLES[name]()
+        apply_ops(compiled_table, ops)
+        set_mutation_kernel(None)
+        python_table = TABLES[name]()
+        apply_ops(python_table, ops)
+        return compiled_table, python_table
+
+    def test_random_ops_bit_identical(self, name):
+        for seed in range(6):
+            compiled_table, python_table = self.twins(name, seed)
+            assert containers(compiled_table) == containers(python_table)
+            assert (compiled_table.live_counts()
+                    == python_table.live_counts())
+            assert (compiled_table.memory_bytes()
+                    == python_table.memory_bytes())
+            assert compiled_table.recount() == python_table.recount()
+
+    def test_audits_agree(self, name):
+        compiled_table, python_table = self.twins(name, 1234)
+        rng = random.Random(99)
+        probes = [random_walk(rng) for _ in range(40)]
+        set_mutation_kernel(COMPILED)
+        compiled_answers = [compiled_table.audit_path(p) for p in probes]
+        set_mutation_kernel(None)
+        python_answers = [python_table.audit_path(p) for p in probes]
+        assert compiled_answers == python_answers
+        assert not all(compiled_answers)  # some probe actually conflicted
+
+    def test_unreserve_restores_prior_state(self, name):
+        # Set-backed tables restore their exact recount; the dense-layer
+        # family zeroes the bytes but keeps the materialised layers (so
+        # only the occupancy answers are required to roll back there).
+        rng = random.Random(7)
+        base = [random_walk(rng) for _ in range(5)]
+        extra = random_walk(rng)
+        exact_rollback = name in ("cdt", "cdt-vector", "sharded-cdt")
+        for kernel in (COMPILED, None):
+            set_mutation_kernel(kernel)
+            table = TABLES[name]()
+            for path in base:
+                table.reserve_path(path)
+            before = table.recount()
+            free_before = [table.is_free(t, (x, y))
+                           for (t, x, y) in extra.steps]
+            table.reserve_path(extra, extra.start_time + 4)
+            table.unreserve_path(extra, extra.start_time + 4)
+            after = table.recount()
+            if exact_rollback:
+                assert after == before
+            else:
+                assert after["edges"] == before["edges"]
+                assert after["edge_ticks"] == before["edge_ticks"]
+            assert free_before == [table.is_free(t, (x, y))
+                                   for (t, x, y) in extra.steps]
+
+    def test_purge_counters_stay_exact(self, name):
+        compiled_table, python_table = self.twins(name, 42, n=40)
+        for t in (10, 25, 60):
+            set_mutation_kernel(COMPILED)
+            compiled_table.purge_before(t)
+            set_mutation_kernel(None)
+            python_table.purge_before(t)
+            assert containers(compiled_table) == containers(python_table)
+            assert compiled_table.recount() == python_table.recount()
+            assert (compiled_table.live_counts()
+                    == compiled_table.recount())
+
+
+@needs_compiled
+class TestProbeIndexFeed:
+    """The compiled reserve must feed the vector-audit indexes exactly."""
+
+    def index_values(self, table):
+        merged = []
+        for index in (table._vindex, table._eindex):
+            assert index is not None
+            merged.append(sorted(list(index._sorted) + list(index._pending)))
+        return merged
+
+    def test_collected_probes_match_per_call_feed(self):
+        rng = random.Random(11)
+        paths = [random_walk(rng) for _ in range(12)]
+        set_mutation_kernel(COMPILED)
+        compiled_table = ConflictDetectionTable(vector_audit=True)
+        for path in paths:
+            compiled_table.reserve_path(path)
+        set_mutation_kernel(None)
+        python_table = ConflictDetectionTable(vector_audit=True)
+        for path in paths:
+            python_table.reserve_path(path)
+        assert (self.index_values(compiled_table)
+                == self.index_values(python_table))
+
+    def test_tick_overflow_poisons_like_python(self):
+        from repro.pathfinding.cdt import CHAIN_TICK_LIMIT
+
+        set_mutation_kernel(COMPILED)
+        table = ConflictDetectionTable(vector_audit=True)
+        table.reserve_path(
+            Path.from_cells([(0, 0), (1, 0)], CHAIN_TICK_LIMIT))
+        assert table._vindex is None and table._eindex is None
+        # State must still have mutated despite the poisoned batch.
+        assert not table.is_free(CHAIN_TICK_LIMIT, (0, 0))
+
+    def test_unreserve_poisons_indexes(self):
+        set_mutation_kernel(COMPILED)
+        table = ConflictDetectionTable(vector_audit=True)
+        path = Path.from_cells([(0, 0), (1, 0), (2, 0)], 0)
+        table.reserve_path(path)
+        assert table._vindex is not None
+        table.unreserve_path(path)
+        assert table._vindex is None
+
+
+def _free_flow_ops(cache, rng, cells):
+    for _ in range(80):
+        roll = rng.random()
+        if roll < 0.75:
+            cache.packed(rng.choice(cells), rng.choice(cells))
+        elif roll < 0.92:
+            cache.invalidate(rng.choice(cells))
+        else:
+            cache.clear()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=hyp.integers(min_value=0, max_value=10 ** 9))
+def test_property_incremental_matches_recount(seed):
+    """Counters never drift from a from-scratch recount, any kernel.
+
+    Exercises every production table through randomized full reserves,
+    windowed commits, purges and unreserves, plus the free-flow memo
+    through its grow/invalidate/clear cycle — under whichever mutation
+    kernel the session selected (the pure-python CI job runs this with
+    the extension never built).
+    """
+    ops = random_ops(seed, n=50)
+    for name, make_table in sorted(TABLES.items()):
+        table = make_table()
+        apply_ops(table, ops)
+        counts = table.live_counts()
+        recounted = table.recount()
+        assert counts == recounted, (name, counts, recounted)
+        assert table.memory_bytes() == recounted["memory_bytes"]
+    rng = random.Random(seed)
+    grid = Grid(WIDTH, HEIGHT)
+    cache = FreeFlowPathCache(grid, HeuristicFieldCache(grid))
+    cells = [(rng.randrange(WIDTH), rng.randrange(HEIGHT)) for _ in range(8)]
+    _free_flow_ops(cache, rng, cells)
+    assert cache.live_counts() == cache.recount()
+
+
+class TestPlannerAccounting:
+    def run_mini(self, kernel):
+        set_search_kernel(kernel)
+        scenario = make_mini(n_items=12)
+        state, items = scenario.build()
+        planner = PLANNERS["NTP"](state, PlannerConfig(free_flow=False))
+        try:
+            result = Simulation(state, planner, items).run()
+        finally:
+            planner.close()
+        return result, planner
+
+    def test_mutation_kernel_tags(self):
+        result_py, planner_py = self.run_mini("python")
+        stats = planner_py.stats
+        assert stats.reserves_python > 0 and stats.reserves_compiled == 0
+        if COMPILED is None:
+            return
+        result_c, planner_c = self.run_mini("compiled")
+        stats = planner_c.stats
+        assert stats.reserves_compiled > 0 and stats.reserves_python == 0
+        assert (result_c.metrics.makespan == result_py.metrics.makespan)
+        assert (result_c.metrics.peak_memory_bytes
+                == result_py.metrics.peak_memory_bytes)
+        assert ([s.memory_bytes for s in result_c.metrics.checkpoints]
+                == [s.memory_bytes for s in result_py.metrics.checkpoints])
+
+    def test_purge_kernel_tags(self):
+        set_search_kernel("python")
+        scenario = make_mini(n_items=24)
+        state, items = scenario.build()
+        planner = PLANNERS["NTP"](state, PlannerConfig(free_flow=False))
+        try:
+            Simulation(state, planner, items).run()
+        finally:
+            planner.close()
+        stats = planner.stats
+        assert stats.purges_compiled == 0
+        # A run long enough to cross the purge cadence tags its purges.
+        if stats.purges_python:
+            assert planner.reservation.mutation_kernel == "python"
+
+    def test_memory_cache_tracks_mutations(self):
+        set_search_kernel("python")
+        scenario = make_mini(n_items=8)
+        state, items = scenario.build()
+        planner = PLANNERS["NTP"](state)
+        try:
+            Simulation(state, planner, items).run()
+        finally:
+            planner.close()
+        # The cached aggregate must equal a fresh recompute, and keep
+        # tracking after further mutations.
+        assert planner.memory_bytes() == (
+            planner.reservation.memory_bytes()
+            + planner._extra_memory_bytes())
+        planner.reservation.reserve_path(
+            Path.from_cells([(0, 0), (0, 1)], 10 ** 6))
+        assert planner.memory_bytes() == (
+            planner.reservation.recount()["memory_bytes"]
+            + planner._extra_memory_bytes())
+
+    def test_peak_memory_is_commit_high_water(self):
+        set_search_kernel("python")
+        scenario = make_mini(n_items=12)
+        state, items = scenario.build()
+        planner = PLANNERS["NTP"](state)
+        try:
+            result = Simulation(state, planner, items).run()
+        finally:
+            planner.close()
+        assert planner.peak_memory_bytes > 0
+        assert result.metrics.peak_memory_bytes == planner.peak_memory_bytes
+        assert planner.peak_memory_bytes >= max(
+            s.memory_bytes for s in result.metrics.checkpoints)
