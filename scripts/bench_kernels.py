@@ -196,6 +196,23 @@ RESERVATION_TABLE_MAKERS = (
     ("sharded_stgraph", lambda grid: ShardedSpatiotemporalGraph()),
 )
 
+#: CI floor for the compiled heuristic-field flood (``bfs_fill``) over
+#: the python deque flood on the obstructed paper floor (the PR-10
+#: gate, written to ``BENCH_PR10.json``).  The recorded speedup is well
+#: above the ISSUE's 5x target; the floor *is* the target — the flood
+#: is pure C over the prepared adjacency capsule, so it does not sit
+#: near the line the way mixed python/C loops do.
+SMOKE_MIN_FIELD_SPEEDUP = 5.0
+
+#: CI floor for the fused tier-0 entry point (``tier0_leg``: greedy
+#: descent + bulk audit in one call) over the python
+#: ``packed()``+``audit_chain`` pair on the same cold legs.
+SMOKE_MIN_TIER0_SPEEDUP = 2.0
+
+#: Rungs of the PR-10 live contrast: the fleet-ladder cells where
+#: tier-0 legs dominate planning seconds (same rungs as the PR-5 gate).
+TIER0_LADDER_FLEETS = (100, 200)
+
 
 def _time_search(search_fn, make_table, rounds=30):
     """Total seconds and expansions for ``rounds`` sweeps of the endpoints."""
@@ -1166,9 +1183,14 @@ def bench_pr9_ladder(fleets=KERNEL_LADDER_FLEETS, baseline="BENCH_PR8.json"):
     pins = {}
     baseline_file = FsPath(baseline)
     if baseline_file.exists():
-        for cell in (json.loads(baseline_file.read_text())
-                     .get("kernel_ladder", {}).get("cells", [])):
+        recorded = json.loads(baseline_file.read_text())
+        for cell in recorded.get("kernel_ladder", {}).get("cells", []):
             makespan = cell.get("compiled", {}).get("makespan_ticks")
+            if makespan is not None:
+                pins[cell["n_robots"]] = makespan
+        # The PR-9 report's own ladder records compiled cells directly.
+        for cell in recorded.get("pr9_ladder", {}).get("cells", []):
+            makespan = cell.get("makespan_ticks")
             if makespan is not None:
                 pins[cell["n_robots"]] = makespan
     specs = fleet_ladder(scale=1.0, fleets=(), large_fleets=tuple(fleets))
@@ -1193,6 +1215,430 @@ def bench_pr9_ladder(fleets=KERNEL_LADDER_FLEETS, baseline="BENCH_PR8.json"):
         "fleets": list(fleets),
         "cells": cells,
     }
+
+
+#: Obstructed paper-true floor of the PR-10 field micro: isolated
+#: pillars force the *eager* int32-field regime (an unobstructed floor
+#: this size serves lazy Manhattan flats, which never flood at all).
+def _obstructed_paper_floor():
+    blocked = {(x, y) for x in range(10, 531, 7) for y in range(10, 292, 9)}
+    return Grid(541, 302, blocked=blocked)
+
+
+def bench_field_kernels(n_goals=24, seed=20221010):
+    """The PR-10 field micro: ``bfs_fill`` vs the python deque flood.
+
+    Floods the same ``n_goals`` random passable goals on the obstructed
+    paper-true floor under each field kernel (selection via
+    ``set_search_kernel`` — the one switch governs search, mutations,
+    fields and descents alike).  The buffers must be bit-identical per
+    goal; the recorded speedup is in-process and machine-independent.
+    """
+    from repro.warehouse.grid import set_field_kernel
+
+    compiled_available = build_and_load() is not None
+    grid = _obstructed_paper_floor()
+    rng = random.Random(seed)
+    passable = [cell for cell in grid.cells()]
+    goals = rng.sample(passable, n_goals)
+    infinity = grid.n_cells + 1
+    results = {}
+    buffers = {}
+    previous = search_kernel_name()
+    try:
+        for kernel in (("python", "compiled") if compiled_available
+                       else ("python",)):
+            set_search_kernel(kernel)
+            if kernel == "python":
+                set_field_kernel(None)  # belt and braces: pure flood
+            started = time.perf_counter()
+            flats = [grid.distance_flat(goal, unreached=infinity)
+                     for goal in goals]
+            seconds = time.perf_counter() - started
+            buffers[kernel] = flats
+            results[kernel] = {"seconds": seconds,
+                               "floods_per_s": n_goals / max(seconds, 1e-9),
+                               "cells_per_s": (n_goals * grid.n_cells
+                                               / max(seconds, 1e-9))}
+    finally:
+        set_search_kernel(previous)
+    payload = {
+        "workload": f"{n_goals} BFS field floods on the obstructed "
+                    "541x302 paper floor, python deque vs native bfs_fill",
+        "n_cells": grid.n_cells,
+        "compiled_available": compiled_available,
+        "python": results["python"],
+    }
+    if compiled_available:
+        payload["compiled"] = results["compiled"]
+        payload["compiled_speedup"] = (results["python"]["seconds"]
+                                       / max(results["compiled"]["seconds"],
+                                             1e-9))
+        payload["buffers_bit_identical"] = (buffers["python"]
+                                            == buffers["compiled"])
+    return payload
+
+
+def bench_tier0_fused(n_legs=400, seed=20221011):
+    """The PR-10 descent micro: ``tier0_leg`` vs the python pair.
+
+    Runs the same cold leg tape — ``n_legs`` distinct (source, goal)
+    pairs on the 64x40 floor under crossing traffic — through the
+    python tier-0 body (greedy ``packed()`` walk + ``audit_chain``) and
+    through the fused native entry point, per production table.  Every
+    pair is distinct, so the python memo never hits: both sides pay the
+    full descent+audit, which is exactly the work the fusion collapses
+    into one call.  Outcome equivalence (verdict + payload) rides along
+    as a correctness check on the timed tape itself.
+
+    Cyclic GC is paused around the timed passes for the same reason
+    ``_time_mutations`` pauses it: the loaded tables hold enough
+    containers that a single gen-2 collection landing inside a
+    milliseconds-long timed pass reads as a several-fold outlier on
+    that pass.
+    """
+    import gc
+
+    from repro.pathfinding.free_flow import (FreeFlowPathCache,
+                                             set_descent_kernel)
+    from repro.pathfinding.heuristics import HeuristicFieldCache
+
+    compiled_available = build_and_load() is not None
+    workload = (f"{n_legs} cold descent+audit legs on 64x40 with crossing "
+                "traffic, python packed()+audit_chain vs fused tier0_leg, "
+                "all four production tables")
+    if not compiled_available:
+        return {"workload": workload, "compiled_available": False,
+                "tables": {}}
+    rng = random.Random(seed)
+    passable = list(GRID.cells())
+    legs = set()
+    while len(legs) < n_legs:
+        legs.add(tuple(rng.sample(passable, 2)))
+    legs = sorted(legs)
+    previous = search_kernel_name()
+    tables = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        set_search_kernel("compiled")
+        for name, make in RESERVATION_TABLE_MAKERS:
+            table = make(GRID)
+            crossing_traffic(table)
+            heuristics = HeuristicFieldCache(GRID)
+            cache = FreeFlowPathCache(GRID, heuristics)
+            for goal in {goal for __, goal in legs}:
+                heuristics.field(goal)  # warm fields for both sides
+
+            # Python pair: the tier-0 body the pipeline runs without
+            # the kernel — walk the chain, then bulk-audit it.
+            set_descent_kernel(None)
+            python_outcomes = []
+            started = time.perf_counter()
+            for source, goal in legs:
+                chain = cache._walk(source, goal)
+                if chain is None:
+                    python_outcomes.append((0, None))
+                elif table.audit_chain(0, chain, len(chain.cells) - 1):
+                    python_outcomes.append((1, chain.cells))
+                else:
+                    python_outcomes.append((3, chain.cells))
+            python_s = time.perf_counter() - started
+
+            set_descent_kernel(build_and_load())
+            fused_outcomes = []
+            started = time.perf_counter()
+            for source, goal in legs:
+                verdict, payload, __, __, __ = cache.kernel_leg(
+                    table, 0, source, goal, lambda goal: (None, 0))
+                fused_outcomes.append((verdict, payload))
+            fused_s = time.perf_counter() - started
+
+            # Verdict-1 payloads differ by representation (timed steps
+            # vs cells); compare verdicts there and cells elsewhere.
+            identical = all(
+                pv == fv and (pv == 1 or tuple(p_pay or ())
+                              == tuple(f_pay or ()))
+                for (pv, p_pay), (fv, f_pay)
+                in zip(python_outcomes, fused_outcomes))
+            tables[name] = {
+                "python_s": python_s,
+                "fused_s": fused_s,
+                "legs_per_s_python": n_legs / max(python_s, 1e-9),
+                "legs_per_s_fused": n_legs / max(fused_s, 1e-9),
+                "fused_speedup": python_s / max(fused_s, 1e-9),
+                "outcomes_identical": identical,
+            }
+    finally:
+        set_search_kernel(previous)
+        if gc_was_enabled:
+            gc.enable()
+    return {"workload": workload, "compiled_available": True,
+            "tables": tables}
+
+
+def _tier0_ladder_cell(spec, planner_name, compiled_tier0):
+    """One live rung with the field+descent kernels on or off.
+
+    Both runs keep the compiled search and mutation kernels (the PR-8/9
+    planes); only the new PR-10 planes toggle, so the contrast isolates
+    what native fields + the fused descent bought on top.
+    """
+    from repro.pathfinding.free_flow import set_descent_kernel
+    from repro.planners import PLANNERS
+    from repro.sim.engine import Simulation
+    from repro.warehouse.grid import set_field_kernel
+
+    set_search_kernel("compiled")
+    if not compiled_tier0:
+        set_field_kernel(None)
+        set_descent_kernel(None)
+    state, items = spec.build()
+    planner = PLANNERS[planner_name](state)
+    started = time.perf_counter()
+    result = Simulation(state, planner, items).run()
+    wall = time.perf_counter() - started
+    stats = planner.stats
+    return {
+        "makespan_ticks": result.metrics.makespan,
+        "wall_s": wall,
+        "planning_s": stats.planning_seconds,
+        "selection_s": stats.selection_seconds,
+        "legs_planned": stats.legs_planned,
+        "legs_free_flow": stats.legs_free_flow,
+        "descents": {"compiled": stats.descents_compiled,
+                     "python": stats.descents_python},
+    }
+
+
+def bench_tier0_ladder(scale=1.0, fleets=TIER0_LADDER_FLEETS,
+                       planners=("NTP", "EATP")):
+    """The PR-10 live contrast: fleet-ladder rungs, tier-0 plane toggled.
+
+    Measured in-process — the PR-9 configuration (compiled search +
+    mutations, python field/descent bodies) against the full PR-10
+    stack — so the recorded planning-seconds improvement is machine-
+    independent.  Makespans must be bit-identical: the tier-0 kernels
+    change how fast legs plan, never what they decide.
+    """
+    from repro.workloads.datasets import fleet_ladder
+
+    if build_and_load() is None:
+        return {"workload": "fleet-ladder tier-0 kernel contrast",
+                "compiled_available": False, "cells": []}
+    specs = fleet_ladder(scale=scale, fleets=fleets, large_fleets=())
+    previous = search_kernel_name()
+    cells = []
+    try:
+        for spec in specs:
+            for planner_name in planners:
+                pr9 = _tier0_ladder_cell(spec, planner_name, False)
+                pr10 = _tier0_ladder_cell(spec, planner_name, True)
+                cells.append({
+                    "scenario": spec.name,
+                    "planner": planner_name,
+                    "n_robots": spec.n_robots,
+                    "tier0_python": pr9,
+                    "tier0_compiled": pr10,
+                    "planning_speedup": (pr9["planning_s"]
+                                         / max(pr10["planning_s"], 1e-9)),
+                    "wall_speedup": (pr9["wall_s"]
+                                     / max(pr10["wall_s"], 1e-9)),
+                    "makespans_bit_identical": (pr9["makespan_ticks"]
+                                                == pr10["makespan_ticks"]),
+                })
+    finally:
+        set_search_kernel(previous)
+    return {
+        "workload": f"fleet-ladder live contrast at scale {scale:g}, "
+                    "compiled search+mutations throughout, python vs "
+                    "compiled field+descent planes, planners "
+                    f"{'/'.join(planners)}",
+        "compiled_available": True,
+        "scale": scale,
+        "cells": cells,
+    }
+
+
+def _private_dirty_kb():
+    """This process's private-dirty footprint (KB), via smaps_rollup.
+
+    Private pages are the quantity arena sharing eliminates: a worker
+    flooding its own fields dirties ~650 KB per paper-floor goal, while
+    an arena attacher maps the same physical pages every sibling maps
+    (they show up as shared, not private).  Plain ``ru_maxrss`` cannot
+    see the difference — resident shared pages count there too.
+    """
+    try:
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith("Private_Dirty:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _arena_sharing_worker(mode, handle, grid_reduce, goals, queue):
+    """One matrix-style worker: materialise every field, report memory."""
+    from repro.pathfinding.heuristics import (HeuristicFieldCache,
+                                              attach_field_arena)
+
+    cls, args = grid_reduce
+    grid = cls(*args)
+    heuristics = HeuristicFieldCache(grid)
+    if mode == "arena":
+        heuristics.attach_arena(attach_field_arena(handle))
+    before = _private_dirty_kb()
+    total = 0
+    for goal in goals:
+        field = heuristics.field(goal)
+        # Touch every page the way a planner's searches would.
+        total += field.flat[0] + field.flat[len(field.flat) - 1]
+    after = _private_dirty_kb()
+    queue.put({"mode": mode, "checksum": total,
+               "private_dirty_delta_kb": (None if before is None
+                                          else after - before),
+               "field_nbytes": sum(
+                   field.nbytes for field in heuristics._fields.values())})
+
+
+def bench_field_arena_sharing(n_goals=12, workers=3, seed=20221012):
+    """The PR-10 arena micro: worker RSS with shared vs duplicated fields.
+
+    Spawns ``workers`` matrix-style worker processes twice over the same
+    ``n_goals`` eager paper-floor fields — once attaching the shared
+    :class:`FieldArena` (what ``run_matrix --workers N`` now ships via
+    initargs) and once flooding locally (the pre-arena behaviour) — and
+    records each worker's private-dirty delta.  Shared fields live in
+    one shared-memory block mapped by every worker, so the arena
+    workers' private growth must stay far below the local flooders'.
+    """
+    import multiprocessing
+
+    from repro.pathfinding.heuristics import FieldArena
+
+    grid = _obstructed_paper_floor()
+    rng = random.Random(seed)
+    goals = rng.sample(list(grid.cells()), n_goals)
+    arena = FieldArena.build(grid, goals)
+    context = multiprocessing.get_context("spawn")
+    results = {"arena": [], "local": []}
+    try:
+        for mode in ("arena", "local"):
+            queue = context.Queue()
+            procs = [context.Process(
+                target=_arena_sharing_worker,
+                args=(mode, arena.handle(), grid.__reduce__(), goals, queue))
+                for __ in range(workers)]
+            for proc in procs:
+                proc.start()
+            for __ in procs:
+                # A bounded wait so one crashed worker fails the micro
+                # loudly instead of deadlocking the whole bench run.
+                results[mode].append(queue.get(timeout=300))
+            for proc in procs:
+                proc.join(timeout=60)
+    finally:
+        arena.close()
+    checksums = {entry["checksum"] for entries in results.values()
+                 for entry in entries}
+    payload = {
+        "workload": f"{workers} spawned workers x {n_goals} eager fields "
+                    "on the obstructed 541x302 paper floor, shared arena "
+                    "vs per-worker floods",
+        "arena_block_bytes": 4 * grid.n_cells * n_goals,
+        "checksums_identical": len(checksums) == 1,
+        "per_worker_field_nbytes": {
+            mode: [entry["field_nbytes"] for entry in entries]
+            for mode, entries in results.items()},
+    }
+    deltas = {mode: [entry["private_dirty_delta_kb"] for entry in entries]
+              for mode, entries in results.items()}
+    payload["private_dirty_delta_kb"] = deltas
+    if all(delta is not None
+           for mode_deltas in deltas.values() for delta in mode_deltas):
+        arena_peak = max(deltas["arena"])
+        local_peak = max(deltas["local"])
+        payload["duplication_ratio"] = (local_peak
+                                        / max(arena_peak, 1))
+        payload["fields_shared"] = (arena_peak
+                                    < 0.5 * (4 * grid.n_cells * n_goals
+                                             / 1024))
+    return payload
+
+
+def report_fields(fields, out_path):
+    """Write the PR-10 report and print one line per section.
+
+    Returns the failing items — a field-flood speedup under
+    ``SMOKE_MIN_FIELD_SPEEDUP``, a fused-descent table under
+    ``SMOKE_MIN_TIER0_SPEEDUP`` or with diverging outcomes, a ladder
+    cell whose makespan moved, or arena workers whose private memory
+    shows duplicated fields — so the smoke gate can fail the build.
+    """
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    report.update(fields)
+    FsPath(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    failed = []
+    micro = fields["field_kernels"]
+    if micro["compiled_available"]:
+        print(f"fields   : flood {micro['python']['floods_per_s']:.1f}/s "
+              f"python -> {micro['compiled']['floods_per_s']:.1f}/s "
+              f"compiled — {micro['compiled_speedup']:.2f}x "
+              f"(floor {SMOKE_MIN_FIELD_SPEEDUP}x) "
+              f"identical={micro['buffers_bit_identical']}")
+        if (micro["compiled_speedup"] < SMOKE_MIN_FIELD_SPEEDUP
+                or not micro["buffers_bit_identical"]):
+            failed.append({"section": "field_kernels",
+                           "speedup": micro["compiled_speedup"],
+                           "identical": micro["buffers_bit_identical"]})
+    else:
+        print("fields   : native kernel unavailable — python flood at "
+              f"{micro['python']['floods_per_s']:.1f} floods/s "
+              "(speedup gate skipped)")
+    for name, entry in fields["tier0_fused"].get("tables", {}).items():
+        print(f"fields   : {name:>16} fused descent+audit "
+              f"{entry['fused_speedup']:5.2f}x "
+              f"({entry['legs_per_s_python']:,.0f} -> "
+              f"{entry['legs_per_s_fused']:,.0f} legs/s; floor "
+              f"{SMOKE_MIN_TIER0_SPEEDUP}x) "
+              f"identical={entry['outcomes_identical']}")
+        if (entry["fused_speedup"] < SMOKE_MIN_TIER0_SPEEDUP
+                or not entry["outcomes_identical"]):
+            failed.append({"section": "tier0_fused", "table": name,
+                           "speedup": entry["fused_speedup"],
+                           "identical": entry["outcomes_identical"]})
+    for cell in fields.get("tier0_ladder", {}).get("cells", []):
+        label = f"{cell['scenario']:>10} {cell['planner']:>4}"
+        compiled = cell["tier0_compiled"]
+        print(f"fields   : {label} plan "
+              f"{cell['tier0_python']['planning_s']:6.2f}s -> "
+              f"{compiled['planning_s']:6.2f}s "
+              f"({cell['planning_speedup']:.2f}x, "
+              f"{compiled['descents']['compiled']} compiled descents) "
+              f"identical={cell['makespans_bit_identical']}")
+        if not cell["makespans_bit_identical"]:
+            failed.append(cell)
+    arena = fields.get("field_arena")
+    if arena is not None:
+        ratio = arena.get("duplication_ratio")
+        print(f"fields   : arena sharing — private-dirty deltas "
+              f"{arena['private_dirty_delta_kb']} KB "
+              f"(block {arena['arena_block_bytes'] / 1e6:.1f} MB, "
+              f"ratio {ratio if ratio is None else f'{ratio:.1f}x'}) "
+              f"shared={arena.get('fields_shared')} "
+              f"checksums={arena['checksums_identical']}")
+        if (not arena["checksums_identical"]
+                or arena.get("fields_shared") is False):
+            failed.append({"section": "field_arena",
+                           "shared": arena.get("fields_shared"),
+                           "checksums": arena["checksums_identical"]})
+    print(f"wrote {out_path}")
+    return failed
 
 
 def report_reservations(reservations, out_path):
@@ -1377,7 +1823,7 @@ def report_soak(report, out_path):
 def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
               fastpath_out="BENCH_PR5.json", big_out="BENCH_PR6.json",
               soak_out="BENCH_PR7.json", kernel_out="BENCH_PR8.json",
-              pr9_out="BENCH_PR9.json"):
+              pr9_out="BENCH_PR9.json", fields_out="BENCH_PR10.json"):
     """The CI regression gate: quick benchmarks, hard floors.
 
     Four gates: the PR-1 packed-search speedup over the in-process seed
@@ -1429,6 +1875,20 @@ def run_smoke(engine_out="BENCH_PR3.json", ladder_out="BENCH_PR4.json",
     if failed:
         raise SystemExit(
             f"reservation-kernel gate failed: {failed}")
+
+    # The PR-10 gate: the native field flood must clear the 5x floor
+    # over the python deque flood, the fused tier-0 entry point the 2x
+    # floor over the python descent+audit pair, and the live Fleet-200
+    # contrast must improve planning seconds with bit-identical
+    # makespans.  The paper-floor ladder pin and the arena RSS micro
+    # are the full run's (or --fields-only's) job.
+    fields = {"field_kernels": bench_field_kernels(n_goals=8),
+              "tier0_fused": bench_tier0_fused(n_legs=300),
+              "tier0_ladder": bench_tier0_ladder(scale=0.35, fleets=(200,)),
+              "smoke": True}
+    failed = report_fields(fields, fields_out)
+    if failed:
+        raise SystemExit(f"tier-0 field/descent kernel gate failed: {failed}")
 
     engine = bench_engine(scale=0.35, fleets=(200,))
     engine["smoke"] = True
@@ -1539,6 +1999,16 @@ def main(argv=None):
     parser.add_argument("--pr9-out", default="BENCH_PR9.json",
                         help="output path of the reservation-mutation "
                              "kernel report (default BENCH_PR9.json)")
+    parser.add_argument("--fields-out", default="BENCH_PR10.json",
+                        help="output path of the tier-0 field/descent "
+                             "kernel report (default BENCH_PR10.json)")
+    parser.add_argument("--fields-only", action="store_true",
+                        help="run only the PR-10 micros (native field "
+                             "flood vs python, fused tier-0 descent+audit "
+                             "vs the python pair, the live fleet-ladder "
+                             "contrast, the paper-floor ladder pinned to "
+                             "BENCH_PR9.json, and the shared-arena worker "
+                             "RSS micro) and write BENCH_PR10.json")
     parser.add_argument("--reservations-only", action="store_true",
                         help="run only the PR-9 reservation-mutation "
                              "micro (reserve/unreserve/purge/audit ops/s "
@@ -1598,7 +2068,28 @@ def main(argv=None):
     if args.smoke:
         run_smoke(args.engine_out, args.ladder_out, args.fastpath_out,
                   args.big_out, args.soak_out, args.kernel_out,
-                  args.pr9_out)
+                  args.pr9_out, args.fields_out)
+        return
+
+    if args.fields_only:
+        fields = {"field_kernels": bench_field_kernels(),
+                  "tier0_fused": bench_tier0_fused(),
+                  "tier0_ladder": bench_tier0_ladder(),
+                  "pr10_ladder": bench_pr9_ladder(fleets=(500,),
+                                                  baseline="BENCH_PR9.json"),
+                  "field_arena": bench_field_arena_sharing()}
+        failed = report_fields(fields, args.fields_out)
+        for cell in fields["pr10_ladder"].get("cells", []):
+            pinned = cell.get("makespan_matches_pr8")
+            print(f"fields   : {cell['scenario']:>10} paper-floor wall "
+                  f"{cell.get('wall_s', 0):7.1f}s plan "
+                  f"{cell.get('planning_s', 0):7.1f}s makespan "
+                  f"{cell.get('makespan_ticks')} "
+                  f"(matches_pr9={pinned})")
+            if pinned is False or "error" in cell:
+                failed.append(cell)
+        if failed:
+            raise SystemExit(f"tier-0 field/descent gates failed: {failed}")
         return
 
     if args.reservations_only:

@@ -674,7 +674,8 @@ typedef struct {
     int64_t height;
     Py_ssize_t n_cells;
     PyObject *hlist;       /* h_mode 0: list field (borrowed) */
-    int h_mode;            /* 0 list, 1 native Manhattan */
+    const int32_t *hbuf;   /* h_mode 2: int32 buffer field (borrowed) */
+    int h_mode;            /* 0 list, 1 native Manhattan, 2 int32 buffer */
     int64_t gx, gy;        /* h_mode 1 goal coordinates */
     /* backends */
     int use_flat;          /* flat workspace vs hash map */
@@ -700,6 +701,8 @@ heuristic_at(const Search *s, Py_ssize_t ci, int *err)
         int64_t dy = y > s->gy ? y - s->gy : s->gy - y;
         return dx + dy;
     }
+    if (s->h_mode == 2)
+        return (int64_t)s->hbuf[ci];
     PyObject *item = PyList_GET_ITEM(s->hlist, ci);
     int64_t h = (int64_t)PyLong_AsLongLong(item);
     if (h == -1 && PyErr_Occurred()) {
@@ -853,12 +856,25 @@ stsearch_run(PyObject *self, PyObject *args)
     s.chunk_layers = chunk_layers;
     s.hi_f = 0;
 
+    Py_buffer hview;
+    int have_hview = 0;
     if (h_mode == 1) {
         long long gx, gy;
         if (!PyArg_ParseTuple(h_arg, "LL", &gx, &gy))
             return NULL;
         s.gx = (int64_t)gx;
         s.gy = (int64_t)gy;
+    } else if (h_mode == 2) {
+        if (PyObject_GetBuffer(h_arg, &hview, PyBUF_SIMPLE) < 0)
+            return NULL;
+        if (hview.len != (Py_ssize_t)(s.n_cells * sizeof(int32_t))) {
+            PyBuffer_Release(&hview);
+            PyErr_SetString(PyExc_TypeError,
+                            "h buffer must hold n_cells int32 values");
+            return NULL;
+        }
+        s.hbuf = (const int32_t *)hview.buf;
+        have_hview = 1;
     } else {
         if (!PyList_Check(h_arg)
                 || PyList_GET_SIZE(h_arg) != s.n_cells) {
@@ -879,8 +895,11 @@ stsearch_run(PyObject *self, PyObject *args)
 
     int herr = 0;
     s.h0 = heuristic_at(&s, source_ci, &herr);
-    if (herr)
+    if (herr) {
+        if (have_hview)
+            PyBuffer_Release(&hview);
         return NULL;
+    }
 
     /* Backend setup. */
     Workspace temp_ws;
@@ -905,6 +924,8 @@ stsearch_run(PyObject *self, PyObject *args)
         if (w->size < s.n_cells
                 && ws_grow(w, s.n_cells - 1, max_layers, chunk_layers) < 0) {
             w->active = 0;
+            if (have_hview)
+                PyBuffer_Release(&hview);
             return PyErr_NoMemory();
         }
         w->gen[source_ci] = s.epoch;
@@ -913,11 +934,16 @@ stsearch_run(PyObject *self, PyObject *args)
         if (barray_ensure(&w->fifo, 0) < 0
                 || bucket_push(&w->fifo.b[0], source_ci) < 0) {
             w->active = 0;
+            if (have_hview)
+                PyBuffer_Release(&hview);
             return PyErr_NoMemory();
         }
     } else {
-        if (hmap_init(&s.hm, 4096) < 0)
+        if (hmap_init(&s.hm, 4096) < 0) {
+            if (have_hview)
+                PyBuffer_Release(&hview);
             return PyErr_NoMemory();
+        }
         Py_ssize_t slot = hmap_slot(&s.hm, source_ci);
         s.hm.keys[slot] = source_ci;
         s.hm.g[slot] = 0;
@@ -929,6 +955,8 @@ stsearch_run(PyObject *self, PyObject *args)
                     || bucket_push(&s.deepq.b[0].by_h[s.h0], source_ci) < 0) {
                 fbarray_free(&s.deepq);
                 hmap_free(&s.hm);
+                if (have_hview)
+                    PyBuffer_Release(&hview);
                 return PyErr_NoMemory();
             }
             s.deepq.b[0].live = 1;
@@ -938,6 +966,8 @@ stsearch_run(PyObject *self, PyObject *args)
                     || bucket_push(&s.hash_fifo.b[0], source_ci) < 0) {
                 barray_free_items(&s.hash_fifo);
                 hmap_free(&s.hm);
+                if (have_hview)
+                    PyBuffer_Release(&hview);
                 return PyErr_NoMemory();
             }
         }
@@ -1165,6 +1195,8 @@ done:
             else
                 barray_free_items(&s.hash_fifo);
         }
+        if (have_hview)
+            PyBuffer_Release(&hview);
         return out;
     }
 
@@ -1192,6 +1224,8 @@ fail:
         else
             barray_free_items(&s.hash_fifo);
     }
+    if (have_hview)
+        PyBuffer_Release(&hview);
     return NULL;
 }
 
@@ -2221,6 +2255,400 @@ fail:
 }
 
 /* ------------------------------------------------------------------ */
+/* Field + tier-0 kernel (ABI 3).                                      */
+/*                                                                     */
+/* bfs_fill floods true shortest-path distances over the prepared      */
+/* adjacency table straight into a caller-owned int32 buffer — the     */
+/* backing store of an eager HeuristicField (and, shared, of the       */
+/* multiprocessing field arena).  tier0_leg fuses the free-flow greedy */
+/* descent (free_flow._walk, both regimes) with the bulk reservation   */
+/* audit (audit_chain semantics), answering a conflict-free leg in one */
+/* call.  Bit-identity with the python bodies is pinned by the         */
+/* equivalence suites.                                                 */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+stsearch_bfs_fill(PyObject *self, PyObject *args)
+{
+    (void)self;
+    PyObject *capsule, *buf_obj;
+    Py_ssize_t source_ci;
+    long long unreached_ll;
+    if (!PyArg_ParseTuple(args, "OnOL:bfs_fill",
+                          &capsule, &source_ci, &buf_obj, &unreached_ll))
+        return NULL;
+    GridData *gd = PyCapsule_GetPointer(capsule, GRID_CAPSULE_NAME);
+    if (gd == NULL)
+        return NULL;
+    Py_buffer view;
+    if (PyObject_GetBuffer(buf_obj, &view, PyBUF_WRITABLE) < 0)
+        return NULL;
+    if (view.len != (Py_ssize_t)(gd->n_cells * sizeof(int32_t))) {
+        PyBuffer_Release(&view);
+        PyErr_SetString(PyExc_ValueError,
+                        "distance buffer must hold n_cells int32 values");
+        return NULL;
+    }
+    if (source_ci < 0 || source_ci >= gd->n_cells) {
+        PyBuffer_Release(&view);
+        PyErr_SetString(PyExc_IndexError, "source cell outside grid");
+        return NULL;
+    }
+    int32_t un = (int32_t)unreached_ll;
+    if (un >= 0 && (Py_ssize_t)un < gd->n_cells) {
+        /* a real distance is at most n_cells - 1; the sentinel must not
+         * collide with one or the visited test below misfires */
+        PyBuffer_Release(&view);
+        PyErr_SetString(PyExc_ValueError,
+                        "unreached sentinel collides with a distance");
+        return NULL;
+    }
+    int32_t *dist = (int32_t *)view.buf;
+    for (Py_ssize_t i = 0; i < gd->n_cells; i++)
+        dist[i] = un;
+    int32_t *queue = PyMem_Malloc((gd->n_cells ? gd->n_cells : 1)
+                                  * sizeof(int32_t));
+    if (queue == NULL) {
+        PyBuffer_Release(&view);
+        return PyErr_NoMemory();
+    }
+    Py_ssize_t head = 0, tail = 0;
+    dist[source_ci] = 0;
+    queue[tail++] = (int32_t)source_ci;
+    while (head < tail) {
+        Py_ssize_t ci = (Py_ssize_t)queue[head++];
+        int32_t d_next = dist[ci] + 1;
+        for (Py_ssize_t a = gd->adj_off[ci]; a < gd->adj_off[ci + 1]; a++) {
+            Py_ssize_t nci = (Py_ssize_t)gd->adj_nci[a];
+            if (dist[nci] == un) {
+                dist[nci] = d_next;
+                queue[tail++] = (int32_t)nci;
+            }
+        }
+    }
+    PyMem_Free(queue);
+    PyBuffer_Release(&view);
+    Py_RETURN_NONE;
+}
+
+/* Build [(x, y), ...] for tier0_leg's cells payloads. */
+static PyObject *
+tier0_cells_list(const GridData *gd, const int32_t *indices, int64_t k)
+{
+    PyObject *cells = PyList_New((Py_ssize_t)(k + 1));
+    if (cells == NULL)
+        return NULL;
+    for (int64_t i = 0; i <= k; i++) {
+        int64_t ci = (int64_t)indices[i];
+        PyObject *cell = Py_BuildValue("(LL)",
+                                       (long long)(ci / gd->height),
+                                       (long long)(ci % gd->height));
+        if (cell == NULL) {
+            Py_DECREF(cells);
+            return NULL;
+        }
+        PyList_SET_ITEM(cells, (Py_ssize_t)i, cell);
+    }
+    return cells;
+}
+
+static PyObject *
+stsearch_tier0_leg(PyObject *self, PyObject *args)
+{
+    (void)self;
+    int mode, tile_bits, h_mode;
+    PyObject *capsule, *vertex_obj, *edge_obj, *h_arg;
+    Py_ssize_t source_ci, goal_ci;
+    long long start_t_ll, trigger_ll;
+    if (!PyArg_ParseTuple(args, "OiOOiiOnnLL:tier0_leg",
+                          &capsule, &mode, &vertex_obj, &edge_obj,
+                          &tile_bits, &h_mode, &h_arg, &source_ci,
+                          &goal_ci, &start_t_ll, &trigger_ll))
+        return NULL;
+    GridData *gd = PyCapsule_GetPointer(capsule, GRID_CAPSULE_NAME);
+    if (gd == NULL)
+        return NULL;
+    if (mut_check_args(mode, vertex_obj, edge_obj) < 0)
+        return NULL;
+    if (source_ci < 0 || source_ci >= gd->n_cells
+            || goal_ci < 0 || goal_ci >= gd->n_cells) {
+        PyErr_SetString(PyExc_IndexError, "cell outside grid");
+        return NULL;
+    }
+    int64_t start_t = (int64_t)start_t_ll;
+    int64_t trigger = (int64_t)trigger_ll;
+    int64_t height = gd->height;
+
+    Py_buffer hview;
+    const int32_t *hbuf = NULL;
+    int have_hview = 0;
+    if (h_mode == 2) {
+        if (PyObject_GetBuffer(h_arg, &hview, PyBUF_SIMPLE) < 0)
+            return NULL;
+        if (hview.len != (Py_ssize_t)(gd->n_cells * sizeof(int32_t))) {
+            PyBuffer_Release(&hview);
+            PyErr_SetString(PyExc_TypeError,
+                            "h buffer must hold n_cells int32 values");
+            return NULL;
+        }
+        hbuf = (const int32_t *)hview.buf;
+        have_hview = 1;
+    } else if (h_mode != 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "tier0_leg h_mode must be 1 or 2");
+        return NULL;
+    }
+
+    /* -- descent extraction (mirrors free_flow._walk) ----------------- */
+    int64_t k;
+    int32_t *indices = NULL;
+    if (h_mode == 1) {
+        /* closed form on the lazy Manhattan field: all of x, then all
+         * of y (see _walk_manhattan — unobstructed floors only) */
+        int64_t sx = (int64_t)source_ci / height;
+        int64_t sy = (int64_t)source_ci % height;
+        int64_t gx = (int64_t)goal_ci / height;
+        int64_t gy = (int64_t)goal_ci % height;
+        int64_t dx = sx > gx ? sx - gx : gx - sx;
+        int64_t dy = sy > gy ? sy - gy : gy - sy;
+        k = dx + dy;
+        indices = PyMem_Malloc((size_t)(k + 1) * sizeof(int32_t));
+        if (indices == NULL)
+            return PyErr_NoMemory();
+        Py_ssize_t at = 0;
+        int64_t xstep = gx >= sx ? 1 : -1;
+        for (int64_t x = sx; x != gx; x += xstep)
+            indices[at++] = (int32_t)(x * height + sy);
+        int64_t ystep = gy >= sy ? 1 : -1;
+        for (int64_t y = sy; y != gy; y += ystep)
+            indices[at++] = (int32_t)(gx * height + y);
+        indices[at++] = (int32_t)goal_ci;
+    } else {
+        int64_t h = (int64_t)hbuf[source_ci];
+        if (h > (int64_t)gd->n_cells) {
+            /* the field's unreachable marker */
+            PyBuffer_Release(&hview);
+            return Py_BuildValue("(iOL)", 0, Py_None, 0LL);
+        }
+        k = h;
+        indices = PyMem_Malloc((size_t)(k + 1) * sizeof(int32_t));
+        if (indices == NULL) {
+            PyBuffer_Release(&hview);
+            return PyErr_NoMemory();
+        }
+        indices[0] = (int32_t)source_ci;
+        Py_ssize_t ci = source_ci;
+        for (int64_t i = 1; i <= k; i++) {
+            h -= 1;
+            Py_ssize_t next = -1;
+            for (Py_ssize_t a = gd->adj_off[ci]; a < gd->adj_off[ci + 1];
+                    a++) {
+                Py_ssize_t nci = (Py_ssize_t)gd->adj_nci[a];
+                if ((int64_t)hbuf[nci] == h) {
+                    next = nci;
+                    break;
+                }
+            }
+            if (next < 0) {
+                /* exact fields always descend; mirror _walk_generic's
+                 * defensive None */
+                PyMem_Free(indices);
+                PyBuffer_Release(&hview);
+                return Py_BuildValue("(iOL)", 0, Py_None, 0LL);
+            }
+            ci = next;
+            indices[i] = (int32_t)ci;
+        }
+    }
+
+    /* -- bulk audit (audit_chain semantics: vertex at arrival tick,
+     *    reversed swap probe at departure tick, first hit wins) ------- */
+    int use_fin = trigger > 0 && k > 0;
+    int64_t j = 0;
+    if (use_fin)
+        j = k > trigger ? k - trigger : 0;
+    int64_t limit = use_fin ? j : k;
+    int64_t mask = ((int64_t)1 << tile_bits) - 1;
+    int blocked = 0;
+    int64_t memo_tile_id = -1;
+    int memo_valid = 0;
+    PyObject *memo_tile = NULL;  /* borrowed; audits never mutate */
+
+    for (int64_t i = 1; i <= limit && !blocked; i++) {
+        Py_ssize_t ci = (Py_ssize_t)indices[i];
+        int64_t key1 = gd->cell_keys[ci];
+        PyObject *t1_obj = PyLong_FromLongLong((long long)(start_t + i));
+        if (t1_obj == NULL)
+            goto fail;
+        switch (mode) {
+        case PROBE_CDT:
+        case PROBE_TILED_SET: {
+            PyObject *target = vertex_obj;
+            if (mode == PROBE_TILED_SET) {
+                int64_t tile_id = tile_of_key(key1, tile_bits);
+                if (!memo_valid || tile_id != memo_tile_id) {
+                    PyObject *tid =
+                        PyLong_FromLongLong((long long)tile_id);
+                    if (tid == NULL)
+                        goto lstep_fail;
+                    memo_tile = PyDict_GetItemWithError(vertex_obj, tid);
+                    Py_DECREF(tid);
+                    if (memo_tile == NULL && PyErr_Occurred())
+                        goto lstep_fail;
+                    memo_tile_id = tile_id;
+                    memo_valid = 1;
+                }
+                target = memo_tile;
+                if (target == NULL)
+                    break;  /* tile never materialised: vertex is free */
+            }
+            PyObject *bucket = PyDict_GetItemWithError(target, t1_obj);
+            if (bucket == NULL) {
+                if (PyErr_Occurred())
+                    goto lstep_fail;
+                break;
+            }
+            int hit = PySet_Contains(bucket, gd->key_objs[ci]);
+            if (hit < 0)
+                goto lstep_fail;
+            blocked = hit;
+            break;
+        }
+        case PROBE_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t1_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto lstep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(layer)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "dense layer is not a bytearray");
+                goto lstep_fail;
+            }
+            if (ci >= PyByteArray_GET_SIZE(layer)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "cell index outside dense layer");
+                goto lstep_fail;
+            }
+            blocked = PyByteArray_AS_STRING(layer)[ci] != 0;
+            break;
+        }
+        case PROBE_TILED_DENSE: {
+            PyObject *layer = PyDict_GetItemWithError(vertex_obj, t1_obj);
+            if (layer == NULL) {
+                if (PyErr_Occurred())
+                    goto lstep_fail;
+                break;
+            }
+            PyObject *tid = PyLong_FromLongLong(
+                (long long)tile_of_key(key1, tile_bits));
+            if (tid == NULL)
+                goto lstep_fail;
+            PyObject *tile = PyDict_GetItemWithError(layer, tid);
+            Py_DECREF(tid);
+            if (tile == NULL) {
+                if (PyErr_Occurred())
+                    goto lstep_fail;
+                break;
+            }
+            if (!PyByteArray_Check(tile)) {
+                PyErr_SetString(PyExc_TypeError,
+                                "tile block is not a bytearray");
+                goto lstep_fail;
+            }
+            int64_t x1 = key1 >> CELL_KEY_SHIFT;
+            int64_t y1 = key1 & CELL_KEY_MASK;
+            Py_ssize_t slot =
+                (Py_ssize_t)(((x1 & mask) << tile_bits) | (y1 & mask));
+            if (slot < 0 || slot >= PyByteArray_GET_SIZE(tile)) {
+                PyErr_SetString(PyExc_IndexError,
+                                "slot outside tile block");
+                goto lstep_fail;
+            }
+            blocked = PyByteArray_AS_STRING(tile)[slot] != 0;
+            break;
+        }
+        }
+        if (!blocked) {
+            /* a descent never waits, so every step is a move */
+            PyObject *t0_obj = PyLong_FromLongLong(
+                (long long)(start_t + i - 1));
+            if (t0_obj == NULL)
+                goto lstep_fail;
+            PyObject *swaps = PyDict_GetItemWithError(edge_obj, t0_obj);
+            Py_DECREF(t0_obj);
+            if (swaps == NULL) {
+                if (PyErr_Occurred())
+                    goto lstep_fail;
+            } else {
+                int64_t key0 = gd->cell_keys[indices[i - 1]];
+                PyObject *probe = PyLong_FromLongLong(
+                    (long long)((key1 << 32) | key0));
+                if (probe == NULL)
+                    goto lstep_fail;
+                int hit = PySet_Contains(swaps, probe);
+                Py_DECREF(probe);
+                if (hit < 0)
+                    goto lstep_fail;
+                blocked = hit;
+            }
+        }
+        Py_DECREF(t1_obj);
+        continue;
+lstep_fail:
+        Py_DECREF(t1_obj);
+        goto fail;
+    }
+
+    /* -- verdict + payload -------------------------------------------- */
+    {
+        PyObject *payload = NULL;
+        PyObject *out = NULL;
+        if (blocked) {
+            /* audit reject: the rescue tier wants the full cell chain */
+            payload = tier0_cells_list(gd, indices, k);
+            if (payload == NULL)
+                goto fail;
+            out = Py_BuildValue("(iNL)", 3, payload, 0LL);
+        } else if (use_fin) {
+            /* head prefix audited clean; python invokes the finisher */
+            payload = tier0_cells_list(gd, indices, k);
+            if (payload == NULL)
+                goto fail;
+            out = Py_BuildValue("(iNL)", 2, payload, (long long)j);
+        } else {
+            /* conflict-free: emit the timed steps Path.from_cells would */
+            payload = PyList_New((Py_ssize_t)(k + 1));
+            if (payload == NULL)
+                goto fail;
+            for (int64_t i = 0; i <= k; i++) {
+                int64_t ci = (int64_t)indices[i];
+                PyObject *step = Py_BuildValue(
+                    "(LLL)", (long long)(start_t + i),
+                    (long long)(ci / height), (long long)(ci % height));
+                if (step == NULL) {
+                    Py_DECREF(payload);
+                    goto fail;
+                }
+                PyList_SET_ITEM(payload, (Py_ssize_t)i, step);
+            }
+            out = Py_BuildValue("(iNL)", 1, payload, 0LL);
+        }
+        PyMem_Free(indices);
+        if (have_hview)
+            PyBuffer_Release(&hview);
+        return out;
+    }
+
+fail:
+    PyMem_Free(indices);
+    if (have_hview)
+        PyBuffer_Release(&hview);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
 
 static PyMethodDef stsearch_methods[] = {
     {"prepare_grid", stsearch_prepare_grid, METH_VARARGS,
@@ -2255,6 +2683,19 @@ static PyMethodDef stsearch_methods[] = {
      " -> bool\n"
      "Bulk conflict audit: every arrival vertex at its arrival tick and\n"
      "every traversed edge (reversed swap probe) at its departure tick."},
+    {"bfs_fill", stsearch_bfs_fill, METH_VARARGS,
+     "bfs_fill(grid_capsule, source_ci, buffer, unreached) -> None\n"
+     "Flood true shortest-path distances from source_ci into a writable\n"
+     "int32 buffer of n_cells entries; unvisited cells keep the\n"
+     "``unreached`` sentinel (must not collide with a real distance)."},
+    {"tier0_leg", stsearch_tier0_leg, METH_VARARGS,
+     "tier0_leg(grid_capsule, mode, vertex_obj, edge_obj, tile_bits,\n"
+     "    h_mode, h_arg, source_ci, goal_ci, start_t, trigger)\n"
+     " -> (verdict, payload, j)\n"
+     "Fused free-flow descent + bulk reservation audit.  Verdicts:\n"
+     "0 unreachable (payload None); 1 conflict-free (payload the timed\n"
+     "steps); 2 head prefix j audited clean for a finisher (payload the\n"
+     "cell chain); 3 audit reject (payload the cell chain for rescue)."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -2273,7 +2714,7 @@ PyInit__stsearch(void)
     PyObject *mod = PyModule_Create(&stsearch_module);
     if (mod == NULL)
         return NULL;
-    if (PyModule_AddIntConstant(mod, "KERNEL_ABI", 2) < 0) {
+    if (PyModule_AddIntConstant(mod, "KERNEL_ABI", 3) < 0) {
         Py_DECREF(mod);
         return NULL;
     }

@@ -22,6 +22,7 @@ import array
 
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import PathNotFoundError
 from ..types import Cell, Tick, manhattan
 from ..warehouse.grid import Grid
 from .astar import shortest_path
@@ -37,6 +38,10 @@ class ShortestPathCache:
     negligible next to the A* search the cache replaces.
     """
 
+    #: Class-level default so checkpoints pickled before the field
+    #: oracle existed restore cleanly (the planner re-attaches).
+    _fields = None
+
     def __init__(self, grid: Grid, threshold: int) -> None:
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -46,6 +51,42 @@ class ShortestPathCache:
         self._blob_bytes = 0
         self.hits = 0
         self.misses = 0
+        self._fields = None
+
+    def attach_fields(self, heuristics) -> None:
+        """Let cached BFS fields answer unreachability in O(1).
+
+        ``heuristics`` is the owning planner's
+        :class:`~repro.pathfinding.heuristics.HeuristicFieldCache`.  A
+        miss whose goal already has an eager (int32-buffer) field —
+        memoised or arena-backed; :meth:`peek` never floods one — reads
+        ``flat[source]`` instead of running the spatial A* flood that
+        :func:`~repro.pathfinding.astar.shortest_path` performs before
+        concluding "disconnected".  Reachable pairs still take the
+        identical search, so cached paths are bit-identical with or
+        without the oracle.
+        """
+        self._fields = heuristics
+
+    def __getstate__(self):
+        # The field cache holds invalidation closures (unpicklable) and
+        # is rebuilt by the owning planner on restore, which re-attaches.
+        state = self.__dict__.copy()
+        state["_fields"] = None
+        return state
+
+    def _known_unreachable(self, source: Cell, goal: Cell) -> bool:
+        if self._fields is None:
+            return False
+        field = self._fields.peek(goal)
+        if field is None:
+            return False
+        flat = field.flat
+        if not isinstance(flat, (array.array, memoryview)):
+            # Lazy Manhattan flats carry no reachability information.
+            return False
+        return flat[source[0] * self._grid.height
+                    + source[1]] > self._grid.n_cells
 
     @staticmethod
     def _pack(cells) -> bytes:
@@ -71,6 +112,10 @@ class ShortestPathCache:
             self.hits += 1
             return self._unpack(cached)
         self.misses += 1
+        if self._known_unreachable(source, goal):
+            # The goal's exact BFS field already proves disconnection;
+            # skip the A* flood that would rediscover it the hard way.
+            raise PathNotFoundError(source, goal, "disconnected grid")
         cells = tuple(shortest_path(self._grid, source, goal))
         blob = self._pack(cells)
         self._paths[key] = blob

@@ -45,6 +45,7 @@ heuristic caches (the owning
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Optional, Tuple
 
 from ..types import Cell
@@ -54,6 +55,34 @@ from .reservation import PackedChain
 
 #: Distinguishes "memoised as unreachable" from "not memoised".
 _MISSING = object()
+
+#: Minimum compiled-module ABI carrying the fused tier-0 entry point
+#: (``tier0_leg``: greedy descent + bulk audit in one call).
+DESCENT_KERNEL_ABI = 3
+
+#: The loaded ``_stsearch`` module when the fused tier-0 kernel is
+#: active, else ``None`` (python descent + audit pair).  Set by
+#: :func:`repro.pathfinding.st_astar.set_search_kernel`.
+_DESCENT_MODULE = None
+
+
+def set_descent_kernel(module) -> None:
+    """Select the fused tier-0 kernel (``None`` = python pair).
+
+    A module predating :data:`DESCENT_KERNEL_ABI` is silently rejected,
+    mirroring the mutation/field kernels' staleness handling: search
+    may stay compiled while tier 0 falls back to the python bodies.
+    """
+    global _DESCENT_MODULE
+    if module is not None and \
+            getattr(module, "KERNEL_ABI", 0) < DESCENT_KERNEL_ABI:
+        module = None
+    _DESCENT_MODULE = module
+
+
+def descent_kernel_name() -> str:
+    """Which tier-0 implementation is active."""
+    return "compiled" if _DESCENT_MODULE is not None else "python"
 
 
 class FreeFlowPathCache:
@@ -124,6 +153,54 @@ class FreeFlowPathCache:
         """
         chain = self.packed(source, goal)
         return None if chain is None else chain.cells
+
+    def kernel_leg(self, reservation, t: int, source: Cell, goal: Cell,
+                   finisher_factory):
+        """One fused native call: greedy descent + bulk reservation audit.
+
+        Returns ``None`` when the kernel declines — no compiled module,
+        a generic (mode-0) probe spec, or a foreign field representation
+        — and the caller runs the python tier-0 body instead.  Otherwise
+        ``(verdict, payload, j, finisher, trigger)`` where the verdict
+        mirrors ``tier0_leg``: 0 unreachable (payload ``None``), 1
+        conflict-free (payload the timed steps), 2 head prefix ``j``
+        audited clean for the finisher (payload the cell chain), 3 audit
+        reject (payload the cell chain, for the rescue tier).
+
+        The compiled path deliberately bypasses the ``packed()`` memo:
+        the walk itself is cheap in C, and skipping the memo keeps the
+        per-call cost flat.  Observable planning behaviour is identical
+        to the python tier (pinned by the equivalence suite); only the
+        memo's internal hit counters differ between kernels.
+        """
+        module = _DESCENT_MODULE
+        if module is None:
+            return None
+        mode, vertex_obj, edge_obj, tile_bits = \
+            reservation.kernel_probe_spec()
+        if mode == 0:
+            return None  # generic callables: python tier handles them
+        grid = self._grid
+        height = grid.height
+        flat = self._heuristics.field(goal).flat
+        sci = source[0] * height + source[1]
+        if isinstance(flat, _LazyManhattanFlat):
+            h_mode, h_arg = 1, None
+        elif isinstance(flat, (array, memoryview)):
+            # Match the python call order: an unreachable leg answers
+            # MISS without ever consulting the finisher factory.
+            if flat[sci] > grid.n_cells:
+                return (0, None, 0, None, 0)
+            h_mode, h_arg = 2, flat
+        else:
+            return None  # foreign field representation: python tier
+        finisher, trigger = finisher_factory(goal)
+        eff_trigger = trigger if finisher is not None else 0
+        verdict, payload, j = module.tier0_leg(
+            grid.kernel_capsule(module), mode, vertex_obj, edge_obj,
+            tile_bits, h_mode, h_arg, sci,
+            goal[0] * height + goal[1], t, eff_trigger)
+        return verdict, payload, j, finisher, trigger
 
     def _walk(self, source: Cell, goal: Cell) -> Optional[PackedChain]:
         flat = self._heuristics.field(goal).flat

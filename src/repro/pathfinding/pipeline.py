@@ -121,6 +121,11 @@ class LegPlan:
         :data:`FASTPATH_MISS`, :data:`FASTPATH_AUDIT_REJECT` or
         :data:`FASTPATH_OFF`) — the input of the planner's fast-path
         hit-rate counters.
+    descent_kernel:
+        Which tier-0 implementation attempted the leg (``"compiled"``
+        for the fused native call, ``"python"`` for the descent + audit
+        pair, ``""`` when tier 0 was off) — the input of the planner's
+        ``descents_compiled`` / ``descents_python`` counters.
     """
 
     path: Path
@@ -130,6 +135,7 @@ class LegPlan:
     commit_until: Optional[Tick] = None
     search_stats: Tuple[SearchStats, ...] = ()
     fastpath: str = FASTPATH_OFF
+    descent_kernel: str = ""
 
 
 class FallbackChain:
@@ -189,13 +195,15 @@ class FallbackChain:
         until the simulator's ``max_ticks`` guard would bury the real
         error.
         """
-        leg, fastpath = self._free_flow_leg(t, source, goal)
+        leg, fastpath, dkernel = self._free_flow_leg(t, source, goal)
         if leg is not None:
+            leg.descent_kernel = dkernel
             return leg
         try:
             path = self.full_search(t, source, goal)
             return LegPlan(path=path, tier=TIER_FULL, complete=True,
-                           commit_path=path, fastpath=fastpath)
+                           commit_path=path, fastpath=fastpath,
+                           descent_kernel=dkernel)
         except PathNotFoundError as error:
             if self.heuristics.distance(source, goal) > self.grid.n_cells:
                 raise  # unreachable regardless of reservations: fail fast
@@ -204,12 +212,18 @@ class FallbackChain:
         if leg is None:
             leg = self._wait_leg(t, source, goal, collected)
         leg.fastpath = fastpath
+        leg.descent_kernel = dkernel
         return leg
 
     # -- tier 0: free-flow fast path -------------------------------------------
 
     def _free_flow_leg(self, t: Tick, source: Cell, goal: Cell):
-        """Try to serve the leg without searching; ``(leg | None, outcome)``.
+        """Try to serve the leg without searching.
+
+        Returns ``(leg | None, outcome, kernel)`` where ``kernel`` is
+        ``"compiled"`` when the fused native tier-0 call attempted the
+        leg, ``"python"`` for the descent + audit pair, ``""`` when
+        tier 0 was off.
 
         Emits a plan only when the result is *provably* byte-identical to
         what tier 1 would return (see :mod:`repro.pathfinding.free_flow`):
@@ -230,10 +244,16 @@ class FallbackChain:
         config = self.config
         if not (self.free_flow_enabled and config.free_flow
                 and config.max_search_expansions >= self.grid.n_cells):
-            return None, FASTPATH_OFF
+            return None, FASTPATH_OFF, ""
+        fused = self.free_flow.kernel_leg(self.reservation, t, source,
+                                          goal, self.finisher_factory)
+        if fused is not None:
+            leg, fastpath = self._kernel_fastpath(t, fused)
+            return leg, fastpath, "compiled"
         chain = self.free_flow.packed(source, goal)
         if chain is None:
-            return None, FASTPATH_MISS  # unreachable: tier 1 fails fast
+            # unreachable: tier 1 fails fast
+            return None, FASTPATH_MISS, "python"
         cells = chain.cells
         finisher, trigger = self.finisher_factory(goal)
         k = len(cells) - 1
@@ -251,14 +271,14 @@ class FallbackChain:
             if not self.reservation.audit_chain(t, chain, j):
                 rescued = self._rescue_leg(t, cells)
                 if rescued is not None:
-                    return rescued, FASTPATH_RESCUE
-                return None, FASTPATH_AUDIT_REJECT
+                    return rescued, FASTPATH_RESCUE, "python"
+                return None, FASTPATH_AUDIT_REJECT, "python"
             tail = finisher(cells[j], t + j)
             if tail is None:
                 # The full search would keep expanding past the first
                 # trigger and may finish through a *later* finisher call
                 # off the descent chain — not reproducible in O(d).
-                return None, FASTPATH_MISS
+                return None, FASTPATH_MISS, "python"
             path = Path.from_cells(cells[:j + 1], t).concat(Path(tuple(tail)))
             stats = SearchStats(cache_finished=True,
                                 budget=config.max_search_expansions)
@@ -267,12 +287,46 @@ class FallbackChain:
             if not self.reservation.audit_chain(t, chain, k):
                 rescued = self._rescue_leg(t, cells)
                 if rescued is not None:
-                    return rescued, FASTPATH_RESCUE
-                return None, FASTPATH_AUDIT_REJECT
+                    return rescued, FASTPATH_RESCUE, "python"
+                return None, FASTPATH_AUDIT_REJECT, "python"
             path = Path.from_cells(cells, t)
         leg = LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
                       commit_path=path, search_stats=search_stats,
                       fastpath=FASTPATH_HIT)
+        return leg, FASTPATH_HIT, "python"
+
+    def _kernel_fastpath(self, t: Tick, fused):
+        """Translate a fused ``tier0_leg`` verdict into the tier-0 result.
+
+        Mirrors the python branches below step for step: verdict 1 is a
+        served leg, 2 hands the audited head to the finisher, 3 tries
+        the rescue then rejects, 0 is a miss.  The emitted paths are
+        bit-identical to the python tier's (the kernel builds the same
+        timed tuples ``Path.from_cells`` would).
+        """
+        verdict, payload, j, finisher, trigger = fused
+        if verdict == 0:
+            return None, FASTPATH_MISS
+        if verdict == 3:
+            rescued = self._rescue_leg(t, payload)
+            if rescued is not None:
+                return rescued, FASTPATH_RESCUE
+            return None, FASTPATH_AUDIT_REJECT
+        if verdict == 2:
+            tail = finisher(payload[j], t + j)
+            if tail is None:
+                return None, FASTPATH_MISS
+            path = Path.from_cells(payload[:j + 1], t).concat(
+                Path(tuple(tail)))
+            stats = SearchStats(cache_finished=True,
+                                budget=self.config.max_search_expansions)
+            leg = LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
+                          commit_path=path, search_stats=(stats,),
+                          fastpath=FASTPATH_HIT)
+            return leg, FASTPATH_HIT
+        path = Path(tuple(payload))
+        leg = LegPlan(path=path, tier=TIER_FREE_FLOW, complete=True,
+                      commit_path=path, fastpath=FASTPATH_HIT)
         return leg, FASTPATH_HIT
 
     # -- tier 0.5: wait-following rescue of a conflicted descent ---------------

@@ -68,6 +68,7 @@ see :mod:`repro.pathfinding.pipeline`.
 from __future__ import annotations
 
 import heapq
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -75,8 +76,9 @@ from ..config import (PAPER_SCALE_MIN_CELLS, SEARCH_KERNEL_CHOICES,
                       search_kernel_choice)
 from ..errors import ConfigurationError, PathNotFoundError
 from ..types import Cell, Tick
-from ..warehouse.grid import Grid
+from ..warehouse.grid import Grid, set_field_kernel
 from ._kernel import load_compiled as _load_compiled
+from .free_flow import set_descent_kernel
 from .heuristics import Heuristic, HeuristicField, _LazyManhattanFlat
 from .paths import Path
 from .reservation import ReservationTable, set_mutation_kernel
@@ -241,11 +243,16 @@ def set_search_kernel(choice: str) -> str:
                if choice == "compiled"
                or (choice == "auto" and _COMPILED is not None)
                else "python")
-    # One REPRO_KERNEL switch governs both kernels: the reservation
-    # tables' mutation bodies follow the search-kernel selection (the
-    # setter itself rejects pre-mutation ABIs, so a stale artefact keeps
-    # mutations pure-python while still accelerating searches).
-    set_mutation_kernel(_COMPILED if _KERNEL == "compiled" else None)
+    # One REPRO_KERNEL switch governs every compiled plane: the
+    # reservation tables' mutation bodies, the heuristic-field flood and
+    # the fused tier-0 descent all follow the search-kernel selection.
+    # Each setter rejects modules predating its own ABI, so a stale
+    # artefact degrades per-plane (pure-python mutations / floods /
+    # descents) while still accelerating whatever it does support.
+    active = _COMPILED if _KERNEL == "compiled" else None
+    set_mutation_kernel(active)
+    set_field_kernel(active)
+    set_descent_kernel(active)
     return _KERNEL
 
 
@@ -418,24 +425,13 @@ def _workspace(grid: Grid) -> _Workspace:
     return ws
 
 
-#: Per-grid prepared adjacency capsules for the native kernel, keyed by
-#: ``id(grid)`` with the grid kept alive alongside (Grid is ``__slots__``
-#: and unhashable-by-content; the identity check guards id reuse).  Same
-#: bounded-cache hygiene as the workspaces above.
-_GRID_PREP: Dict[int, Tuple[Grid, object]] = {}
-_GRID_PREP_CAP = 8
-
-
 def _grid_capsule(grid: Grid):
-    entry = _GRID_PREP.get(id(grid))
-    if entry is not None and entry[0] is grid:
-        return entry[1]
-    if len(_GRID_PREP) >= _GRID_PREP_CAP:
-        _GRID_PREP.clear()
-    capsule = _COMPILED.prepare_grid(grid.height, grid.adjacency,
-                                     grid.cell_keys)
-    _GRID_PREP[id(grid)] = (grid, capsule)
-    return capsule
+    """The grid's prepared adjacency capsule for the native kernel.
+
+    Lives on the grid itself (one flattening per grid, shared by search,
+    field flood and tier-0 descent); see :meth:`Grid.kernel_capsule`.
+    """
+    return grid.kernel_capsule(_COMPILED)
 
 
 def _kernel_h_spec(hfield):
@@ -443,14 +439,24 @@ def _kernel_h_spec(hfield):
 
     Mode 0 indexes a plain list field; mode 1 computes Manhattan distance
     natively from the goal coordinates (the lazy paper-scale field, whose
-    ``__getitem__`` the hot loop must not call back into).  Anything else
-    — the ``_LazyField`` adapter over arbitrary callables — stays on the
-    pure-python heap core.
+    ``__getitem__`` the hot loop must not call back into); mode 2 reads
+    an int32 buffer (the eager BFS fields' ``array('i')`` flats and the
+    shared arena's memoryviews) through the buffer protocol, zero-copy.
+    Anything else — the ``_LazyField`` adapter over arbitrary callables —
+    stays on the pure-python heap core.
     """
     if type(hfield) is list:
         return 0, hfield
     if isinstance(hfield, _LazyManhattanFlat):
         return 1, (hfield._gx, hfield._gy)
+    if getattr(_COMPILED, "KERNEL_ABI", 0) >= 3:
+        # Buffer heuristics arrived with ABI 3; a stale binary declines
+        # them here and the python cores (which index buffers and lists
+        # identically) answer instead.
+        if isinstance(hfield, array) and hfield.typecode == "i":
+            return 2, hfield
+        if isinstance(hfield, memoryview) and hfield.format == "i":
+            return 2, hfield
     return None
 
 

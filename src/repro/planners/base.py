@@ -24,7 +24,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..config import PAPER_SCALE_MIN_CELLS, PlannerConfig
 from ..errors import PlanningError
 from ..pathfinding.free_flow import FreeFlowPathCache
-from ..pathfinding.heuristics import HeuristicFieldCache
+from ..pathfinding.heuristics import HeuristicFieldCache, attach_field_arena
 from ..pathfinding.paths import Path
 from ..pathfinding.pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_MISS,
                                     FASTPATH_RESCUE, TIER_FREE_FLOW,
@@ -95,6 +95,11 @@ class PlannerStats:
     reserves_python: int = 0
     purges_compiled: int = 0
     purges_python: int = 0
+    #: Which tier-0 plane extracted-and-audited the free-flow descents
+    #: (the two are bit-identical; see ``LegPlan.descent_kernel``).  Legs
+    #: that never entered tier 0 (``free_flow`` off) count in neither.
+    descents_compiled: int = 0
+    descents_python: int = 0
 
 
 class Planner(abc.ABC):
@@ -125,6 +130,11 @@ class Planner(abc.ABC):
     #: High-water mark of :meth:`memory_bytes`, maintained at every leg
     #: commit (the only operation that grows the structures).
     _peak_memory: int = 0
+
+    #: Handle of the shared heuristic-field arena this planner reads
+    #: from, or ``None`` (fields flood locally).  Class-level default so
+    #: checkpoints pickled before the arena existed restore cleanly.
+    _arena_handle = None
 
     #: Whether the planner's leg planning can run in a worker process of
     #: the in-run batch pool.  Requires leg planning to be a pure function
@@ -206,7 +216,30 @@ class Planner(abc.ABC):
         self.__dict__.update(state)
         self.heuristics = HeuristicFieldCache(self.grid)
         self.free_flow = FreeFlowPathCache(self.grid, self.heuristics)
+        handle = self.__dict__.get("_arena_handle")
+        if handle is not None:
+            # Best effort: the arena outlives checkpoints taken in the
+            # same process (service-mode restore), but a checkpoint
+            # restored after the owner unlinked — or on another host —
+            # rebuilds fields from the grid instead, bit-identically.
+            try:
+                self.heuristics.attach_arena(attach_field_arena(handle))
+            except (FileNotFoundError, OSError):
+                self._arena_handle = None
         self.pipeline = self._build_pipeline()
+
+    def attach_field_arena(self, arena) -> None:
+        """Read heuristic fields from a shared :class:`FieldArena`.
+
+        The harness calls this right after construction so matrix
+        workers (and this planner's own batch pool, which inherits the
+        handle at spawn) reuse the parent-built int32 distance fields
+        over shared memory instead of re-flooding them per process.
+        Fields for goals outside the arena still flood locally; every
+        answer is bit-identical either way.
+        """
+        self._arena_handle = arena.handle()
+        self.heuristics.attach_arena(arena)
 
     # -- extension points ------------------------------------------------------
 
@@ -506,7 +539,8 @@ class Planner(abc.ABC):
                 and self.parallel_batch_safe):
             from .batch import LegPlanPool
             self._batch_pool = LegPlanPool(self.grid, self.config,
-                                           self.config.batch_workers)
+                                           self.config.batch_workers,
+                                           arena_handle=self._arena_handle)
         return self._batch_pool
 
     def close(self) -> None:
@@ -549,6 +583,11 @@ class Planner(abc.ABC):
             self.stats.fastpath_audit_rejects += 1
         elif leg.fastpath == FASTPATH_RESCUE:
             self.stats.rescued_legs += 1
+        dkernel = getattr(leg, "descent_kernel", "")
+        if dkernel == "compiled":
+            self.stats.descents_compiled += 1
+        elif dkernel == "python":
+            self.stats.descents_python += 1
 
     def _find_leg(self, t: Tick, source: Cell, goal: Cell) -> Path:
         """Tier-1 single-leg search (the chain's full ST-A*).

@@ -31,7 +31,8 @@ from typing import List, Sequence, Tuple
 
 from ..config import PlannerConfig
 from ..pathfinding.free_flow import FreeFlowPathCache
-from ..pathfinding.heuristics import HeuristicFieldCache
+from ..pathfinding.heuristics import (FieldArenaHandle, HeuristicFieldCache,
+                                      attach_field_arena)
 from ..pathfinding.pipeline import FallbackChain, LegPlan
 from ..pathfinding.reservation import ReservationTable
 from ..pathfinding.st_astar import SearchStats, find_path
@@ -45,11 +46,19 @@ _WORKER = None
 class _WorkerContext:
     """One worker's long-lived planning state (grid-derived caches)."""
 
-    def __init__(self, grid: Grid, config: PlannerConfig) -> None:
+    def __init__(self, grid: Grid, config: PlannerConfig,
+                 arena_handle: "FieldArenaHandle | None" = None) -> None:
         self.grid = grid
         self.config = config
         self.heuristics = HeuristicFieldCache(grid)
         self.free_flow = FreeFlowPathCache(grid, self.heuristics)
+        if arena_handle is not None:
+            try:
+                self.heuristics.attach_arena(attach_field_arena(arena_handle))
+            except (FileNotFoundError, OSError):
+                # The owner unlinked (or never shipped) the block; the
+                # worker floods its own fields — slower, bit-identical.
+                pass
 
     def chain(self, reservation: ReservationTable,
               collected: List[SearchStats]) -> FallbackChain:
@@ -79,9 +88,10 @@ class _WorkerContext:
             free_flow=self.free_flow)
 
 
-def _init_worker(grid: Grid, config: PlannerConfig) -> None:
+def _init_worker(grid: Grid, config: PlannerConfig,
+                 arena_handle=None) -> None:
     global _WORKER
-    _WORKER = _WorkerContext(grid, config)
+    _WORKER = _WorkerContext(grid, config, arena_handle)
 
 
 def _plan_chunk(payload) -> List[LegPlan]:
@@ -108,14 +118,20 @@ class LegPlanPool:
         world).
     workers:
         Pool size; clamped to at least 1.
+    arena_handle:
+        Optional :class:`~repro.pathfinding.heuristics.FieldArenaHandle`
+        naming a shared-memory block of prebuilt heuristic fields.
+        Workers attach read-only instead of re-flooding each goal's
+        field per process; ``None`` (and any stale handle) falls back to
+        per-worker floods with identical results.
     """
 
     def __init__(self, grid: Grid, config: PlannerConfig,
-                 workers: int) -> None:
+                 workers: int, arena_handle=None) -> None:
         self._n_workers = max(1, workers)
         context = multiprocessing.get_context("spawn")
         self._pool = context.Pool(self._n_workers, initializer=_init_worker,
-                                  initargs=(grid, config))
+                                  initargs=(grid, config, arena_handle))
 
     def plan(self, reservation: ReservationTable, t: Tick,
              legs: Sequence[Tuple[Cell, Cell]]) -> List[LegPlan]:

@@ -55,6 +55,7 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
             width=self.grid.width, height=self.grid.height,
             k=self.config.knn_k)
         self.cache = ShortestPathCache(self.grid, self.config.cache_threshold)
+        self.cache.attach_fields(self.heuristics)
         #: Memoised (finisher, trigger) per goal — the closure reads the
         #: cache and reservation only at call time, so one per distinct
         #: goal serves every tier of every leg (no per-leg allocation).
@@ -72,6 +73,11 @@ class EfficientAdaptiveTaskPlanner(AdaptiveTaskPlanner):
     def __setstate__(self, state) -> None:
         super().__setstate__(state)
         self._finishers = {}
+        # The restored cache lost its field oracle (dropped at pickle
+        # time with the rest of the unpicklable closures); re-point it at
+        # the freshly rebuilt heuristic cache.
+        if getattr(self, "cache", None) is not None:
+            self.cache.attach_fields(self.heuristics)
 
     # -- reservation: the CDT replaces the spatiotemporal graph ---------------
 

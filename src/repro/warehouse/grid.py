@@ -9,6 +9,7 @@ obstacles because robots travel beneath them in rack-to-picker systems).
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -16,6 +17,36 @@ import numpy as np
 
 from ..errors import InvalidLocationError
 from ..types import CELL_KEY_SHIFT, Cell, manhattan
+
+#: Minimum compiled-module ABI carrying the native field kernel
+#: (``bfs_fill`` over the prepared adjacency capsule).
+FIELD_KERNEL_ABI = 3
+
+#: The loaded ``_stsearch`` module when the field kernel is active,
+#: else ``None`` (python flood).  Set by
+#: :func:`repro.pathfinding.st_astar.set_search_kernel` so one switch
+#: governs every compiled plane.
+_FIELD_MODULE = None
+
+
+def set_field_kernel(module) -> None:
+    """Select the native heuristic-field flood (``None`` = python).
+
+    A module predating :data:`FIELD_KERNEL_ABI` is silently rejected —
+    the search kernel may still be usable while field construction
+    falls back to the python flood, exactly like the mutation kernel's
+    staleness handling.
+    """
+    global _FIELD_MODULE
+    if module is not None and \
+            getattr(module, "KERNEL_ABI", 0) < FIELD_KERNEL_ABI:
+        module = None
+    _FIELD_MODULE = module
+
+
+def field_kernel_name() -> str:
+    """Which field-flood implementation is active."""
+    return "compiled" if _FIELD_MODULE is not None else "python"
 
 
 class Grid:
@@ -31,7 +62,7 @@ class Grid:
     """
 
     __slots__ = ("width", "height", "_blocked", "adjacency", "cell_keys",
-                 "_manhattan_fields")
+                 "_manhattan_fields", "_kernel_capsule", "_components")
 
     #: Cap on memoised Manhattan fields before the cache resets; bounds the
     #: worst case (every cell used as a goal) to ~cap·H·W ints.
@@ -50,6 +81,10 @@ class Grid:
                 raise InvalidLocationError(f"blocked cell {cell} is out of bounds")
         self._build_packed_tables()
         self._manhattan_fields: Dict[Cell, List[int]] = {}
+        #: Lazily-built native prepared-grid capsule (per loaded module).
+        self._kernel_capsule = None
+        #: Lazily-built connected-component labels (``connected()``).
+        self._components: Optional[array] = None
 
     def _build_packed_tables(self) -> None:
         """Precompute the packed-integer views the search core runs on.
@@ -115,6 +150,22 @@ class Grid:
         """Invert :meth:`cell_index`."""
         return divmod(index, self.height)
 
+    def kernel_capsule(self, module):
+        """The native kernel's prepared-grid capsule, built lazily.
+
+        Flattening the adjacency table is O(HW) and the grid is
+        immutable, so the capsule is built once and shared by every
+        compiled entry point (search, field flood, tier-0 leg).  The
+        slot is dropped on pickling (:meth:`__reduce__`) and rebuilt on
+        first use in the receiving process.
+        """
+        capsule = self._kernel_capsule
+        if capsule is None:
+            capsule = module.prepare_grid(
+                self.height, self.adjacency, self.cell_keys)
+            self._kernel_capsule = capsule
+        return capsule
+
     def manhattan_field(self, goal: Cell) -> List[int]:
         """Flat Manhattan-distance-to-``goal`` field, indexed by cell index.
 
@@ -155,39 +206,114 @@ class Grid:
         """Manhattan distance (ignores obstacles)."""
         return manhattan(a, b)
 
-    def bfs_distances(self, source: Cell) -> np.ndarray:
-        """True shortest-path distances from ``source`` to every cell.
+    def distance_flat(self, source: Cell, unreached: int = -1) -> array:
+        """True shortest-path distances as a flat ``array('i')`` buffer.
 
-        Returns a ``(width, height)`` int32 array with ``-1`` marking
-        unreachable cells.  Used to build exact heuristics and the
-        shortest-path cache; O(HW) per call.
+        ``dist[x * H + y]`` is the BFS distance from ``source``;
+        unvisited cells carry the ``unreached`` sentinel, which must not
+        collide with a real distance (a distance is at most
+        ``n_cells - 1``, so ``-1`` and ``n_cells + 1`` are both safe).
+        The int32 buffer is the zero-copy backing store the compiled
+        search / tier-0 kernels index directly, and what the shared
+        field arena ships between worker processes.  The native flood
+        (``bfs_fill``) and the python flood below visit cells in the
+        same FIFO order and are bit-identical.
         """
         self.require_passable(source)
-        # Flood over the precomputed adjacency table with flat-list
+        n_cells = self.width * self.height
+        if 0 <= unreached < n_cells:
+            raise ValueError(
+                f"unreached sentinel {unreached} collides with a distance")
+        src = source[0] * self.height + source[1]
+        module = _FIELD_MODULE
+        if module is not None:
+            dist = array("i", bytes(4 * n_cells))
+            module.bfs_fill(self.kernel_capsule(module), src, dist,
+                            unreached)
+            return dist
+        # Flood over the precomputed adjacency table with flat
         # distances; an order of magnitude faster than tuple BFS, which
         # matters because every heuristic field starts with one of these.
         adjacency = self.adjacency
-        dist = [-1] * (self.width * self.height)
-        src = source[0] * self.height + source[1]
+        dist = array("i", (unreached,)) * n_cells
         dist[src] = 0
         frontier: deque = deque((src,))
         while frontier:
             ci = frontier.popleft()
             d = dist[ci] + 1
             for nci, __ in adjacency[ci]:
-                if dist[nci] < 0:
+                if dist[nci] == unreached:
                     dist[nci] = d
                     frontier.append(nci)
-        return np.asarray(dist, dtype=np.int32).reshape(
+        return dist
+
+    def bfs_distances(self, source: Cell) -> np.ndarray:
+        """True shortest-path distances from ``source`` to every cell.
+
+        Returns a ``(width, height)`` int32 array with ``-1`` marking
+        unreachable cells.  Used to build exact heuristics and the
+        shortest-path cache; O(HW) per call.  The flood itself lives in
+        :meth:`distance_flat` (kernel-accelerated when available); this
+        wrapper keeps the historical ndarray shape and sentinel.
+        """
+        flat = self.distance_flat(source, unreached=-1)
+        return np.array(flat, dtype=np.int32).reshape(
             self.width, self.height)
 
+    def _component_labels(self) -> array:
+        """Flat connected-component labels, flooded once and cached.
+
+        Passable cells in the same 4-connected component share a label;
+        blocked cells keep ``-1``.  One O(HW) flood total, against the
+        previous full BFS *per* :meth:`connected` call.
+        """
+        labels = self._components
+        if labels is None:
+            n_cells = self.width * self.height
+            labels = array("i", (-1,)) * n_cells
+            adjacency = self.adjacency
+            blocked = self._blocked
+            height = self.height
+            label = 0
+            frontier: deque = deque()
+            for ci in range(n_cells):
+                if labels[ci] >= 0 or divmod(ci, height) in blocked:
+                    continue
+                labels[ci] = label
+                frontier.append(ci)
+                while frontier:
+                    cur = frontier.popleft()
+                    for nci, __ in adjacency[cur]:
+                        if labels[nci] < 0:
+                            labels[nci] = label
+                            frontier.append(nci)
+                label += 1
+            self._components = labels
+        return labels
+
     def connected(self, a: Cell, b: Cell) -> bool:
-        """Whether a path exists between two passable cells."""
+        """Whether a path exists between two passable cells.
+
+        O(1) after the first call: answers come from the cached
+        connected-component labels rather than a fresh full-floor BFS.
+        """
         if not (self.passable(a) and self.passable(b)):
             return False
-        return bool(self.bfs_distances(a)[b] >= 0)
+        labels = self._component_labels()
+        return labels[self.cell_index(a)] == labels[self.cell_index(b)]
 
     # -- dunder ------------------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle as the constructor call, not slot state.
+
+        The lazy kernel capsule is a PyCapsule (unpicklable) and the
+        memoised fields/labels are cheap to rebuild, so worker initargs
+        and checkpoints ship only the defining triple; everything
+        derived is reconstructed deterministically on first use.
+        """
+        return (Grid, (self.width, self.height,
+                       tuple(sorted(self._blocked))))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Grid({self.width}x{self.height}, "

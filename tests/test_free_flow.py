@@ -30,9 +30,12 @@ from repro.pathfinding.pipeline import (FASTPATH_AUDIT_REJECT, FASTPATH_HIT,
                                         FASTPATH_MISS, FASTPATH_OFF,
                                         TIER_FREE_FLOW, TIER_FULL,
                                         FallbackChain)
+from repro.pathfinding._kernel import build_and_load
 from repro.pathfinding.reservation import ReservationTable
 from repro.pathfinding.spatiotemporal_graph import SpatiotemporalGraph
-from repro.pathfinding.st_astar import SearchStats, find_path
+from repro.pathfinding.st_astar import (SearchStats, find_path,
+                                        search_kernel_name,
+                                        set_search_kernel)
 from repro.planners import PLANNERS
 from repro.sim.serialize import (deterministic_view, metrics_from_dict,
                                  metrics_to_dict, result_to_dict)
@@ -43,6 +46,22 @@ from repro.workloads.datasets import make_mini
 # not copied, so a fixture fix there keeps pinning the descent identity
 # here too.
 from test_heuristic_fields import GRIDS
+
+
+_COMPILED = build_and_load()
+
+#: Every test in this module runs once per available kernel plane: the
+#: descent/audit/end-to-end claims must hold bit-identically whether the
+#: tier-0 body executes in python or through the fused native entry point.
+KERNELS = ["python"] + (["compiled"] if _COMPILED is not None else [])
+
+
+@pytest.fixture(autouse=True, params=KERNELS)
+def tier0_kernel(request):
+    previous = search_kernel_name()
+    set_search_kernel(request.param)
+    yield request.param
+    set_search_kernel(previous)
 
 
 def random_pillar_grid(rng: random.Random) -> Grid:

@@ -107,6 +107,8 @@ class TestFieldCache:
     def test_memory_reported(self, grid):
         cache = HeuristicFieldCache(grid)
         assert cache.memory_bytes() == 0
-        cache.field(passable_cells(grid)[0])
-        # One flat list skeleton: 8 B pointer per cell + header.
-        assert cache.memory_bytes() == 64 + 8 * grid.n_cells
+        field = cache.field(passable_cells(grid)[0])
+        # One int32 buffer: 4 B per cell + header — and the ledger must
+        # charge the bytes the buffer actually holds.
+        assert cache.memory_bytes() == 64 + 4 * grid.n_cells
+        assert field.nbytes == 64 + 4 * len(field.flat)
